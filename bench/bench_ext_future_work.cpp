@@ -1,0 +1,58 @@
+// Extension bench (not a paper table): evaluates the two future-work
+// directions the paper's conclusion proposes, implemented in this library —
+//   1. FedClassAvg+Proto: prototype exchange on top of classifier averaging;
+//   2. FedClassAvg(simclr): the label-free NT-Xent contrastive term instead
+//      of SupCon —
+// against plain FedClassAvg and the local baseline on the heterogeneous
+// Dir(0.5) task.
+#include "common.hpp"
+#include "core/fedclassavg.hpp"
+#include "core/fedclassavg_proto.hpp"
+#include "fl/local_only.hpp"
+
+using namespace fca;
+
+int main() {
+  bench::banner("bench_ext_future_work",
+                "paper §6 future-work directions (extension, no paper table)");
+  const auto ds = bench::datasets({"synth-fmnist"});
+  CsvWriter csv(bench::out_dir() + "/ext_future_work.csv",
+                {"dataset", "method", "mean_acc", "std_acc",
+                 "client_upload_kb_per_round"});
+  for (const std::string& dataset : ds) {
+    std::printf("\n--- %s ---\n", dataset.c_str());
+    core::ExperimentConfig cfg =
+        bench::make_config(dataset, core::PartitionScheme::kDirichlet);
+    core::Experiment exp(cfg);
+
+    auto record = [&](fl::RoundStrategy& s) {
+      auto done = bench::run_and_report(exp, s);
+      csv.row(std::vector<std::string>{
+          dataset, s.name(),
+          format_fixed(done.result.final_mean_accuracy, 6),
+          format_fixed(done.result.final_std_accuracy, 6),
+          format_fixed(done.result.client_upload_bytes_per_round / 1024.0,
+                       3)});
+    };
+
+    fl::LocalOnly baseline;
+    record(baseline);
+    core::FedClassAvg plain(exp.fedclassavg_config());
+    record(plain);
+    {
+      core::FedClassAvgConfig scfg = exp.fedclassavg_config();
+      scfg.contrastive_mode = core::ContrastiveMode::kSelfSupervised;
+      scfg.temperature = 0.5f;
+      core::FedClassAvg simclr(scfg);
+      record(simclr);
+    }
+    {
+      core::FedClassAvgProtoConfig pcfg;
+      pcfg.base = exp.fedclassavg_config();
+      core::FedClassAvgProto proto(pcfg);
+      record(proto);
+    }
+  }
+  std::printf("\nCSV: %s/ext_future_work.csv\n", bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 6: learning curves of homogeneous models (MiniResNet
+// everywhere) under Dir(0.5), small fully-participating cohort, comparing
+// FedAvg, KT-pFL(+weight) and FedClassAvg(+weight).
+//
+// Paper shape: FedClassAvg+weight dominates; FedAvg sits between the
+// FC-only and +weight personalized methods.
+#include "common.hpp"
+#include "core/fedclassavg.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/ktpfl.hpp"
+
+using namespace fca;
+
+int main() {
+  bench::banner("bench_fig6_curves_homogeneous",
+                "Figure 6 (homogeneous learning curves, Dir(0.5))");
+  const auto ds = bench::datasets({"synth-fmnist"});
+  CsvWriter curves(bench::out_dir() + "/fig6_curves_homogeneous.csv",
+                   {"dataset", "method", "round", "local_epochs", "mean_acc",
+                    "std_acc"});
+  for (const std::string& dataset : ds) {
+    std::printf("\n--- %s ---\n", dataset.c_str());
+    core::ExperimentConfig cfg =
+        bench::make_config(dataset, core::PartitionScheme::kDirichlet);
+    cfg.models = core::ModelScheme::kHomogeneousResNet;
+    cfg.eval_every = std::max(1, cfg.rounds / 20);
+    core::Experiment exp(cfg);
+
+    {
+      fl::FedAvg s;
+      auto done = bench::run_and_report(exp, s);
+      bench::write_curve(curves, dataset, "fedavg", done.result);
+    }
+    {
+      fl::KTpFL s(exp.public_data(), {});
+      auto done = bench::run_and_report(exp, s);
+      bench::write_curve(curves, dataset, "kt-pfl", done.result);
+    }
+    {
+      fl::KTpFLConfig kcfg;
+      kcfg.share_weights = true;
+      fl::KTpFL s(exp.public_data(), kcfg);
+      auto done = bench::run_and_report(exp, s);
+      bench::write_curve(curves, dataset, "kt-pfl+weight", done.result);
+    }
+    {
+      core::FedClassAvg s(exp.fedclassavg_config());
+      auto done = bench::run_and_report(exp, s);
+      bench::write_curve(curves, dataset, "ours", done.result);
+    }
+    {
+      core::FedClassAvgConfig fcfg = exp.fedclassavg_config();
+      fcfg.share_all_weights = true;
+      core::FedClassAvg s(fcfg);
+      auto done = bench::run_and_report(exp, s);
+      bench::write_curve(curves, dataset, "ours+weight", done.result);
+    }
+  }
+  std::printf("\ncurves CSV: %s/fig6_curves_homogeneous.csv\n",
+              bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Micro ablation: convolution lowering (DESIGN.md §4).
+// Direct convolution vs im2col+GEMM at the layer geometries the model zoo
+// uses, plus the full Conv2d module forward/backward.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using fca::ConvGeom;
+using fca::Rng;
+using fca::Tensor;
+
+void BM_ConvDirect(benchmark::State& state) {
+  const int64_t c = state.range(0), hw = state.range(1), oc = state.range(2);
+  ConvGeom g{c, hw, hw, 3, 3, 1, 1, 1, 1};
+  Rng rng(1);
+  Tensor im = Tensor::randn({c, hw, hw}, rng);
+  Tensor w = Tensor::randn({oc, g.col_rows()}, rng);
+  std::vector<float> out(static_cast<size_t>(oc * g.col_cols()));
+  for (auto _ : state) {
+    fca::conv2d_direct(im.data(), w.data(), oc, g, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvDirect)->Args({8, 12, 16})->Args({16, 6, 32});
+
+void BM_ConvLowered(benchmark::State& state) {
+  const int64_t c = state.range(0), hw = state.range(1), oc = state.range(2);
+  ConvGeom g{c, hw, hw, 3, 3, 1, 1, 1, 1};
+  Rng rng(1);
+  Tensor im = Tensor::randn({c, hw, hw}, rng);
+  Tensor w = Tensor::randn({oc, g.col_rows()}, rng);
+  std::vector<float> col(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  std::vector<float> out(static_cast<size_t>(oc * g.col_cols()));
+  for (auto _ : state) {
+    fca::im2col(im.data(), g, col.data());
+    fca::sgemm(false, false, oc, g.col_cols(), g.col_rows(), 1.0f, w.data(),
+               g.col_rows(), col.data(), g.col_cols(), 0.0f, out.data(),
+               g.col_cols());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvLowered)->Args({8, 12, 16})->Args({16, 6, 32});
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(2);
+  fca::nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({batch, 8, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, /*train=*/false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(16)->Arg(32);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(3);
+  fca::nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({batch, 8, 12, 12}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, /*train=*/true);
+    Tensor gx = conv.backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForwardBackward)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro ablation: the loss-head tape (DESIGN.md §4).
+// Costs of the supervised contrastive loss (forward + backward) as the
+// SupCon batch grows (it is O(B^2 D)), of plain cross-entropy on the tape,
+// and of the closed-form CE — quantifying what the two-level
+// differentiation design buys.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.hpp"
+#include "nn/loss.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using fca::Rng;
+using fca::Tensor;
+
+std::vector<int> cyclic_labels(int64_t n, int classes) {
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int>(i) % classes;
+  }
+  return labels;
+}
+
+void BM_SupConForwardBackward(benchmark::State& state) {
+  const int64_t n = state.range(0);  // 2B (two views)
+  Rng rng(1);
+  Tensor emb = Tensor::randn({n, 32}, rng);
+  const auto labels = cyclic_labels(n, 10);
+  for (auto _ : state) {
+    fca::ag::Variable v = fca::ag::Variable::leaf(emb);
+    fca::ag::Variable loss =
+        fca::ag::supervised_contrastive(v, labels, 0.07f);
+    loss.backward();
+    benchmark::DoNotOptimize(v.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SupConForwardBackward)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TapeCrossEntropy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor logits = Tensor::randn({n, 10}, rng);
+  const auto labels = cyclic_labels(n, 10);
+  for (auto _ : state) {
+    fca::ag::Variable v = fca::ag::Variable::leaf(logits);
+    fca::ag::cross_entropy(v, labels).backward();
+    benchmark::DoNotOptimize(v.grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TapeCrossEntropy)->Arg(16)->Arg(64);
+
+void BM_ClosedFormCrossEntropy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor logits = Tensor::randn({n, 10}, rng);
+  const auto labels = cyclic_labels(n, 10);
+  for (auto _ : state) {
+    fca::nn::LossResult res = fca::nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(res.grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClosedFormCrossEntropy)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

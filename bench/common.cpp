@@ -1,0 +1,126 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "utils/error.hpp"
+#include "utils/timer.hpp"
+
+namespace fca::bench {
+
+Scale current_scale() {
+  const char* e = std::getenv("FCA_BENCH_SCALE");
+  if (e == nullptr) return Scale::kDefault;
+  if (std::strcmp(e, "smoke") == 0) return Scale::kSmoke;
+  if (std::strcmp(e, "full") == 0) return Scale::kFull;
+  return Scale::kDefault;
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kDefault: return "default";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+RunShape shape_for(const std::string& dataset, Scale scale) {
+  // Rounds are per-dataset: the harder presets need longer horizons before
+  // collaborative methods overtake local training (cf. Fig. 4 of the paper,
+  // where convergence takes hundreds of local epochs).
+  const bool emnist = dataset == "synth-emnist";
+  const bool cifar = dataset == "synth-cifar10";
+  switch (scale) {
+    case Scale::kSmoke:
+      return {4, 6, 10, 6, 16, };
+    case Scale::kDefault:
+      if (cifar) return {10, 60, 25, 10, 30};
+      if (emnist) return {10, 50, 12, 6, 26};
+      return {10, 40, 25, 12, 40};
+    case Scale::kFull:
+      if (cifar) return {20, 90, 30, 12, 40};
+      if (emnist) return {20, 80, 20, 8, 40};
+      return {20, 70, 30, 12, 40};
+  }
+  return {10, 40, 25, 12, 40};
+}
+
+core::ExperimentConfig make_config(const std::string& dataset,
+                                   core::PartitionScheme partition) {
+  const RunShape s = shape_for(dataset, current_scale());
+  core::ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  cfg.partition = partition;
+  cfg.num_clients = s.num_clients;
+  cfg.rounds = s.rounds;
+  cfg.train_per_class = s.train_per_class;
+  cfg.test_per_class = s.test_per_class;
+  cfg.test_per_client = s.test_per_client;
+  cfg.image_size = 12;
+  cfg.feature_dim = 32;
+  cfg.width = 8;
+  cfg.eval_every = std::max(1, s.rounds / 10);
+  cfg.with_scaled_preset();
+  return cfg;
+}
+
+std::vector<std::string> datasets(const std::vector<std::string>& defaults) {
+  const char* e = std::getenv("FCA_BENCH_DATASETS");
+  if (e == nullptr) return defaults;
+  std::vector<std::string> out;
+  std::stringstream ss(e);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out.empty() ? defaults : out;
+}
+
+std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void banner(const std::string& bench, const std::string& paper_anchor) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", bench.c_str(), paper_anchor.c_str());
+  std::printf("scale: %s (set FCA_BENCH_SCALE=smoke|default|full)\n",
+              scale_name(current_scale()));
+  std::printf("substrate: synthetic data + scaled models on 1 CPU core;\n");
+  std::printf("compare *shapes* (ordering, factors), not absolute values.\n");
+  std::printf("==============================================================\n");
+}
+
+core::CompletedRun run_and_report(const core::Experiment& exp,
+                                  fl::RoundStrategy& strategy) {
+  Timer t;
+  core::CompletedRun done = exp.execute(strategy);
+  std::printf("  %-18s %-14s final %.4f ± %.4f   (%.1fs, %.1f KB/client-round)\n",
+              strategy.name().c_str(), exp.config().dataset.c_str(),
+              done.result.final_mean_accuracy, done.result.final_std_accuracy,
+              t.seconds(),
+              done.result.client_upload_bytes_per_round / 1024.0);
+  std::fflush(stdout);
+  return done;
+}
+
+void write_curve(CsvWriter& csv, const std::string& dataset,
+                 const std::string& method, const fl::RunResult& result) {
+  for (const auto& m : result.curve) {
+    csv.row(std::vector<std::string>{
+        dataset, method, std::to_string(m.round),
+        std::to_string(m.cumulative_local_epochs),
+        format_fixed(m.mean_accuracy, 6), format_fixed(m.std_accuracy, 6)});
+  }
+}
+
+std::string final_cell(const fl::RunResult& result) {
+  return format_mean_std(result.final_mean_accuracy,
+                         result.final_std_accuracy);
+}
+
+}  // namespace fca::bench

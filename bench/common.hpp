@@ -1,0 +1,76 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper. Because
+// this runs on a single CPU core against synthetic data (see DESIGN.md §1),
+// absolute numbers differ from the paper; the benches aim to reproduce the
+// *shape* of each result (method ordering, rough factors, crossovers).
+//
+// Scale is selected by the FCA_BENCH_SCALE environment variable:
+//   smoke   — seconds per bench; sanity shape only
+//   default — minutes per bench suite; ordering-level fidelity (the scale
+//             used for the checked-in bench_output)
+//   full    — tens of minutes; longest horizons, closest to convergence
+// FCA_BENCH_DATASETS=synth-fmnist,synth-cifar10,... overrides the dataset
+// list a bench sweeps (figure benches default to fmnist only).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "utils/csv.hpp"
+
+namespace fca::bench {
+
+enum class Scale { kSmoke, kDefault, kFull };
+
+Scale current_scale();
+const char* scale_name(Scale s);
+
+/// Experiment dimensions per scale and dataset.
+struct RunShape {
+  int num_clients;
+  int rounds;
+  int train_per_class;
+  int test_per_class;
+  int test_per_client;
+};
+
+RunShape shape_for(const std::string& dataset, Scale scale);
+
+/// Baseline experiment config for a dataset/partition at the current scale;
+/// applies the scaled hyper-parameter preset and the shape above.
+core::ExperimentConfig make_config(const std::string& dataset,
+                                   core::PartitionScheme partition);
+
+/// Datasets a bench sweeps: the env override, or `defaults`.
+std::vector<std::string> datasets(const std::vector<std::string>& defaults);
+
+/// Directory for CSV artifacts (created on demand): ./bench_out
+std::string out_dir();
+
+/// Prints the standard bench banner (paper anchor + scale disclosure).
+void banner(const std::string& bench, const std::string& paper_anchor);
+
+/// Runs a strategy on the experiment, prints one progress line, returns the
+/// result bundle.
+core::CompletedRun run_and_report(const core::Experiment& exp,
+                                  fl::RoundStrategy& strategy);
+
+/// Appends a learning-curve series to a CSV (round, epochs, mean, std).
+void write_curve(CsvWriter& csv, const std::string& dataset,
+                 const std::string& method, const fl::RunResult& result);
+
+/// "0.9025 ± 0.0607" formatting of a final result.
+std::string final_cell(const fl::RunResult& result);
+
+/// Shared driver for the Figure 4/5 learning-curve benches: runs baseline,
+/// KT-pFL and FedClassAvg with dense evaluation under the given partition
+/// scheme and writes per-method curves to CSV.
+void run_curves_bench(const std::string& bench_name,
+                      const std::string& anchor,
+                      core::PartitionScheme scheme,
+                      const std::string& csv_name);
+
+}  // namespace fca::bench

@@ -1,0 +1,51 @@
+// Shared learning-curve driver for the Figure 4/5 benches.
+#include "common.hpp"
+#include "core/fedclassavg.hpp"
+#include "fl/ktpfl.hpp"
+#include "fl/local_only.hpp"
+
+namespace fca::bench {
+
+void run_curves_bench(const std::string& bench_name,
+                      const std::string& anchor,
+                      core::PartitionScheme scheme,
+                      const std::string& csv_name) {
+  banner(bench_name, anchor);
+  const auto ds = datasets({"synth-fmnist"});
+  CsvWriter curves(out_dir() + "/" + csv_name,
+                   {"dataset", "method", "round", "local_epochs", "mean_acc",
+                    "std_acc"});
+  for (const std::string& dataset : ds) {
+    std::printf("\n--- %s ---\n", dataset.c_str());
+    core::ExperimentConfig cfg = make_config(dataset, scheme);
+    cfg.eval_every = std::max(1, cfg.rounds / 20);  // dense curves
+    core::Experiment exp(cfg);
+
+    fl::LocalOnly baseline;
+    auto base_run = run_and_report(exp, baseline);
+    write_curve(curves, dataset, "baseline", base_run.result);
+
+    fl::KTpFL ktpfl(exp.public_data(), {});
+    auto kt_run = run_and_report(exp, ktpfl);
+    write_curve(curves, dataset, "kt-pfl", kt_run.result);
+
+    core::FedClassAvg ours(exp.fedclassavg_config());
+    auto our_run = run_and_report(exp, ours);
+    write_curve(curves, dataset, "ours", our_run.result);
+
+    std::printf("  curve (mean acc by eval point):\n");
+    auto series = [](const fl::RunResult& r) {
+      std::string s;
+      for (const auto& m : r.curve) {
+        s += format_fixed(m.mean_accuracy, 3) + " ";
+      }
+      return s;
+    };
+    std::printf("    ours:     %s\n", series(our_run.result).c_str());
+    std::printf("    kt-pfl:   %s\n", series(kt_run.result).c_str());
+    std::printf("    baseline: %s\n", series(base_run.result).c_str());
+  }
+  std::printf("\ncurves CSV: %s/%s\n", out_dir().c_str(), csv_name.c_str());
+}
+
+}  // namespace fca::bench

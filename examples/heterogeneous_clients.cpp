@@ -1,0 +1,65 @@
+// Scenario: a hospital consortium where sites run different model
+// architectures (the paper's motivating setting — clients choose models
+// that fit their hardware) and hold heavily skewed data (each site sees
+// only two of the ten conditions).
+//
+// Compares isolated local training against FedClassAvg on the same sites
+// and reports the per-site gain, demonstrating that heterogeneous sites can
+// collaborate by exchanging only classifier weights.
+#include <cstdio>
+
+#include "core/fedclassavg.hpp"
+#include "core/trainer.hpp"
+#include "fl/local_only.hpp"
+
+int main() {
+  fca::core::ExperimentConfig config;
+  config.dataset = "synth-cifar10";
+  config.num_clients = 8;
+  config.partition = fca::core::PartitionScheme::kSkewed;
+  config.classes_per_client = 2;  // every site sees only two conditions
+  config.models = fca::core::ModelScheme::kHeterogeneous;
+  config.train_per_class = 30;
+  config.rounds = 20;
+  config.with_scaled_preset();
+
+  fca::core::Experiment experiment(config);
+
+  std::printf("sites train on two classes each; architectures differ:\n");
+  {
+    auto clients = experiment.build_clients();
+    for (const auto& c : clients) {
+      const auto hist = c->train_data().class_histogram();
+      std::printf("  site %d (%-14s): classes", c->id(),
+                  c->model().arch_name().c_str());
+      for (size_t cls = 0; cls < hist.size(); ++cls) {
+        if (hist[cls] > 0) std::printf(" %zu(x%ld)", cls, (long)hist[cls]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n[1/2] isolated local training...\n");
+  fca::fl::LocalOnly local;
+  const auto local_run = experiment.execute(local);
+
+  std::printf("[2/2] FedClassAvg collaboration...\n");
+  fca::core::FedClassAvg fed(experiment.fedclassavg_config());
+  const auto fed_run = experiment.execute(fed);
+
+  std::printf("\n%8s %12s %14s %8s\n", "site", "local acc", "federated acc",
+              "gain");
+  for (int k = 0; k < config.num_clients; ++k) {
+    const double a = local_run.run->client(k).evaluate();
+    const double b = fed_run.run->client(k).evaluate();
+    std::printf("%8d %12.4f %14.4f %+8.4f\n", k, a, b, b - a);
+  }
+  std::printf("\nmean: local %.4f ± %.4f   federated %.4f ± %.4f\n",
+              local_run.result.final_mean_accuracy,
+              local_run.result.final_std_accuracy,
+              fed_run.result.final_mean_accuracy,
+              fed_run.result.final_std_accuracy);
+  std::printf("bytes a site uploaded per round: %.1f KB (classifier only)\n",
+              fed_run.result.client_upload_bytes_per_round / 1024.0);
+  return 0;
+}

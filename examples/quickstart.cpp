@@ -1,0 +1,50 @@
+// Quickstart: train 5 heterogeneous clients with FedClassAvg on the
+// Fashion-MNIST-like synthetic dataset and print the learning curve.
+//
+//   $ ./examples/quickstart
+//
+// This is the smallest end-to-end use of the public API:
+//   1. describe the experiment (dataset, clients, partition, model scale),
+//   2. construct the FedClassAvg strategy with the dataset's Table-1 rho,
+//   3. execute() — fresh clients, full federated protocol, metrics back.
+#include <cstdio>
+
+#include "core/fedclassavg.hpp"
+#include "core/trainer.hpp"
+
+int main() {
+  fca::core::ExperimentConfig config;
+  config.dataset = "synth-fmnist";       // or synth-cifar10 / synth-emnist
+  config.num_clients = 5;
+  config.partition = fca::core::PartitionScheme::kDirichlet;
+  config.dirichlet_alpha = 0.5;
+  config.models = fca::core::ModelScheme::kHeterogeneous;
+  config.train_per_class = 25;
+  config.rounds = 15;
+  config.with_scaled_preset();           // lr / batch / E for this substrate
+
+  fca::core::Experiment experiment(config);
+  fca::core::FedClassAvg strategy(experiment.fedclassavg_config());
+  fca::core::CompletedRun done = experiment.execute(strategy);
+
+  std::printf("\nFedClassAvg on %s, %d heterogeneous clients\n",
+              config.dataset.c_str(), config.num_clients);
+  std::printf("%8s %14s %18s %12s\n", "round", "mean acc", "std acc",
+              "KB this round");
+  for (const auto& m : done.result.curve) {
+    std::printf("%8d %14.4f %18.4f %12.1f\n", m.round, m.mean_accuracy,
+                m.std_accuracy, m.round_bytes / 1024.0);
+  }
+  std::printf("\nfinal: %.4f ± %.4f, client upload %.1f KB per round\n",
+              done.result.final_mean_accuracy,
+              done.result.final_std_accuracy,
+              done.result.client_upload_bytes_per_round / 1024.0);
+
+  // The trained clients remain available for inspection:
+  for (int k = 0; k < done.run->num_clients(); ++k) {
+    auto& client = done.run->client(k);
+    std::printf("  client %d (%s): local test accuracy %.4f\n", k,
+                client.model().arch_name().c_str(), client.evaluate());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "analysis/conductance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::analysis {
+
+Tensor layer_conductance(models::SplitModel& model, const Tensor& image,
+                         int target, int steps) {
+  FCA_CHECK(image.ndim() == 3 && steps >= 1);
+  FCA_CHECK(target >= 0 && target < model.num_classes());
+  const int64_t d = model.feature_dim();
+
+  // Batch the whole interpolation path [0, x/m, 2x/m, ..., x] at once.
+  Shape batched = {steps + 1, image.dim(0), image.dim(1), image.dim(2)};
+  Tensor path(batched);
+  for (int s = 0; s <= steps; ++s) {
+    const float alpha = static_cast<float>(s) / static_cast<float>(steps);
+    float* dst = path.data() + s * image.numel();
+    for (int64_t i = 0; i < image.numel(); ++i) dst[i] = alpha * image[i];
+  }
+  Tensor feats = model.features(path, /*train=*/false);  // [m+1, D]
+
+  const Tensor& w = model.classifier().weight().value;  // [C, D]
+  Tensor cond({d});
+  for (int s = 1; s <= steps; ++s) {
+    for (int64_t j = 0; j < d; ++j) {
+      const float delta = feats[s * d + j] - feats[(s - 1) * d + j];
+      cond[j] += delta * w[target * d + j];
+    }
+  }
+  return cond;
+}
+
+std::vector<int> rank_scores(const Tensor& scores) {
+  const auto n = static_cast<size_t>(scores.numel());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+  std::vector<int> ranks(n);
+  for (size_t r = 0; r < n; ++r) {
+    ranks[static_cast<size_t>(order[r])] = static_cast<int>(r);
+  }
+  return ranks;
+}
+
+}  // namespace fca::analysis

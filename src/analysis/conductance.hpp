@@ -1,0 +1,27 @@
+// Layer conductance (Dhamdhere et al. 2018) at the classifier input, used
+// for the Figure-9 unit-attribution comparison across clients.
+//
+// For a unit j of the feature layer and target class c, conductance is the
+// path integral of d(output_c)/d(feature_j) * d(feature_j)/d(alpha) along
+// the straight line from a baseline input (zeros) to the input. It is
+// approximated with an m-step Riemann sum; since the classifier here is a
+// single linear layer, d(output_c)/d(feature_j) = W[c, j] exactly, so only
+// the feature trajectory needs to be sampled.
+#pragma once
+
+#include <vector>
+
+#include "models/split_model.hpp"
+
+namespace fca::analysis {
+
+/// Conductance of every feature unit for `image` [C, H, W] toward class
+/// `target`; m-step Riemann approximation; returns [D].
+Tensor layer_conductance(models::SplitModel& model, const Tensor& image,
+                         int target, int steps = 16);
+
+/// Converts a score vector to dense ranks in [0, D-1] (0 = smallest).
+/// Ties broken by index, matching the paper's rank-score heat maps.
+std::vector<int> rank_scores(const Tensor& scores);
+
+}  // namespace fca::analysis

@@ -1,0 +1,74 @@
+#include "analysis/metrics.hpp"
+
+#include "utils/error.hpp"
+
+namespace fca::analysis {
+
+Tensor confusion_matrix(const std::vector<int>& truth,
+                        const std::vector<int>& predicted, int num_classes) {
+  FCA_CHECK(truth.size() == predicted.size() && num_classes > 0);
+  Tensor m({num_classes, num_classes});
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const int t = truth[i];
+    const int p = predicted[i];
+    FCA_CHECK(t >= 0 && t < num_classes && p >= 0 && p < num_classes);
+    m[static_cast<int64_t>(t) * num_classes + p] += 1.0f;
+  }
+  return m;
+}
+
+std::vector<double> per_class_recall(const Tensor& confusion) {
+  FCA_CHECK(confusion.ndim() == 2 && confusion.dim(0) == confusion.dim(1));
+  const int64_t c = confusion.dim(0);
+  std::vector<double> out(static_cast<size_t>(c), 0.0);
+  for (int64_t t = 0; t < c; ++t) {
+    double row = 0.0;
+    for (int64_t p = 0; p < c; ++p) row += confusion[t * c + p];
+    if (row > 0.0) out[static_cast<size_t>(t)] = confusion[t * c + t] / row;
+  }
+  return out;
+}
+
+std::vector<double> per_class_precision(const Tensor& confusion) {
+  FCA_CHECK(confusion.ndim() == 2 && confusion.dim(0) == confusion.dim(1));
+  const int64_t c = confusion.dim(0);
+  std::vector<double> out(static_cast<size_t>(c), 0.0);
+  for (int64_t p = 0; p < c; ++p) {
+    double col = 0.0;
+    for (int64_t t = 0; t < c; ++t) col += confusion[t * c + p];
+    if (col > 0.0) out[static_cast<size_t>(p)] = confusion[p * c + p] / col;
+  }
+  return out;
+}
+
+double macro_f1(const Tensor& confusion) {
+  const int64_t c = confusion.dim(0);
+  const std::vector<double> recall = per_class_recall(confusion);
+  const std::vector<double> precision = per_class_precision(confusion);
+  double total = 0.0;
+  int present = 0;
+  for (int64_t t = 0; t < c; ++t) {
+    double row = 0.0;
+    for (int64_t p = 0; p < c; ++p) row += confusion[t * c + p];
+    if (row <= 0.0) continue;  // class absent from truth
+    ++present;
+    const double r = recall[static_cast<size_t>(t)];
+    const double pr = precision[static_cast<size_t>(t)];
+    if (r + pr > 0.0) total += 2.0 * r * pr / (r + pr);
+  }
+  return present > 0 ? total / present : 0.0;
+}
+
+double accuracy_of(const Tensor& confusion) {
+  const int64_t c = confusion.dim(0);
+  double diag = 0.0, total = 0.0;
+  for (int64_t t = 0; t < c; ++t) {
+    for (int64_t p = 0; p < c; ++p) {
+      total += confusion[t * c + p];
+      if (t == p) diag += confusion[t * c + p];
+    }
+  }
+  return total > 0.0 ? diag / total : 0.0;
+}
+
+}  // namespace fca::analysis

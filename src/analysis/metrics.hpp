@@ -1,0 +1,28 @@
+// Classification metrics beyond plain accuracy: confusion matrices,
+// per-class accuracy/recall, and macro-F1, used by the examples and for
+// inspecting what classifier averaging actually transfers between clients.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fca::analysis {
+
+/// counts[t, p] = number of samples with true label t predicted as p.
+Tensor confusion_matrix(const std::vector<int>& truth,
+                        const std::vector<int>& predicted, int num_classes);
+
+/// Per-class recall (diagonal / row sum); classes with no samples get 0.
+std::vector<double> per_class_recall(const Tensor& confusion);
+
+/// Per-class precision (diagonal / column sum); undefined columns get 0.
+std::vector<double> per_class_precision(const Tensor& confusion);
+
+/// Macro-averaged F1 over classes that appear in the truth.
+double macro_f1(const Tensor& confusion);
+
+/// Overall accuracy from a confusion matrix.
+double accuracy_of(const Tensor& confusion);
+
+}  // namespace fca::analysis

@@ -1,0 +1,176 @@
+#include "analysis/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::analysis {
+
+Tensor pairwise_squared_distances(const Tensor& x) {
+  FCA_CHECK(x.ndim() == 2);
+  const int64_t n = x.dim(0);
+  const int64_t d = x.dim(1);
+  Tensor out({n, n});
+  // ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b; computed directly for stability.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const float* a = x.data() + i * d;
+      const float* b = x.data() + j * d;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(a[k]) - b[k];
+        s += diff * diff;
+      }
+      out[i * n + j] = static_cast<float>(s);
+      out[j * n + i] = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Row conditional probabilities with the sigma binary-searched so the
+/// row entropy matches log(perplexity).
+void calibrate_row(const Tensor& d2, int64_t i, double perplexity,
+                   float* row_out) {
+  const int64_t n = d2.dim(0);
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+  std::vector<double> p(static_cast<size_t>(n), 0.0);
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum_p = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(j)] =
+          (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum_p += p[static_cast<size_t>(j)];
+    }
+    if (sum_p <= 0.0) sum_p = 1e-300;
+    double entropy = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double pj = p[static_cast<size_t>(j)] / sum_p;
+      if (pj > 1e-12) entropy -= pj * std::log(pj);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {  // entropy too high -> sharpen
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  double sum_p = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    p[static_cast<size_t>(j)] =
+        (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+    sum_p += p[static_cast<size_t>(j)];
+  }
+  if (sum_p <= 0.0) sum_p = 1e-300;
+  for (int64_t j = 0; j < n; ++j) {
+    row_out[j] = static_cast<float>(p[static_cast<size_t>(j)] / sum_p);
+  }
+}
+
+}  // namespace
+
+Tensor joint_probabilities(const Tensor& d2, double perplexity) {
+  FCA_CHECK(d2.ndim() == 2 && d2.dim(0) == d2.dim(1));
+  const int64_t n = d2.dim(0);
+  FCA_CHECK_MSG(perplexity > 1.0 && perplexity < static_cast<double>(n),
+                "perplexity must be in (1, N)");
+  Tensor cond({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    calibrate_row(d2, i, perplexity, cond.data() + i * n);
+  }
+  // Symmetrize: P_ij = (p_j|i + p_i|j) / 2N, floored away from zero.
+  Tensor p({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float v =
+          (cond[i * n + j] + cond[j * n + i]) / (2.0f * static_cast<float>(n));
+      p[i * n + j] = std::max(v, 1e-12f);
+    }
+  }
+  return p;
+}
+
+Tensor tsne(const Tensor& features, const TsneConfig& config, Rng& rng) {
+  FCA_CHECK(features.ndim() == 2 && features.dim(0) >= 4);
+  const int64_t n = features.dim(0);
+  const int64_t out_d = config.output_dims;
+
+  Tensor p = joint_probabilities(pairwise_squared_distances(features),
+                                 config.perplexity);
+  mul_scalar_(p, static_cast<float>(config.early_exaggeration));
+
+  Tensor y = Tensor::randn({n, out_d}, rng, 0.0f, 1e-2f);
+  Tensor velocity({n, out_d});
+  Tensor grad({n, out_d});
+  Tensor q({n, n});
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    if (iter == config.exaggeration_until) {
+      mul_scalar_(p, static_cast<float>(1.0 / config.early_exaggeration));
+    }
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      q[i * n + i] = 0.0f;
+      for (int64_t j = i + 1; j < n; ++j) {
+        double d2 = 0.0;
+        for (int64_t k = 0; k < out_d; ++k) {
+          const double diff =
+              static_cast<double>(y[i * out_d + k]) - y[j * out_d + k];
+          d2 += diff * diff;
+        }
+        const auto w = static_cast<float>(1.0 / (1.0 + d2));
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    if (q_sum <= 0.0) q_sum = 1e-300;
+
+    // Gradient: 4 * sum_j (P_ij - Q_ij) * w_ij * (y_i - y_j).
+    grad.fill(0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const float w = q[i * n + j];
+        const float qij = static_cast<float>(w / q_sum);
+        const float coeff = 4.0f * (p[i * n + j] - qij) * w;
+        for (int64_t k = 0; k < out_d; ++k) {
+          grad[i * out_d + k] +=
+              coeff * (y[i * out_d + k] - y[j * out_d + k]);
+        }
+      }
+    }
+
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.momentum_initial
+                                : config.momentum_final;
+    for (int64_t i = 0; i < n * out_d; ++i) {
+      velocity[i] = static_cast<float>(momentum * velocity[i] -
+                                       config.learning_rate * grad[i]);
+      y[i] += velocity[i];
+    }
+    // Recentre to remove drift.
+    for (int64_t k = 0; k < out_d; ++k) {
+      double m = 0.0;
+      for (int64_t i = 0; i < n; ++i) m += y[i * out_d + k];
+      m /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        y[i * out_d + k] -= static_cast<float>(m);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace fca::analysis

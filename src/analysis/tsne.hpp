@@ -1,0 +1,33 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the Figure-8 feature-space
+// visualizations. O(N^2) — intended for the ~1000-sample embeddings the
+// paper plots, not for large corpora.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::analysis {
+
+struct TsneConfig {
+  int output_dims = 2;
+  double perplexity = 20.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 100;
+  double early_exaggeration = 4.0;
+  int exaggeration_until = 80;
+};
+
+/// Embeds rows of `features` [N, D] into [N, output_dims].
+Tensor tsne(const Tensor& features, const TsneConfig& config, Rng& rng);
+
+/// Row-pairwise squared Euclidean distances [N, N] (exposed for tests).
+Tensor pairwise_squared_distances(const Tensor& x);
+
+/// Joint probabilities P (symmetrized, perplexity-calibrated) from squared
+/// distances (exposed for tests).
+Tensor joint_probabilities(const Tensor& d2, double perplexity);
+
+}  // namespace fca::analysis

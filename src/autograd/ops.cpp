@@ -1,0 +1,437 @@
+#include "autograd/ops.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::ag {
+namespace {
+
+using detail::Node;
+using NodePtr = std::shared_ptr<Node>;
+
+bool any_requires(const std::vector<NodePtr>& parents) {
+  for (const auto& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+Variable make_op(Tensor value, std::vector<Variable> inputs,
+                 std::function<void(Node&)> backward) {
+  std::vector<NodePtr> parents;
+  parents.reserve(inputs.size());
+  for (const auto& v : inputs) {
+    FCA_CHECK_MSG(v.defined(), "op input is an undefined Variable");
+    parents.push_back(v.node());
+  }
+  const bool req = any_requires(parents);
+  return Variable(detail::make_node(std::move(value), req, std::move(parents),
+                                    req ? std::move(backward) : nullptr));
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  return make_op(fca::add(a.value(), b.value()), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+    if (n.parents[1]->requires_grad) n.parents[1]->accumulate(n.grad);
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  return make_op(fca::sub(a.value(), b.value()), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+    if (n.parents[1]->requires_grad) n.parents[1]->accumulate(fca::neg(n.grad));
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  return make_op(fca::mul(a.value(), b.value()), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->accumulate(fca::mul(n.grad, n.parents[1]->value));
+    }
+    if (n.parents[1]->requires_grad) {
+      n.parents[1]->accumulate(fca::mul(n.grad, n.parents[0]->value));
+    }
+  });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  return make_op(fca::mul_scalar(a.value(), s), {a}, [s](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->accumulate(fca::mul_scalar(n.grad, s));
+    }
+  });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  return make_op(fca::add_scalar(a.value(), s), {a}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+  });
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.0f); }
+
+Variable exp(const Variable& a) {
+  Tensor v = fca::exp(a.value());
+  return make_op(v, {a}, [](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->accumulate(fca::mul(n.grad, n.value));
+    }
+  });
+}
+
+Variable log(const Variable& a) {
+  return make_op(fca::log(a.value()), {a}, [](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->accumulate(fca::div(n.grad, n.parents[0]->value));
+    }
+  });
+}
+
+Variable relu(const Variable& a) {
+  Tensor v = fca::apply(a.value(), [](float x) { return x > 0 ? x : 0.0f; });
+  return make_op(v, {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g = n.grad.clone();
+    const float* x = n.parents[0]->value.data();
+    float* pg = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      if (x[i] <= 0.0f) pg[i] = 0.0f;
+    }
+    n.parents[0]->accumulate(g);
+  });
+}
+
+Variable mul_const(const Variable& a, const Tensor& c) {
+  Tensor mask = c.clone();
+  return make_op(fca::mul(a.value(), c), {a}, [mask](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->accumulate(fca::mul(n.grad, mask));
+    }
+  });
+}
+
+Variable add_const(const Variable& a, const Tensor& c) {
+  return make_op(fca::add(a.value(), c), {a}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+  });
+}
+
+Variable matmul(const Variable& a, const Variable& b, bool trans_a,
+                bool trans_b) {
+  Tensor v = fca::matmul(a.value(), b.value(), trans_a, trans_b);
+  return make_op(v, {a, b}, [trans_a, trans_b](Node& n) {
+    const Tensor& g = n.grad;
+    const Tensor& av = n.parents[0]->value;
+    const Tensor& bv = n.parents[1]->value;
+    if (n.parents[0]->requires_grad) {
+      // dA for C = op(A) op(B): four transpose cases.
+      Tensor da = trans_a ? fca::matmul(bv, g, trans_b, true)
+                          : fca::matmul(g, bv, false, !trans_b);
+      n.parents[0]->accumulate(da);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor db = trans_b ? fca::matmul(g, av, true, trans_a)
+                          : fca::matmul(av, g, !trans_a, false);
+      n.parents[1]->accumulate(db);
+    }
+  });
+}
+
+Variable add_rowwise(const Variable& m, const Variable& row) {
+  Tensor v = fca::add_rowwise(m.value(), row.value());
+  return make_op(v, {m, row}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+    if (n.parents[1]->requires_grad) {
+      n.parents[1]->accumulate(fca::sum_rows(n.grad));
+    }
+  });
+}
+
+Variable sub_colwise(const Variable& m, const Variable& col) {
+  FCA_CHECK(m.value().ndim() == 2 && col.value().ndim() == 1 &&
+            col.value().dim(0) == m.value().dim(0));
+  Tensor v = m.value().clone();
+  const int64_t rows = v.dim(0);
+  const int64_t cols = v.dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    const float c = col.value()[i];
+    for (int64_t j = 0; j < cols; ++j) v[i * cols + j] -= c;
+  }
+  return make_op(v, {m, col}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+    if (n.parents[1]->requires_grad) {
+      n.parents[1]->accumulate(fca::neg(fca::sum_cols(n.grad)));
+    }
+  });
+}
+
+Variable add_colwise_const(const Variable& m, const Tensor& col) {
+  FCA_CHECK(m.value().ndim() == 2 && col.ndim() == 1 &&
+            col.dim(0) == m.value().dim(0));
+  Tensor v = m.value().clone();
+  const int64_t rows = v.dim(0);
+  const int64_t cols = v.dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) v[i * cols + j] += col[i];
+  }
+  return make_op(v, {m}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+  });
+}
+
+Variable l2_normalize_rows(const Variable& m, float eps) {
+  FCA_CHECK(m.value().ndim() == 2);
+  Tensor y = fca::l2_normalize_rows(m.value(), eps);
+  Tensor yc = y.clone();
+  return make_op(y, {m}, [yc, eps](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    const Tensor& x = n.parents[0]->value;
+    const Tensor& g = n.grad;
+    const int64_t rows = x.dim(0);
+    const int64_t cols = x.dim(1);
+    Tensor dx(x.shape());
+    // d/dx (x / ||x||) applied to g: (g - y (y . g)) / ||x||
+    for (int64_t i = 0; i < rows; ++i) {
+      double norm_sq = 0.0;
+      double ydotg = 0.0;
+      for (int64_t j = 0; j < cols; ++j) {
+        const float xv = x[i * cols + j];
+        norm_sq += static_cast<double>(xv) * xv;
+        ydotg += static_cast<double>(yc[i * cols + j]) * g[i * cols + j];
+      }
+      const double norm =
+          std::max(static_cast<double>(eps), std::sqrt(norm_sq));
+      for (int64_t j = 0; j < cols; ++j) {
+        dx[i * cols + j] = static_cast<float>(
+            (g[i * cols + j] - yc[i * cols + j] * ydotg) / norm);
+      }
+    }
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable concat_rows(const std::vector<Variable>& parts) {
+  FCA_CHECK(!parts.empty());
+  std::vector<Tensor> vals;
+  vals.reserve(parts.size());
+  for (const auto& p : parts) vals.push_back(p.value());
+  Tensor v = fca::concat_rows(vals);
+  return make_op(v, parts, [](Node& n) {
+    int64_t row = 0;
+    const int64_t cols = n.value.dim(1);
+    for (auto& p : n.parents) {
+      const int64_t r = p->value.dim(0);
+      if (p->requires_grad) {
+        Tensor slice({r, cols});
+        std::copy_n(n.grad.data() + row * cols, r * cols, slice.data());
+        p->accumulate(slice);
+      }
+      row += r;
+    }
+  });
+}
+
+Variable slice_rows(const Variable& m, int64_t from, int64_t to) {
+  FCA_CHECK(m.value().ndim() == 2);
+  const int64_t rows = m.value().dim(0);
+  const int64_t cols = m.value().dim(1);
+  FCA_CHECK(0 <= from && from <= to && to <= rows);
+  Tensor v({to - from, cols});
+  std::copy_n(m.value().data() + from * cols, (to - from) * cols, v.data());
+  return make_op(v, {m}, [from, to, cols](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor dx(n.parents[0]->value.shape());
+    std::copy_n(n.grad.data(), (to - from) * cols, dx.data() + from * cols);
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable sum(const Variable& a) {
+  Tensor v({1}, std::vector<float>{fca::sum(a.value())});
+  return make_op(v, {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    n.parents[0]->accumulate(
+        Tensor::full(n.parents[0]->value.shape(), n.grad[0]));
+  });
+}
+
+Variable mean(const Variable& a) {
+  FCA_CHECK(a.value().numel() > 0);
+  return mul_scalar(sum(a), 1.0f / static_cast<float>(a.value().numel()));
+}
+
+Variable sum_cols(const Variable& m) {
+  FCA_CHECK(m.value().ndim() == 2);
+  Tensor v = fca::sum_cols(m.value());
+  return make_op(v, {m}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    const int64_t rows = n.parents[0]->value.dim(0);
+    const int64_t cols = n.parents[0]->value.dim(1);
+    Tensor dx({rows, cols});
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) dx[i * cols + j] = n.grad[i];
+    }
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable sum_squares(const Variable& a) {
+  Tensor v({1}, std::vector<float>{fca::sum_squares(a.value())});
+  return make_op(v, {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor dx = fca::mul_scalar(n.parents[0]->value, 2.0f * n.grad[0]);
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable log_softmax_rows(const Variable& logits) {
+  FCA_CHECK(logits.value().ndim() == 2);
+  Tensor v = fca::log_softmax_rows(logits.value());
+  Tensor vc = v.clone();
+  return make_op(v, {logits}, [vc](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    // dL/dx = g - softmax(x) * rowsum(g)
+    const int64_t rows = vc.dim(0);
+    const int64_t cols = vc.dim(1);
+    Tensor dx(vc.shape());
+    for (int64_t i = 0; i < rows; ++i) {
+      double gsum = 0.0;
+      for (int64_t j = 0; j < cols; ++j) gsum += n.grad[i * cols + j];
+      for (int64_t j = 0; j < cols; ++j) {
+        dx[i * cols + j] = static_cast<float>(
+            n.grad[i * cols + j] - std::exp(vc[i * cols + j]) * gsum);
+      }
+    }
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable select_cols(const Variable& m, const std::vector<int>& labels) {
+  FCA_CHECK(m.value().ndim() == 2);
+  const int64_t rows = m.value().dim(0);
+  const int64_t cols = m.value().dim(1);
+  FCA_CHECK(static_cast<int64_t>(labels.size()) == rows);
+  Tensor v({rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    FCA_CHECK(labels[static_cast<size_t>(i)] >= 0 &&
+              labels[static_cast<size_t>(i)] < cols);
+    v[i] = m.value()[i * cols + labels[static_cast<size_t>(i)]];
+  }
+  std::vector<int> lab = labels;
+  return make_op(v, {m}, [lab, cols](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor dx(n.parents[0]->value.shape());
+    for (size_t i = 0; i < lab.size(); ++i) {
+      dx[static_cast<int64_t>(i) * cols + lab[i]] =
+          n.grad[static_cast<int64_t>(i)];
+    }
+    n.parents[0]->accumulate(dx);
+  });
+}
+
+Variable cross_entropy(const Variable& logits,
+                       const std::vector<int>& labels) {
+  Variable lsm = log_softmax_rows(logits);
+  Variable picked = select_cols(lsm, labels);
+  return neg(mean(picked));
+}
+
+Variable soft_cross_entropy(const Variable& logits,
+                            const Tensor& target_probs) {
+  FCA_CHECK(logits.value().same_shape(target_probs));
+  Variable lsm = log_softmax_rows(logits);
+  Variable weighted = mul_const(lsm, target_probs);
+  const auto batch = static_cast<float>(logits.value().dim(0));
+  return mul_scalar(sum(weighted), -1.0f / batch);
+}
+
+Variable supervised_contrastive(const Variable& embeddings,
+                                const std::vector<int>& labels,
+                                float temperature) {
+  FCA_CHECK(embeddings.value().ndim() == 2);
+  FCA_CHECK(temperature > 0.0f);
+  const int64_t n = embeddings.value().dim(0);
+  FCA_CHECK(static_cast<int64_t>(labels.size()) == n);
+
+  Variable z = l2_normalize_rows(embeddings);
+  // Pairwise cosine similarities / temperature.
+  Variable sim = mul_scalar(matmul(z, z, false, true), 1.0f / temperature);
+
+  // Subtract the detached row max for numerical stability (standard SupCon
+  // trick; since each row contains the self-similarity 1/tau this is also
+  // the global max, and detaching keeps the gradient exact because
+  // log-sum-exp is shift invariant).
+  Tensor rowmax({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = sim.value().data() + i * n;
+    rowmax[i] = *std::max_element(row, row + n);
+  }
+  Variable shifted = add_colwise_const(sim, fca::neg(rowmax));
+
+  // Mask removing self-pairs from the denominator.
+  Tensor not_self({n, n}, 1.0f);
+  for (int64_t i = 0; i < n; ++i) not_self[i * n + i] = 0.0f;
+
+  Variable exp_sim = mul_const(exp(shifted), not_self);
+  Variable denom = sum_cols(exp_sim);           // [n]
+  Variable log_denom = log(denom);              // [n]
+  Variable log_prob = sub_colwise(shifted, log_denom);
+
+  // Positive mask: same label, not self; each anchor's positive terms are
+  // weighted by 1/|P(i)| and anchors with no positives contribute zero.
+  Tensor pos_weight({n, n});
+  int64_t active_anchors = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t pos = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i && labels[static_cast<size_t>(j)] ==
+                        labels[static_cast<size_t>(i)]) {
+        ++pos;
+      }
+    }
+    if (pos == 0) continue;
+    ++active_anchors;
+    const float w = 1.0f / static_cast<float>(pos);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i && labels[static_cast<size_t>(j)] ==
+                        labels[static_cast<size_t>(i)]) {
+        pos_weight[i * n + j] = w;
+      }
+    }
+  }
+  if (active_anchors == 0) {
+    // No positive pairs in the batch: loss is identically zero but must stay
+    // connected to the graph so callers can still call backward().
+    return mul_scalar(sum(mul_const(log_prob, Tensor({n, n}))), 0.0f);
+  }
+  Variable weighted = mul_const(log_prob, pos_weight);
+  return mul_scalar(sum(weighted),
+                    -1.0f / static_cast<float>(active_anchors));
+}
+
+Variable nt_xent(const Variable& embeddings, float temperature) {
+  FCA_CHECK(embeddings.value().ndim() == 2);
+  const int64_t n = embeddings.value().dim(0);
+  FCA_CHECK_MSG(n % 2 == 0, "nt_xent expects a two-view batch (even rows)");
+  const int64_t b = n / 2;
+  std::vector<int> pair_labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < b; ++i) {
+    pair_labels[static_cast<size_t>(i)] = static_cast<int>(i);
+    pair_labels[static_cast<size_t>(b + i)] = static_cast<int>(i);
+  }
+  return supervised_contrastive(embeddings, pair_labels, temperature);
+}
+
+Variable l2_distance(const Variable& a, const Variable& b) {
+  Variable diff = sub(a, b);
+  Variable ss = sum_squares(diff);
+  // sqrt via exp(0.5 log x); guard against zero distance.
+  Variable eps = add_scalar(ss, 1e-12f);
+  return exp(mul_scalar(log(eps), 0.5f));
+}
+
+}  // namespace fca::ag

@@ -1,0 +1,98 @@
+#include "autograd/variable.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::ag {
+namespace detail {
+
+namespace {
+std::atomic<uint64_t> g_order{0};
+}
+
+Tensor& Node::ensure_grad() {
+  if (!grad_valid) {
+    grad = Tensor(value.shape());
+    grad_valid = true;
+  }
+  return grad;
+}
+
+void Node::accumulate(const Tensor& g) {
+  FCA_CHECK_MSG(g.same_shape(value), "gradient shape "
+                                         << shape_to_string(g.shape())
+                                         << " != value shape "
+                                         << shape_to_string(value.shape()));
+  add_(ensure_grad(), g);
+}
+
+std::shared_ptr<Node> make_node(Tensor value, bool requires_grad,
+                                std::vector<std::shared_ptr<Node>> parents,
+                                std::function<void(Node&)> backward) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  n->order = g_order.fetch_add(1);
+  n->parents = std::move(parents);
+  n->backward = std::move(backward);
+  return n;
+}
+
+}  // namespace detail
+
+Variable Variable::leaf(Tensor value) {
+  return Variable(detail::make_node(std::move(value), /*requires_grad=*/true,
+                                    {}, nullptr));
+}
+
+Variable Variable::constant(Tensor value) {
+  return Variable(detail::make_node(std::move(value), /*requires_grad=*/false,
+                                    {}, nullptr));
+}
+
+const Tensor& Variable::grad() const {
+  FCA_CHECK_MSG(node_ && node_->grad_valid,
+                "grad() on a variable backward() never reached");
+  return node_->grad;
+}
+
+void Variable::backward() const {
+  FCA_CHECK_MSG(node_ && node_->value.numel() == 1,
+                "backward() without a seed requires a scalar variable");
+  backward(Tensor::ones(node_->value.shape()));
+}
+
+void Variable::backward(const Tensor& seed) const {
+  FCA_CHECK(node_ != nullptr);
+  FCA_CHECK_MSG(seed.same_shape(node_->value), "seed shape mismatch");
+
+  // Collect nodes reachable from the output that require grad.
+  std::vector<detail::Node*> topo;
+  std::unordered_set<detail::Node*> seen;
+  std::vector<detail::Node*> stack{node_.get()};
+  while (!stack.empty()) {
+    detail::Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    topo.push_back(n);
+    for (const auto& p : n->parents) {
+      if (p->requires_grad || !p->parents.empty()) stack.push_back(p.get());
+    }
+  }
+  // Descending creation order is reverse-topological on the tape.
+  std::sort(topo.begin(), topo.end(),
+            [](const detail::Node* a, const detail::Node* b) {
+              return a->order > b->order;
+            });
+
+  node_->accumulate(seed);
+  for (detail::Node* n : topo) {
+    if (n->backward && n->grad_valid) n->backward(*n);
+  }
+}
+
+}  // namespace fca::ag

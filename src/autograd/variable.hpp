@@ -1,0 +1,83 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable wraps a Tensor value plus a node in an implicit tape. Because
+// every op's inputs are created before its output, creation order is a valid
+// topological order, so backward() simply visits reachable nodes in
+// descending creation order and invokes their pullback closures.
+//
+// The autograd layer exists for the loss heads (cross-entropy, supervised
+// contrastive, proximal), where hand-derived gradients through normalization
+// and masked log-sum-exp are error-prone. The convolutional backbones use the
+// explicit-backward fca::nn modules instead; the two meet at the feature
+// matrix, which enters the tape as a leaf.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fca::ag {
+
+class Variable;
+
+namespace detail {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  bool grad_valid = false;
+  uint64_t order = 0;  // creation index; ascending = topological
+  std::vector<std::shared_ptr<Node>> parents;
+  // Pullback: reads this->grad, accumulates into parents' grads.
+  std::function<void(Node&)> backward;
+
+  Tensor& ensure_grad();
+  void accumulate(const Tensor& g);
+};
+
+std::shared_ptr<Node> make_node(Tensor value, bool requires_grad,
+                                std::vector<std::shared_ptr<Node>> parents,
+                                std::function<void(Node&)> backward);
+
+}  // namespace detail
+
+/// Handle to a tape node. Cheap to copy.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf with gradient tracking (parameters, feature inputs).
+  static Variable leaf(Tensor value);
+  /// Leaf without gradient tracking (labels, masks, detached stats).
+  static Variable constant(Tensor value);
+
+  const Tensor& value() const { return node_->value; }
+  /// Gradient accumulated by backward(); valid only on requires-grad nodes
+  /// after a backward pass that reached them.
+  const Tensor& grad() const;
+  bool has_grad() const { return node_ && node_->grad_valid; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  bool defined() const { return node_ != nullptr; }
+
+  const Shape& shape() const { return node_->value.shape(); }
+  int64_t dim(int64_t i) const { return node_->value.dim(i); }
+
+  /// Runs reverse-mode accumulation from this scalar (numel == 1) variable.
+  /// Seeds d(this)/d(this) = 1.
+  void backward() const;
+  /// Runs reverse-mode accumulation with an explicit output gradient.
+  void backward(const Tensor& seed) const;
+
+  std::shared_ptr<detail::Node> node() const { return node_; }
+  explicit Variable(std::shared_ptr<detail::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace fca::ag

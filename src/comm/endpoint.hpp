@@ -1,0 +1,57 @@
+// Rank-local endpoint with MPI-style point-to-point and collectives.
+//
+// In the FL simulation the server holds rank 0 and each client k holds rank
+// k + 1. Collectives are composed from point-to-point sends so every byte is
+// metered by the Network cost model, exactly as a flat MPI star topology
+// would behave.
+#pragma once
+
+#include <span>
+
+#include "comm/network.hpp"
+
+namespace fca::comm {
+
+class Endpoint {
+ public:
+  Endpoint(Network& net, int rank);
+
+  int rank() const { return rank_; }
+  int world_size() const { return net_->size(); }
+
+  void send(int dst, int tag, std::span<const std::byte> payload);
+  Bytes recv(int src, int tag);
+  bool has_message(int src, int tag) const;
+
+  /// Root-side broadcast: sends the payload to each destination rank.
+  void bcast_send(const std::vector<int>& dsts, int tag,
+                  std::span<const std::byte> payload);
+  /// Root-side gather: receives one message from each source rank, in order.
+  std::vector<Bytes> gather(const std::vector<int>& srcs, int tag);
+
+  /// Root-side scatter: sends payloads[i] to dsts[i].
+  void scatter(const std::vector<int>& dsts, int tag,
+               const std::vector<Bytes>& payloads);
+
+  /// Root-side float reduction: receives one float vector (as raw bytes)
+  /// from each source and returns the elementwise sum. All contributions
+  /// must have identical length.
+  std::vector<float> reduce_sum(const std::vector<int>& srcs, int tag);
+
+  /// Root-side allreduce: reduce_sum over srcs, then broadcast the result
+  /// back to them; returns the reduced vector. This is the star-topology
+  /// composition an FL parameter server performs.
+  std::vector<float> allreduce_sum(const std::vector<int>& ranks, int tag);
+
+  /// Helpers for float-vector payloads on the wire.
+  static Bytes pack_floats(std::span<const float> values);
+  static std::vector<float> unpack_floats(std::span<const std::byte> bytes);
+
+  Network& network() { return *net_; }
+
+ private:
+  Network* net_;
+  int rank_;
+};
+
+}  // namespace fca::comm

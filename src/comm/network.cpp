@@ -1,0 +1,79 @@
+#include "comm/network.hpp"
+
+#include "utils/error.hpp"
+
+namespace fca::comm {
+
+TrafficStats& TrafficStats::operator+=(const TrafficStats& other) {
+  messages += other.messages;
+  payload_bytes += other.payload_bytes;
+  sim_seconds += other.sim_seconds;
+  return *this;
+}
+
+Network::Network(int ranks, CostModel cost)
+    : ranks_(ranks), cost_(cost), sent_(static_cast<size_t>(ranks)) {
+  FCA_CHECK_MSG(ranks > 0, "Network needs at least one rank");
+}
+
+void Network::check_rank(int rank) const {
+  FCA_CHECK_MSG(rank >= 0 && rank < ranks_,
+                "rank " << rank << " out of range [0, " << ranks_ << ")");
+}
+
+void Network::send(int src, int dst, int tag, Bytes payload) {
+  check_rank(src);
+  check_rank(dst);
+  std::lock_guard lk(mu_);
+  TrafficStats& s = sent_[static_cast<size_t>(src)];
+  ++s.messages;
+  s.payload_bytes += payload.size();
+  s.sim_seconds += cost_.transfer_seconds(payload.size());
+  mailboxes_[Key{src, dst, tag}].push_back(std::move(payload));
+  ++pending_;
+}
+
+Bytes Network::recv(int dst, int src, int tag) {
+  check_rank(src);
+  check_rank(dst);
+  std::lock_guard lk(mu_);
+  auto it = mailboxes_.find(Key{src, dst, tag});
+  FCA_CHECK_MSG(it != mailboxes_.end() && !it->second.empty(),
+                "recv with no matching send: src=" << src << " dst=" << dst
+                                                   << " tag=" << tag);
+  Bytes out = std::move(it->second.front());
+  it->second.pop_front();
+  --pending_;
+  return out;
+}
+
+bool Network::has_message(int dst, int src, int tag) const {
+  std::lock_guard lk(mu_);
+  auto it = mailboxes_.find(Key{src, dst, tag});
+  return it != mailboxes_.end() && !it->second.empty();
+}
+
+size_t Network::pending_messages() const {
+  std::lock_guard lk(mu_);
+  return pending_;
+}
+
+TrafficStats Network::rank_stats(int rank) const {
+  check_rank(rank);
+  std::lock_guard lk(mu_);
+  return sent_[static_cast<size_t>(rank)];
+}
+
+TrafficStats Network::total_stats() const {
+  std::lock_guard lk(mu_);
+  TrafficStats total;
+  for (const auto& s : sent_) total += s;
+  return total;
+}
+
+void Network::reset_stats() {
+  std::lock_guard lk(mu_);
+  for (auto& s : sent_) s = TrafficStats{};
+}
+
+}  // namespace fca::comm

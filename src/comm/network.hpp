@@ -1,0 +1,88 @@
+// In-process message-passing fabric.
+//
+// Replaces the paper's MPICH deployment (see DESIGN.md §1): ranks exchange
+// tagged byte messages through per-(src, dst, tag) FIFO mailboxes with full
+// traffic accounting and a configurable latency/bandwidth cost model. The
+// API mirrors MPI point-to-point semantics; collectives are composed on top
+// in Endpoint. Thread-safe, so ranks may also be driven from worker threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fca::comm {
+
+using Bytes = std::vector<std::byte>;
+
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t payload_bytes = 0;
+  /// Simulated transfer time under the latency + size/bandwidth model.
+  double sim_seconds = 0.0;
+
+  TrafficStats& operator+=(const TrafficStats& other);
+};
+
+struct CostModel {
+  /// Fixed per-message latency (seconds).
+  double latency_s = 0.0;
+  /// Link bandwidth (bytes/second); infinite by default.
+  double bandwidth_bps = std::numeric_limits<double>::infinity();
+
+  double transfer_seconds(size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+};
+
+class Network {
+ public:
+  explicit Network(int ranks, CostModel cost = {});
+
+  int size() const { return ranks_; }
+
+  /// Enqueues a message from `src` to `dst` under `tag`.
+  void send(int src, int dst, int tag, Bytes payload);
+
+  /// Dequeues the oldest message from `src` to `dst` under `tag`.
+  /// Throws if none is pending — in a deterministically scheduled
+  /// simulation a blocking receive with no matching send is a protocol bug.
+  Bytes recv(int dst, int src, int tag);
+
+  /// True when a matching message is pending.
+  bool has_message(int dst, int src, int tag) const;
+
+  /// Number of undelivered messages (should be 0 at simulation end).
+  size_t pending_messages() const;
+
+  /// Traffic sent by one rank.
+  TrafficStats rank_stats(int rank) const;
+  /// Aggregate traffic.
+  TrafficStats total_stats() const;
+  void reset_stats();
+
+ private:
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  void check_rank(int rank) const;
+
+  int ranks_;
+  CostModel cost_;
+  mutable std::mutex mu_;
+  std::map<Key, std::deque<Bytes>> mailboxes_;
+  std::vector<TrafficStats> sent_;
+  size_t pending_ = 0;
+};
+
+}  // namespace fca::comm

@@ -1,0 +1,29 @@
+#include "core/config.hpp"
+
+#include "utils/error.hpp"
+
+namespace fca::core {
+
+HyperPreset paper_preset(const std::string& dataset) {
+  if (dataset == "synth-cifar10" || dataset == "cifar10") {
+    return {1e-4f, 64, 0.1f, 1};
+  }
+  if (dataset == "synth-fmnist" || dataset == "fmnist") {
+    return {6e-4f, 64, 0.4662f, 1};
+  }
+  if (dataset == "synth-emnist" || dataset == "emnist") {
+    return {5e-4f, 64, 0.1f, 1};
+  }
+  throw Error("no hyper-parameter preset for dataset: " + dataset);
+}
+
+HyperPreset scaled_preset(const std::string& dataset) {
+  HyperPreset p = paper_preset(dataset);
+  // Tiny models trained on tiny shards tolerate (and need) a much larger
+  // Adam step; rho and the epoch count keep their paper values.
+  p.lr = 5e-3f;
+  p.batch_size = 16;
+  return p;
+}
+
+}  // namespace fca::core

@@ -1,0 +1,27 @@
+// Hyper-parameter presets (Table 1 of the paper) and their scaled
+// counterparts for this CPU substrate.
+#pragma once
+
+#include <string>
+
+namespace fca::core {
+
+/// Local client update hyper-parameters, per dataset.
+struct HyperPreset {
+  float lr = 1e-4f;
+  int batch_size = 64;
+  float rho = 0.1f;      // proximal regularization ratio (eq. 4)
+  int local_epochs = 1;  // E
+};
+
+/// The paper's Table 1 values (Bayesian-optimized for the full-size GPU
+/// setting): lr 0.0001/0.0006/0.0005, batch 64, rho 0.1/0.4662/0.1, 1 epoch.
+HyperPreset paper_preset(const std::string& dataset);
+
+/// Presets re-tuned for the scaled substrate (tiny models, tiny synthetic
+/// shards): the same structure but a larger learning rate and a smaller
+/// batch so runs converge within a CPU-minute budget. rho and E are kept at
+/// the paper's values.
+HyperPreset scaled_preset(const std::string& dataset);
+
+}  // namespace fca::core

@@ -1,0 +1,195 @@
+#include "core/fedclassavg.hpp"
+
+#include "autograd/ops.hpp"
+#include "models/serialize.hpp"
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::core {
+namespace {
+
+/// Stacks two equally shaped image batches along dim 0 ([B,..] -> [2B,..]).
+Tensor concat_batches(const Tensor& a, const Tensor& b) {
+  FCA_CHECK(a.same_shape(b) && a.ndim() == 4);
+  Shape shape = a.shape();
+  shape[0] *= 2;
+  Tensor out(shape);
+  std::copy_n(a.data(), a.numel(), out.data());
+  std::copy_n(b.data(), b.numel(), out.data() + a.numel());
+  return out;
+}
+
+std::vector<nn::Param*> shared_params(fl::Client& c, bool all_weights) {
+  return all_weights ? c.model().parameters()
+                     : c.model().classifier_parameters();
+}
+
+}  // namespace
+
+FedClassAvg::FedClassAvg(FedClassAvgConfig config) : config_(config) {
+  FCA_CHECK(config_.rho >= 0.0f && config_.temperature > 0.0f);
+}
+
+std::string FedClassAvg::name() const {
+  std::string n = "FedClassAvg";
+  if (config_.share_all_weights) n += "+weight";
+  if (!config_.use_contrastive && !config_.use_proximal) n += "(CA)";
+  else if (!config_.use_contrastive) n += "(CA+PR)";
+  else if (!config_.use_proximal) n += "(CA+CL)";
+  if (config_.use_contrastive &&
+      config_.contrastive_mode == ContrastiveMode::kSelfSupervised) {
+    n += "(simclr)";
+  }
+  return n;
+}
+
+std::vector<Tensor> FedClassAvg::global_classifier() const {
+  FCA_CHECK_MSG(global_.size() >= 2, "global state not initialized");
+  // Classifier parameters are the last two entries (SplitModel lists
+  // extractor parameters first).
+  return {global_[global_.size() - 2], global_[global_.size() - 1]};
+}
+
+void FedClassAvg::initialize(fl::FederatedRun& run) {
+  // Build C^1 by data-weighted averaging of the clients' initial
+  // classifiers (full models in +weight mode), then synchronize everyone.
+  std::vector<int> all;
+  for (int k = 0; k < run.num_clients(); ++k) all.push_back(k);
+  for (int k : all) {
+    run.client_endpoint(k).send(
+        0, fl::kTagModelUp,
+        models::serialize_tensors(models::snapshot_values(
+            shared_params(run.client(k), config_.share_all_weights))));
+  }
+  const std::vector<double> weights = run.data_weights(all);
+  global_.clear();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const std::vector<Tensor> up = models::deserialize_tensors(
+        run.server_endpoint().recv(all[i] + 1, fl::kTagModelUp));
+    if (global_.empty()) {
+      for (const Tensor& t : up) global_.emplace_back(t.shape());
+    }
+    FCA_CHECK(up.size() == global_.size());
+    for (size_t t = 0; t < up.size(); ++t) {
+      axpy_(global_[t], static_cast<float>(weights[i]), up[t]);
+    }
+  }
+  const comm::Bytes payload = models::serialize_tensors(global_);
+  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
+                                   fl::kTagModelDown, payload);
+  for (int k : all) {
+    models::restore_values(
+        models::deserialize_tensors(
+            run.client_endpoint(k).recv(0, fl::kTagModelDown)),
+        shared_params(run.client(k), config_.share_all_weights));
+  }
+}
+
+float FedClassAvg::train_epoch(fl::Client& client, const Tensor& global_weight,
+                               const Tensor& global_bias) const {
+  models::SplitModel& model = client.model();
+  nn::Linear& clf = model.classifier();
+  FCA_CHECK(global_weight.same_shape(clf.weight().value) &&
+            global_bias.same_shape(clf.bias().value));
+
+  data::BatchLoader loader(client.train_data(), {}, client.config().batch_size);
+  double total = 0.0;
+  int64_t batches = 0;
+  for (const auto& idx : loader.epoch(client.rng())) {
+    const data::Batch batch = data::make_batch(client.train_data(), idx);
+    const int64_t b = batch.size();
+    auto [x1, x2] = client.augmentor().two_views(batch.images, client.rng());
+    const Tensor xcat = concat_batches(x1, x2);
+
+    client.optimizer().zero_grad();
+    Tensor feats = model.features(xcat, /*train=*/true);  // [2B, D]
+
+    // Loss head on the tape: CE on the first view's logits, SupCon over
+    // both views, proximal pull of the classifier toward the global one.
+    ag::Variable f = ag::Variable::leaf(feats);
+    ag::Variable w = ag::Variable::leaf(clf.weight().value);
+    ag::Variable bias = ag::Variable::leaf(clf.bias().value);
+    ag::Variable logits = ag::add_rowwise(
+        ag::matmul(ag::slice_rows(f, 0, b), w, false, true), bias);
+    ag::Variable loss = ag::cross_entropy(logits, batch.labels);
+    if (config_.use_contrastive) {
+      ag::Variable cl;
+      if (config_.contrastive_mode == ContrastiveMode::kSupervised) {
+        std::vector<int> labels2 = batch.labels;
+        labels2.insert(labels2.end(), batch.labels.begin(),
+                       batch.labels.end());
+        cl = ag::supervised_contrastive(f, labels2, config_.temperature);
+      } else {
+        cl = ag::nt_xent(f, config_.temperature);
+      }
+      loss = ag::add(loss, cl);
+    }
+    if (config_.use_proximal) {
+      ag::Variable dw = ag::sub(w, ag::Variable::constant(global_weight));
+      ag::Variable db = ag::sub(bias, ag::Variable::constant(global_bias));
+      ag::Variable ss = ag::add(ag::sum_squares(dw), ag::sum_squares(db));
+      // sqrt(ss + eps) = exp(0.5 log(ss + eps)): eq. (5)'s (non-squared) L2
+      // distance, kept differentiable at zero.
+      ag::Variable dist =
+          ag::exp(ag::mul_scalar(ag::log(ag::add_scalar(ss, 1e-12f)), 0.5f));
+      loss = ag::add(loss, ag::mul_scalar(dist, config_.rho));
+    }
+    loss.backward();
+
+    add_(clf.weight().grad, w.grad());
+    add_(clf.bias().grad, bias.grad());
+    model.backward_features(f.grad());
+    client.optimizer().step();
+
+    total += loss.value()[0];
+    ++batches;
+  }
+  return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+}
+
+float FedClassAvg::execute_round(fl::FederatedRun& run, int /*round*/,
+                                 const std::vector<int>& selected) {
+  FCA_CHECK_MSG(!global_.empty(), "initialize() was not called");
+  // Server -> selected clients: C^t (or the full global model in +weight).
+  const comm::Bytes payload = models::serialize_tensors(global_);
+  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(selected),
+                                   fl::kTagModelDown, payload);
+
+  double total_loss = 0.0;
+  for (int k : selected) {
+    fl::Client& c = run.client(k);
+    const std::vector<Tensor> down = models::deserialize_tensors(
+        run.client_endpoint(k).recv(0, fl::kTagModelDown));
+    models::restore_values(down,
+                           shared_params(c, config_.share_all_weights));
+    const Tensor& gw = down[down.size() - 2];
+    const Tensor& gb = down[down.size() - 1];
+    for (int e = 0; e < run.config().local_epochs; ++e) {
+      total_loss += train_epoch(c, gw, gb);
+    }
+    run.client_endpoint(k).send(
+        0, fl::kTagModelUp,
+        models::serialize_tensors(models::snapshot_values(
+            shared_params(c, config_.share_all_weights))));
+  }
+
+  // Classifier averaging (eq. 3) over the participants.
+  const std::vector<double> weights = run.data_weights(selected);
+  std::vector<Tensor> agg;
+  agg.reserve(global_.size());
+  for (const Tensor& g : global_) agg.emplace_back(g.shape());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const std::vector<Tensor> up = models::deserialize_tensors(
+        run.server_endpoint().recv(selected[i] + 1, fl::kTagModelUp));
+    FCA_CHECK(up.size() == agg.size());
+    for (size_t t = 0; t < agg.size(); ++t) {
+      axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+    }
+  }
+  global_ = std::move(agg);
+  return static_cast<float>(total_loss /
+                            (selected.size() *
+                             static_cast<size_t>(run.config().local_epochs)));
+}
+
+}  // namespace fca::core

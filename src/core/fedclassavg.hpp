@@ -1,0 +1,71 @@
+// FedClassAvg — the paper's contribution (Algorithm 1).
+//
+// Per communication round:
+//   1. the server broadcasts the global classifier C^t to the sampled
+//      clients (only a single FC layer's weights travel);
+//   2. each client replaces its local classifier with C^t and trains E local
+//      epochs on the combined objective of eq. (4):
+//          L = L_CL(F(x'), F(x'')) + L_CE(y, y_hat) + rho * L_R(C, C_k)
+//      where L_CL is the supervised contrastive loss over two augmented
+//      views, L_CE is cross-entropy on the first view, and L_R is the L2
+//      distance between the local and global classifier weights (eq. 5);
+//   3. clients upload classifiers and the server averages them weighted by
+//      |D_k| / |D| (eq. 3).
+//
+// The `share_all_weights` flag implements the homogeneous "+weight" variant
+// of §4.3: all parameters are aggregated, but the proximal term still only
+// regularizes the classifier. The ablation flags reproduce Table 4.
+#pragma once
+
+#include "fl/server.hpp"
+
+namespace fca::core {
+
+/// Which contrastive objective drives the representation learning term.
+enum class ContrastiveMode {
+  kSupervised,      // SupCon (Khosla et al.) — what the paper uses
+  kSelfSupervised,  // NT-Xent / SimCLR — the label-free variant the paper's
+                    // conclusion proposes exploring
+};
+
+struct FedClassAvgConfig {
+  bool use_contrastive = true;  // L_CL       (Table 4 "+CL")
+  bool use_proximal = true;     // rho * L_R  (Table 4 "+PR")
+  float rho = 0.1f;             // proximal ratio (Table 1)
+  float temperature = 0.07f;    // SupCon temperature (Khosla et al. default)
+  ContrastiveMode contrastive_mode = ContrastiveMode::kSupervised;
+  /// Homogeneous "+weight" variant: aggregate every parameter, not just the
+  /// classifier. Requires all clients to share one architecture.
+  bool share_all_weights = false;
+};
+
+class FedClassAvg : public fl::RoundStrategy {
+ public:
+  explicit FedClassAvg(FedClassAvgConfig config = {});
+
+  std::string name() const override;
+  void initialize(fl::FederatedRun& run) override;
+  float execute_round(fl::FederatedRun& run, int round,
+                      const std::vector<int>& selected) override;
+
+  /// Current global classifier [weight [C, D], bias [C]] (after
+  /// initialize(); in +weight mode the classifier slice of the global
+  /// model).
+  std::vector<Tensor> global_classifier() const;
+
+  const FedClassAvgConfig& config() const { return config_; }
+
+  /// One local epoch of the eq. (4) objective against the given global
+  /// classifier (weight, bias). Exposed for tests and for the ablation
+  /// bench; returns the mean batch loss.
+  float train_epoch(fl::Client& client, const Tensor& global_weight,
+                    const Tensor& global_bias) const;
+
+ private:
+  FedClassAvgConfig config_;
+  /// Aggregated values: classifier [W, b], or every parameter in +weight
+  /// mode (classifier params come last, matching SplitModel::parameters()).
+  std::vector<Tensor> global_;
+};
+
+}  // namespace fca::core

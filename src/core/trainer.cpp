@@ -1,0 +1,130 @@
+#include "core/trainer.hpp"
+
+#include "utils/error.hpp"
+#include "utils/logging.hpp"
+
+namespace fca::core {
+
+ExperimentConfig& ExperimentConfig::with_scaled_preset() {
+  const HyperPreset p = scaled_preset(dataset);
+  lr = p.lr;
+  batch_size = p.batch_size;
+  local_epochs = p.local_epochs;
+  return *this;
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  FCA_CHECK(config_.num_clients > 0 && config_.train_per_class > 0 &&
+            config_.test_per_class > 0 && config_.test_per_client > 0);
+  spec_ = data::SynthSpec::by_name(config_.dataset);
+  spec_.height = config_.image_size;
+  spec_.width = config_.image_size;
+
+  const Rng root(config_.seed);
+  train_ = data::generate_synthetic(spec_, config_.train_per_class, root,
+                                    "train");
+  test_ =
+      data::generate_synthetic(spec_, config_.test_per_class, root, "test");
+  public_ = data::generate_synthetic(spec_, config_.public_per_class, root,
+                                     "public");
+
+  Rng part_rng = root.fork("partition");
+  switch (config_.partition) {
+    case PartitionScheme::kDirichlet:
+      partition_ = data::dirichlet_partition(
+          train_.labels, spec_.num_classes, config_.num_clients,
+          config_.dirichlet_alpha, part_rng);
+      break;
+    case PartitionScheme::kSkewed:
+      partition_ = data::skewed_partition(train_.labels, spec_.num_classes,
+                                          config_.num_clients,
+                                          config_.classes_per_client,
+                                          part_rng);
+      break;
+  }
+  Rng test_rng = root.fork("test-split");
+  test_split_ = data::matching_test_split(partition_, test_.labels,
+                                          spec_.num_classes,
+                                          config_.test_per_client, test_rng);
+}
+
+models::ModelConfig Experiment::model_config(int client_id) const {
+  models::ModelConfig mc;
+  switch (config_.models) {
+    case ModelScheme::kHeterogeneous:
+      mc.arch = models::heterogeneous_arch_for_client(client_id);
+      break;
+    case ModelScheme::kHomogeneousResNet:
+      mc.arch = models::Arch::kMiniResNet;
+      break;
+    case ModelScheme::kFedProtoFamily:
+      mc.arch = models::Arch::kCnn2;
+      mc.variant = client_id;
+      break;
+  }
+  mc.in_channels = spec_.channels;
+  mc.image_size = config_.image_size;
+  mc.feature_dim = config_.feature_dim;
+  mc.num_classes = spec_.num_classes;
+  mc.width = config_.width;
+  return mc;
+}
+
+std::unique_ptr<models::SplitModel> Experiment::build_model(
+    int client_id) const {
+  Rng rng = Rng(config_.seed).fork("model-init/" + std::to_string(client_id));
+  return models::build_model(model_config(client_id), rng);
+}
+
+std::vector<fl::ClientPtr> Experiment::build_clients() const {
+  const Rng root(config_.seed);
+  fl::ClientConfig cc;
+  cc.batch_size = config_.batch_size;
+  cc.lr = config_.lr;
+  cc.use_adam = config_.use_adam;
+  cc.augment.horizontal_flip = spec_.channels == 3;  // flip only "cifar"
+  cc.augment.shift_px = 2;
+  cc.augment.noise_std = 0.05f;
+  cc.augment.cutout_size = 3;
+
+  std::vector<fl::ClientPtr> clients;
+  clients.reserve(static_cast<size_t>(config_.num_clients));
+  for (int k = 0; k < config_.num_clients; ++k) {
+    data::Dataset local_train =
+        train_.subset(partition_.client_indices[static_cast<size_t>(k)]);
+    data::Dataset local_test =
+        test_.subset(test_split_[static_cast<size_t>(k)]);
+    clients.push_back(std::make_unique<fl::Client>(
+        k, build_model(k), std::move(local_train), std::move(local_test), cc,
+        root.fork("client-rng/" + std::to_string(k))));
+  }
+  return clients;
+}
+
+fl::FLConfig Experiment::fl_config() const {
+  fl::FLConfig fc;
+  fc.rounds = config_.rounds;
+  fc.local_epochs = config_.local_epochs;
+  fc.sample_rate = config_.sample_rate;
+  fc.eval_every = config_.eval_every;
+  fc.cost = config_.cost;
+  fc.seed = config_.seed;
+  return fc;
+}
+
+CompletedRun Experiment::execute(fl::RoundStrategy& strategy) const {
+  FCA_LOG_INFO << "experiment " << config_.dataset << " x "
+               << strategy.name() << " (" << config_.num_clients
+               << " clients, " << config_.rounds << " rounds)";
+  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  fl::RunResult result = run->execute(strategy);
+  return {std::move(result), std::move(run)};
+}
+
+FedClassAvgConfig Experiment::fedclassavg_config() const {
+  FedClassAvgConfig fc;
+  fc.rho = paper_preset(config_.dataset).rho;
+  return fc;
+}
+
+}  // namespace fca::core

@@ -1,0 +1,112 @@
+// High-level experiment facade — the library's main public entry point.
+//
+// An Experiment materializes everything §4.1 describes from one seed: the
+// synthetic dataset (train/test/public splits), a non-iid partition, local
+// test sets matching each client's class mix, and deterministic client
+// construction (model per the chosen scheme + optimizer + augmentation).
+// Calling execute(strategy) builds a *fresh* set of clients each time, so
+// algorithms under comparison always start from identical initial states.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/fedclassavg.hpp"
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+#include "fl/server.hpp"
+
+namespace fca::core {
+
+enum class PartitionScheme { kDirichlet, kSkewed };
+enum class ModelScheme {
+  kHeterogeneous,      // ResNet/ShuffleNet/GoogLeNet/AlexNet round-robin
+  kHomogeneousResNet,  // every client runs MiniResNet (§4.3)
+  kFedProtoFamily,     // CNN2 variants (the milder FedProto heterogeneity)
+};
+
+struct ExperimentConfig {
+  std::string dataset = "synth-fmnist";
+  int num_clients = 20;
+  PartitionScheme partition = PartitionScheme::kDirichlet;
+  double dirichlet_alpha = 0.5;
+  int classes_per_client = 2;  // for the skewed scheme
+  ModelScheme models = ModelScheme::kHeterogeneous;
+
+  // Synthetic data sizing.
+  int train_per_class = 100;
+  int test_per_class = 20;
+  int public_per_class = 4;   // KT-pFL public split
+  int test_per_client = 40;   // local test set size
+
+  // Model scaling (paper: feature_dim 512, full-size backbones).
+  int64_t feature_dim = 32;
+  int64_t width = 8;
+  int64_t image_size = 12;
+
+  // Local update hyper-parameters (defaults from scaled_preset()).
+  float lr = 3e-3f;
+  int batch_size = 16;
+  bool use_adam = true;
+
+  // Federated protocol.
+  int rounds = 10;
+  int local_epochs = 1;
+  double sample_rate = 1.0;
+  int eval_every = 1;
+  comm::CostModel cost;
+
+  uint64_t seed = 42;
+
+  /// Applies the dataset's scaled hyper-parameter preset (lr, batch size,
+  /// local epochs) on top of this config.
+  ExperimentConfig& with_scaled_preset();
+};
+
+/// A finished run: the metrics plus the driver (for post-hoc analysis of the
+/// trained clients, e.g. t-SNE or conductance).
+struct CompletedRun {
+  fl::RunResult result;
+  std::unique_ptr<fl::FederatedRun> run;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const data::SynthSpec& spec() const { return spec_; }
+  const data::Dataset& train_data() const { return train_; }
+  const data::Dataset& test_data() const { return test_; }
+  const data::Dataset& public_data() const { return public_; }
+  const data::Partition& partition() const { return partition_; }
+  const std::vector<std::vector<int>>& test_split() const {
+    return test_split_;
+  }
+
+  /// Deterministically builds a fresh set of clients (same seed -> same
+  /// initial weights, shards and augmentation streams).
+  std::vector<fl::ClientPtr> build_clients() const;
+
+  /// Builds one client's model (exposed for analysis tooling).
+  std::unique_ptr<models::SplitModel> build_model(int client_id) const;
+
+  fl::FLConfig fl_config() const;
+
+  /// Builds fresh clients, runs the strategy, returns metrics + driver.
+  CompletedRun execute(fl::RoundStrategy& strategy) const;
+
+  /// Convenience: the dataset's FedClassAvg config (Table 1 rho).
+  FedClassAvgConfig fedclassavg_config() const;
+
+ private:
+  models::ModelConfig model_config(int client_id) const;
+
+  ExperimentConfig config_;
+  data::SynthSpec spec_;
+  data::Dataset train_, test_, public_;
+  data::Partition partition_;
+  std::vector<std::vector<int>> test_split_;
+};
+
+}  // namespace fca::core

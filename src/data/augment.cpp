@@ -1,0 +1,83 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+
+void Augmentor::augment_one(const float* src, float* dst, int64_t c,
+                            int64_t h, int64_t w, Rng& rng) const {
+  const int dx = spec_.shift_px > 0
+                     ? static_cast<int>(rng.uniform_int(
+                           2 * static_cast<uint64_t>(spec_.shift_px) + 1)) -
+                           spec_.shift_px
+                     : 0;
+  const int dy = spec_.shift_px > 0
+                     ? static_cast<int>(rng.uniform_int(
+                           2 * static_cast<uint64_t>(spec_.shift_px) + 1)) -
+                           spec_.shift_px
+                     : 0;
+  const bool flip = spec_.horizontal_flip && rng.bernoulli(0.5);
+  const float brightness = spec_.brightness > 0.0f
+                               ? static_cast<float>(rng.uniform(
+                                     -spec_.brightness, spec_.brightness))
+                               : 0.0f;
+
+  // Shift + flip + brightness; out-of-frame pixels become zero (pad-crop).
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t sy = y + dy;
+      for (int64_t x = 0; x < w; ++x) {
+        const int64_t fx = flip ? (w - 1 - x) : x;
+        const int64_t sx = fx + dx;
+        float v = 0.0f;
+        if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+          v = src[(ch * h + sy) * w + sx];
+        }
+        dst[(ch * h + y) * w + x] = v + brightness;
+      }
+    }
+  }
+
+  if (spec_.cutout_size > 0 && rng.bernoulli(spec_.cutout_prob)) {
+    const int64_t cs = std::min<int64_t>(spec_.cutout_size, std::min(h, w));
+    const int64_t cy = static_cast<int64_t>(
+        rng.uniform_int(static_cast<uint64_t>(h - cs + 1)));
+    const int64_t cx = static_cast<int64_t>(
+        rng.uniform_int(static_cast<uint64_t>(w - cs + 1)));
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = cy; y < cy + cs; ++y) {
+        for (int64_t x = cx; x < cx + cs; ++x) {
+          dst[(ch * h + y) * w + x] = 0.0f;
+        }
+      }
+    }
+  }
+
+  if (spec_.noise_std > 0.0f) {
+    const int64_t n = c * h * w;
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] += static_cast<float>(rng.normal(0.0, spec_.noise_std));
+    }
+  }
+}
+
+Tensor Augmentor::augment(const Tensor& images, Rng& rng) const {
+  FCA_CHECK(images.ndim() == 4);
+  const int64_t b = images.dim(0), c = images.dim(1), h = images.dim(2),
+                w = images.dim(3);
+  Tensor out(images.shape());
+  const int64_t img = c * h * w;
+  for (int64_t i = 0; i < b; ++i) {
+    augment_one(images.data() + i * img, out.data() + i * img, c, h, w, rng);
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> Augmentor::two_views(const Tensor& images,
+                                               Rng& rng) const {
+  return {augment(images, rng), augment(images, rng)};
+}
+
+}  // namespace fca::data

@@ -1,0 +1,40 @@
+// Stochastic image augmentation.
+//
+// Produces the two perturbed views x', x'' that the FedClassAvg local update
+// feeds to the supervised contrastive loss (Fig. 1b of the paper), and the
+// single-view augmentation used for plain supervised training.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::data {
+
+struct AugmentSpec {
+  int shift_px = 2;            // pad-and-crop translation range
+  bool horizontal_flip = true;
+  float noise_std = 0.05f;     // additive Gaussian pixel noise
+  float brightness = 0.1f;     // additive brightness jitter range
+  int cutout_size = 4;         // square occlusion side; 0 disables
+  float cutout_prob = 0.5f;
+};
+
+class Augmentor {
+ public:
+  explicit Augmentor(AugmentSpec spec) : spec_(spec) {}
+
+  /// One augmented copy of a [B, C, H, W] batch.
+  Tensor augment(const Tensor& images, Rng& rng) const;
+
+  /// Two independent augmented views of the batch (for SupCon).
+  std::pair<Tensor, Tensor> two_views(const Tensor& images, Rng& rng) const;
+
+  const AugmentSpec& spec() const { return spec_; }
+
+ private:
+  void augment_one(const float* src, float* dst, int64_t c, int64_t h,
+                   int64_t w, Rng& rng) const;
+  AugmentSpec spec_;
+};
+
+}  // namespace fca::data

@@ -1,0 +1,36 @@
+// In-memory labeled image dataset (NCHW).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fca::data {
+
+struct Dataset {
+  Tensor images;            // [N, C, H, W]
+  std::vector<int> labels;  // length N
+  int num_classes = 0;
+
+  int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  int64_t channels() const { return images.dim(1); }
+  int64_t height() const { return images.dim(2); }
+  int64_t width() const { return images.dim(3); }
+
+  /// New dataset holding copies of the selected rows.
+  Dataset subset(const std::vector<int>& indices) const;
+
+  /// Per-class sample counts.
+  std::vector<int64_t> class_histogram() const;
+};
+
+/// Materializes a mini-batch: images [B, C, H, W] + labels.
+struct Batch {
+  Tensor images;
+  std::vector<int> labels;
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+};
+
+Batch make_batch(const Dataset& ds, const std::vector<int>& indices);
+
+}  // namespace fca::data

@@ -1,0 +1,89 @@
+#include "data/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+namespace {
+
+/// Min-max normalizes `values` to bytes.
+std::vector<unsigned char> to_bytes(const float* values, size_t count) {
+  float lo = values[0], hi = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+  std::vector<unsigned char> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<unsigned char>((values[i] - lo) * scale);
+  }
+  return out;
+}
+
+/// Writes a PGM (1 channel) or PPM (3 channels) from planar channel data.
+void write_netpbm(const std::string& path, int64_t channels, int64_t h,
+                  int64_t w, const std::vector<unsigned char>& planar) {
+  FCA_CHECK(channels == 1 || channels == 3);
+  std::ofstream out(path, std::ios::binary);
+  FCA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << (channels == 1 ? "P5" : "P6") << '\n'
+      << w << ' ' << h << "\n255\n";
+  // Interleave planar CHW into HWC pixel order.
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      for (int64_t c = 0; c < channels; ++c) {
+        out.put(static_cast<char>(
+            planar[static_cast<size_t>((c * h + y) * w + x)]));
+      }
+    }
+  }
+  FCA_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace
+
+void export_image(const Dataset& ds, int index, const std::string& path) {
+  FCA_CHECK(index >= 0 && index < ds.size());
+  const int64_t c = ds.channels(), h = ds.height(), w = ds.width();
+  const int64_t img = c * h * w;
+  const std::vector<unsigned char> bytes =
+      to_bytes(ds.images.data() + index * img, static_cast<size_t>(img));
+  write_netpbm(path, c, h, w, bytes);
+}
+
+void export_contact_sheet(const Dataset& ds, int rows, int cols,
+                          const std::string& path) {
+  FCA_CHECK(rows > 0 && cols > 0 &&
+            static_cast<int64_t>(rows) * cols <= ds.size());
+  const int64_t c = ds.channels(), h = ds.height(), w = ds.width();
+  const int64_t sheet_h = rows * (h + 1) - 1;
+  const int64_t sheet_w = cols * (w + 1) - 1;
+  std::vector<float> sheet(
+      static_cast<size_t>(c * sheet_h * sheet_w), 0.0f);
+  const int64_t img = c * h * w;
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      const float* src = ds.images.data() + (r * cols + col) * img;
+      for (int64_t ch = 0; ch < c; ++ch) {
+        for (int64_t y = 0; y < h; ++y) {
+          for (int64_t x = 0; x < w; ++x) {
+            const int64_t sy = r * (h + 1) + y;
+            const int64_t sx = col * (w + 1) + x;
+            sheet[static_cast<size_t>((ch * sheet_h + sy) * sheet_w + sx)] =
+                src[(ch * h + y) * w + x];
+          }
+        }
+      }
+    }
+  }
+  const std::vector<unsigned char> bytes =
+      to_bytes(sheet.data(), sheet.size());
+  write_netpbm(path, c, sheet_h, sheet_w, bytes);
+}
+
+}  // namespace fca::data

@@ -1,0 +1,23 @@
+// Image export for visual inspection of the synthetic datasets.
+//
+// Writes single images or contact-sheet grids as binary PGM (1-channel) or
+// PPM (3-channel) — viewable everywhere, no image library needed. Values
+// are min-max normalized to [0, 255] per file.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace fca::data {
+
+/// Writes image `index` of the dataset to `path` (.pgm for 1 channel,
+/// .ppm for 3 channels; the extension is up to the caller).
+void export_image(const Dataset& ds, int index, const std::string& path);
+
+/// Writes a `rows` x `cols` contact sheet of the first rows*cols images
+/// (row-major, 1-pixel separators).
+void export_contact_sheet(const Dataset& ds, int rows, int cols,
+                          const std::string& path);
+
+}  // namespace fca::data

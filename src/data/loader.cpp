@@ -1,0 +1,44 @@
+#include "data/loader.hpp"
+
+#include <numeric>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+
+BatchLoader::BatchLoader(const Dataset& ds, std::vector<int> indices,
+                         int batch_size)
+    : ds_(ds), indices_(std::move(indices)), batch_size_(batch_size) {
+  FCA_CHECK(batch_size > 0);
+  if (indices_.empty()) {
+    indices_.resize(static_cast<size_t>(ds.size()));
+    std::iota(indices_.begin(), indices_.end(), 0);
+  }
+  for (int idx : indices_) FCA_CHECK(idx >= 0 && idx < ds.size());
+}
+
+std::vector<std::vector<int>> BatchLoader::epoch(Rng& rng) {
+  const std::vector<int> perm =
+      rng.permutation(static_cast<int>(indices_.size()));
+  std::vector<std::vector<int>> batches;
+  batches.reserve(static_cast<size_t>(batches_per_epoch()));
+  std::vector<int> cur;
+  cur.reserve(static_cast<size_t>(batch_size_));
+  for (size_t i = 0; i < perm.size(); ++i) {
+    cur.push_back(indices_[static_cast<size_t>(perm[i])]);
+    if (static_cast<int>(cur.size()) == batch_size_) {
+      batches.push_back(std::move(cur));
+      cur = {};
+      cur.reserve(static_cast<size_t>(batch_size_));
+    }
+  }
+  if (!cur.empty()) batches.push_back(std::move(cur));
+  return batches;
+}
+
+int64_t BatchLoader::batches_per_epoch() const {
+  return (static_cast<int64_t>(indices_.size()) + batch_size_ - 1) /
+         batch_size_;
+}
+
+}  // namespace fca::data

@@ -1,0 +1,34 @@
+// Mini-batch iteration over a dataset subset.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::data {
+
+/// Splits `indices` (or the whole dataset when empty) into shuffled
+/// mini-batches of `batch_size`; the final partial batch is kept.
+class BatchLoader {
+ public:
+  BatchLoader(const Dataset& ds, std::vector<int> indices, int batch_size);
+
+  /// Reshuffles and returns the list of index batches for one epoch.
+  std::vector<std::vector<int>> epoch(Rng& rng);
+
+  /// Number of batches per epoch.
+  int64_t batches_per_epoch() const;
+  int64_t sample_count() const {
+    return static_cast<int64_t>(indices_.size());
+  }
+
+  const Dataset& dataset() const { return ds_; }
+
+ private:
+  const Dataset& ds_;
+  std::vector<int> indices_;
+  int batch_size_;
+};
+
+}  // namespace fca::data

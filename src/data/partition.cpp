@@ -1,0 +1,209 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+namespace {
+
+/// Shuffled per-class index pools.
+std::vector<std::vector<int>> class_pools(const std::vector<int>& labels,
+                                          int num_classes, Rng& rng) {
+  std::vector<std::vector<int>> pools(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    FCA_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    pools[static_cast<size_t>(labels[i])].push_back(static_cast<int>(i));
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    auto& pool = pools[static_cast<size_t>(c)];
+    const std::vector<int> perm =
+        rng.permutation(static_cast<int>(pool.size()));
+    std::vector<int> shuffled(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      shuffled[i] = pool[static_cast<size_t>(perm[i])];
+    }
+    pool = std::move(shuffled);
+  }
+  return pools;
+}
+
+/// Largest-remainder rounding of `total * probs` to integers summing to
+/// exactly `total`.
+std::vector<int> apportion(const std::vector<double>& probs, int total) {
+  const size_t k = probs.size();
+  std::vector<int> counts(k, 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  int assigned = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const double exact = probs[i] * total;
+    counts[i] = static_cast<int>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - counts[i], i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int i = 0; i < total - assigned; ++i) {
+    ++counts[remainders[static_cast<size_t>(i) % k].second];
+  }
+  return counts;
+}
+
+/// Takes up to `want` indices from pool's tail; returns how many were taken.
+int take_from_pool(std::vector<int>& pool, int want, std::vector<int>& out) {
+  const int take = std::min(want, static_cast<int>(pool.size()));
+  for (int i = 0; i < take; ++i) {
+    out.push_back(pool.back());
+    pool.pop_back();
+  }
+  return take;
+}
+
+std::vector<double> recompute_proportions(const std::vector<int>& indices,
+                                          const std::vector<int>& labels,
+                                          int num_classes) {
+  std::vector<double> p(static_cast<size_t>(num_classes), 0.0);
+  for (int idx : indices) ++p[static_cast<size_t>(labels[static_cast<size_t>(idx)])];
+  if (!indices.empty()) {
+    for (auto& v : p) v /= static_cast<double>(indices.size());
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition dirichlet_partition(const std::vector<int>& labels, int num_classes,
+                              int num_clients, double alpha, Rng& rng) {
+  FCA_CHECK(num_clients > 0 && num_classes > 0 && alpha > 0.0);
+  FCA_CHECK(static_cast<int>(labels.size()) >= num_clients);
+  auto pools = class_pools(labels, num_classes, rng);
+  const int per_client = static_cast<int>(labels.size()) / num_clients;
+
+  Partition part;
+  part.client_indices.resize(static_cast<size_t>(num_clients));
+  part.proportions.resize(static_cast<size_t>(num_clients));
+  for (int k = 0; k < num_clients; ++k) {
+    auto& mine = part.client_indices[static_cast<size_t>(k)];
+    const std::vector<double> p = rng.dirichlet(alpha, num_classes);
+    std::vector<int> want = apportion(p, per_client);
+    int deficit = 0;
+    for (int c = 0; c < num_classes; ++c) {
+      deficit += want[static_cast<size_t>(c)] -
+                 take_from_pool(pools[static_cast<size_t>(c)],
+                                want[static_cast<size_t>(c)], mine);
+    }
+    // Exhausted pools: backfill from the fullest remaining pools so that
+    // client sizes stay exactly equal.
+    while (deficit > 0) {
+      auto it = std::max_element(
+          pools.begin(), pools.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      FCA_CHECK_MSG(!it->empty(), "not enough samples to equalize clients");
+      deficit -= take_from_pool(*it, deficit, mine);
+    }
+    part.proportions[static_cast<size_t>(k)] =
+        recompute_proportions(mine, labels, num_classes);
+  }
+  return part;
+}
+
+Partition skewed_partition(const std::vector<int>& labels, int num_classes,
+                           int num_clients, int classes_per_client, Rng& rng) {
+  FCA_CHECK(num_clients > 0 && num_classes > 0 && classes_per_client > 0 &&
+            classes_per_client <= num_classes);
+  auto pools = class_pools(labels, num_classes, rng);
+  const int per_client = static_cast<int>(labels.size()) / num_clients;
+
+  // Round-robin over a random class order keeps every class covered while
+  // giving each client exactly `classes_per_client` nominal classes.
+  const std::vector<int> order = rng.permutation(num_classes);
+  Partition part;
+  part.client_indices.resize(static_cast<size_t>(num_clients));
+  part.proportions.resize(static_cast<size_t>(num_clients));
+  int cursor = 0;
+  for (int k = 0; k < num_clients; ++k) {
+    auto& mine = part.client_indices[static_cast<size_t>(k)];
+    std::vector<int> my_classes;
+    for (int j = 0; j < classes_per_client; ++j) {
+      my_classes.push_back(order[static_cast<size_t>(cursor % num_classes)]);
+      ++cursor;
+    }
+    const std::vector<int> want = apportion(
+        std::vector<double>(static_cast<size_t>(classes_per_client),
+                            1.0 / classes_per_client),
+        per_client);
+    int deficit = 0;
+    for (int j = 0; j < classes_per_client; ++j) {
+      auto& pool = pools[static_cast<size_t>(my_classes[static_cast<size_t>(j)])];
+      deficit += want[static_cast<size_t>(j)] -
+                 take_from_pool(pool, want[static_cast<size_t>(j)], mine);
+    }
+    // Prefer topping up from the client's own classes, then (only if all of
+    // them are empty) from the globally fullest pool.
+    for (int j = 0; j < classes_per_client && deficit > 0; ++j) {
+      auto& pool = pools[static_cast<size_t>(my_classes[static_cast<size_t>(j)])];
+      deficit -= take_from_pool(pool, deficit, mine);
+    }
+    while (deficit > 0) {
+      auto it = std::max_element(
+          pools.begin(), pools.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      FCA_CHECK_MSG(!it->empty(), "not enough samples to equalize clients");
+      deficit -= take_from_pool(*it, deficit, mine);
+    }
+    part.proportions[static_cast<size_t>(k)] =
+        recompute_proportions(mine, labels, num_classes);
+  }
+  return part;
+}
+
+std::vector<std::vector<int>> matching_test_split(
+    const Partition& partition, const std::vector<int>& test_labels,
+    int num_classes, int per_client, Rng& rng) {
+  FCA_CHECK(per_client > 0);
+  // Per-class test pools; each client draws from a fresh shuffle so clients
+  // may share test samples (evaluation is read-only).
+  std::vector<std::vector<int>> base_pools(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < test_labels.size(); ++i) {
+    FCA_CHECK(test_labels[i] >= 0 && test_labels[i] < num_classes);
+    base_pools[static_cast<size_t>(test_labels[i])].push_back(
+        static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(partition.proportions.size());
+  for (const auto& props : partition.proportions) {
+    std::vector<int> counts = apportion(props, per_client);
+    std::vector<int> mine;
+    for (int c = 0; c < num_classes; ++c) {
+      const auto& pool = base_pools[static_cast<size_t>(c)];
+      int want = counts[static_cast<size_t>(c)];
+      if (want == 0) continue;
+      FCA_CHECK_MSG(!pool.empty(), "no test samples for class " << c);
+      // Sample without replacement while possible, then cycle.
+      std::vector<int> perm = rng.permutation(static_cast<int>(pool.size()));
+      for (int i = 0; i < want; ++i) {
+        mine.push_back(pool[static_cast<size_t>(
+            perm[static_cast<size_t>(i) % perm.size()])]);
+      }
+    }
+    out.push_back(std::move(mine));
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> partition_histogram(
+    const Partition& partition, const std::vector<int>& labels,
+    int num_classes) {
+  std::vector<std::vector<int64_t>> hist(
+      partition.client_indices.size(),
+      std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+  for (size_t k = 0; k < partition.client_indices.size(); ++k) {
+    for (int idx : partition.client_indices[k]) {
+      ++hist[k][static_cast<size_t>(labels[static_cast<size_t>(idx)])];
+    }
+  }
+  return hist;
+}
+
+}  // namespace fca::data

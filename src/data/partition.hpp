@@ -1,0 +1,53 @@
+// Non-iid client partitioning.
+//
+// Reproduces §4.1 of the paper: client datasets are sampled either with a
+// Dirichlet label distribution (Dir(alpha)) or with a skewed split where
+// each client holds only `classes_per_client` classes. In both schemes every
+// client receives the same number of samples ("the data sizes of all clients
+// were equally distributed").
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::data {
+
+struct Partition {
+  /// client_indices[k] = indices into the source dataset owned by client k.
+  std::vector<std::vector<int>> client_indices;
+  /// proportions[k][c] = fraction of client k's data with label c; used to
+  /// draw matching local test sets.
+  std::vector<std::vector<double>> proportions;
+
+  int num_clients() const {
+    return static_cast<int>(client_indices.size());
+  }
+};
+
+/// Dirichlet partition: each client's class mix ~ Dir(alpha); every client
+/// gets floor(N / num_clients) samples drawn without replacement.
+Partition dirichlet_partition(const std::vector<int>& labels, int num_classes,
+                              int num_clients, double alpha, Rng& rng);
+
+/// Skewed partition: each client holds samples of exactly
+/// `classes_per_client` classes (paper uses 2); classes are assigned
+/// round-robin over a random class order so all classes stay covered, and
+/// every client gets floor(N / num_clients) samples.
+Partition skewed_partition(const std::vector<int>& labels, int num_classes,
+                           int num_clients, int classes_per_client, Rng& rng);
+
+/// Draws per-client test indices from `test_labels` matching each client's
+/// class proportions, `per_client` indices each (with replacement across
+/// clients but not within a client's draw when avoidable).
+std::vector<std::vector<int>> matching_test_split(
+    const Partition& partition, const std::vector<int>& test_labels,
+    int num_classes, int per_client, Rng& rng);
+
+/// hist[k][c] = number of samples of class c held by client k.
+std::vector<std::vector<int64_t>> partition_histogram(
+    const Partition& partition, const std::vector<int>& labels,
+    int num_classes);
+
+}  // namespace fca::data

@@ -1,0 +1,205 @@
+#include "data/synth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.labels.reserve(indices.size());
+  out.images = Tensor({static_cast<int64_t>(indices.size()), channels(),
+                       height(), width()});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    FCA_CHECK(idx >= 0 && idx < size());
+    out.images.copy_row_from(static_cast<int64_t>(i), images, idx);
+    out.labels.push_back(labels[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+std::vector<int64_t> Dataset::class_histogram() const {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (int y : labels) {
+    FCA_CHECK(y >= 0 && y < num_classes);
+    ++hist[static_cast<size_t>(y)];
+  }
+  return hist;
+}
+
+Batch make_batch(const Dataset& ds, const std::vector<int>& indices) {
+  Batch b;
+  b.images = Tensor({static_cast<int64_t>(indices.size()), ds.channels(),
+                     ds.height(), ds.width()});
+  b.labels.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    FCA_CHECK(indices[i] >= 0 && indices[i] < ds.size());
+    b.images.copy_row_from(static_cast<int64_t>(i), ds.images, indices[i]);
+    b.labels.push_back(ds.labels[static_cast<size_t>(indices[i])]);
+  }
+  return b;
+}
+
+SynthSpec SynthSpec::cifar10_like() {
+  SynthSpec s;
+  s.name = "synth-cifar10";
+  s.num_classes = 10;
+  s.channels = 3;
+  s.components = 4;
+  s.jitter_px = 3.0f;
+  s.angle_jitter = 0.25f;
+  s.amplitude_jitter = 0.35f;
+  s.noise_std = 0.35f;
+  s.brightness_jitter = 0.2f;
+  return s;
+}
+
+SynthSpec SynthSpec::fmnist_like() {
+  SynthSpec s;
+  s.name = "synth-fmnist";
+  s.num_classes = 10;
+  s.channels = 1;
+  s.components = 3;
+  s.jitter_px = 2.0f;
+  s.angle_jitter = 0.15f;
+  s.amplitude_jitter = 0.25f;
+  s.noise_std = 0.22f;
+  s.brightness_jitter = 0.15f;
+  return s;
+}
+
+SynthSpec SynthSpec::emnist_like() {
+  SynthSpec s;
+  s.name = "synth-emnist";
+  s.num_classes = 26;
+  s.channels = 1;
+  s.components = 3;
+  s.jitter_px = 1.5f;
+  s.angle_jitter = 0.1f;
+  s.amplitude_jitter = 0.2f;
+  s.noise_std = 0.18f;
+  s.brightness_jitter = 0.1f;
+  return s;
+}
+
+SynthSpec SynthSpec::by_name(const std::string& name) {
+  if (name == "synth-cifar10") return cifar10_like();
+  if (name == "synth-fmnist") return fmnist_like();
+  if (name == "synth-emnist") return emnist_like();
+  throw Error("unknown synthetic dataset: " + name);
+}
+
+namespace {
+
+// One grating or blob in a class prototype.
+struct Component {
+  float cx, cy;       // center in [0, 1]
+  float sigma;        // Gaussian envelope width
+  float angle;        // grating orientation
+  float freq;         // cycles across the image
+  float phase;
+  float amplitude;
+  bool is_blob;       // blob = pure Gaussian bump (no grating)
+  float channel_w[3]; // per-channel weights
+};
+
+std::vector<Component> class_prototype(const SynthSpec& spec, int label,
+                                       const Rng& root) {
+  Rng rng = root.fork("class/" + spec.name + "/" + std::to_string(label));
+  std::vector<Component> comps;
+  comps.reserve(static_cast<size_t>(spec.components));
+  for (int k = 0; k < spec.components; ++k) {
+    Component c;
+    c.cx = static_cast<float>(rng.uniform(0.2, 0.8));
+    c.cy = static_cast<float>(rng.uniform(0.2, 0.8));
+    c.sigma = static_cast<float>(rng.uniform(0.12, 0.35));
+    c.angle = static_cast<float>(rng.uniform(0.0, std::numbers::pi));
+    c.freq = static_cast<float>(rng.uniform(1.5, 4.5));
+    c.phase =
+        static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    c.amplitude = static_cast<float>(rng.uniform(0.6, 1.2));
+    c.is_blob = rng.bernoulli(0.35);
+    for (int ch = 0; ch < 3; ++ch) {
+      c.channel_w[ch] = static_cast<float>(rng.uniform(0.3, 1.0));
+    }
+    comps.push_back(c);
+  }
+  return comps;
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const SynthSpec& spec, int per_class,
+                           const Rng& root, const std::string& split) {
+  FCA_CHECK(per_class > 0 && spec.num_classes > 0);
+  FCA_CHECK(spec.channels >= 1 && spec.channels <= 3);
+  const int64_t n =
+      static_cast<int64_t>(per_class) * spec.num_classes;
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor({n, spec.channels, spec.height, spec.width});
+  ds.labels.resize(static_cast<size_t>(n));
+
+  const auto h = spec.height;
+  const auto w = spec.width;
+  int64_t row = 0;
+  for (int label = 0; label < spec.num_classes; ++label) {
+    const std::vector<Component> proto = class_prototype(spec, label, root);
+    Rng inst_rng = root.fork("inst/" + spec.name + "/" + split + "/" +
+                             std::to_string(label));
+    for (int i = 0; i < per_class; ++i, ++row) {
+      ds.labels[static_cast<size_t>(row)] = label;
+      // Instance-level perturbation parameters.
+      const float dx =
+          static_cast<float>(inst_rng.uniform(-spec.jitter_px, spec.jitter_px)) /
+          static_cast<float>(w);
+      const float dy =
+          static_cast<float>(inst_rng.uniform(-spec.jitter_px, spec.jitter_px)) /
+          static_cast<float>(h);
+      const float dangle = static_cast<float>(
+          inst_rng.uniform(-spec.angle_jitter, spec.angle_jitter));
+      const float amp_scale = 1.0f + static_cast<float>(inst_rng.uniform(
+                                         -spec.amplitude_jitter,
+                                         spec.amplitude_jitter));
+      const float brightness = static_cast<float>(inst_rng.uniform(
+          -spec.brightness_jitter, spec.brightness_jitter));
+
+      float* img = ds.images.data() + row * spec.channels * h * w;
+      for (int64_t ch = 0; ch < spec.channels; ++ch) {
+        for (int64_t y = 0; y < h; ++y) {
+          for (int64_t x = 0; x < w; ++x) {
+            const float fx = static_cast<float>(x) / static_cast<float>(w);
+            const float fy = static_cast<float>(y) / static_cast<float>(h);
+            float v = brightness;
+            for (const Component& c : proto) {
+              const float rx = fx - c.cx - dx;
+              const float ry = fy - c.cy - dy;
+              const float envelope = std::exp(
+                  -(rx * rx + ry * ry) / (2.0f * c.sigma * c.sigma));
+              float carrier = 1.0f;
+              if (!c.is_blob) {
+                const float a = c.angle + dangle;
+                const float proj = rx * std::cos(a) + ry * std::sin(a);
+                carrier = std::cos(
+                    2.0f * static_cast<float>(std::numbers::pi) * c.freq *
+                        proj +
+                    c.phase);
+              }
+              v += amp_scale * c.amplitude *
+                   c.channel_w[ch % 3] * envelope * carrier;
+            }
+            v += static_cast<float>(inst_rng.normal(0.0, spec.noise_std));
+            img[(ch * h + y) * w + x] = v;
+          }
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace fca::data

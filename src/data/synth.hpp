@@ -1,0 +1,49 @@
+// Procedural class-conditional image synthesis.
+//
+// Stands in for CIFAR-10 / Fashion-MNIST / EMNIST (see DESIGN.md §1): each
+// class is a fixed "prototype" — a mixture of oriented sinusoidal gratings
+// and Gaussian blobs whose parameters are drawn once from a class-seeded RNG
+// — and each instance perturbs that prototype with translation jitter,
+// orientation/phase jitter, amplitude scaling, brightness shift and pixel
+// noise. The presets are tuned so that (a) small CNNs reach high but not
+// saturated accuracy, and (b) the relative difficulty ordering of the real
+// datasets (cifar hardest, emnist easiest) is preserved.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::data {
+
+struct SynthSpec {
+  std::string name;
+  int num_classes = 10;
+  int64_t channels = 1;
+  int64_t height = 16;
+  int64_t width = 16;
+  int components = 3;        // gratings + blobs per class prototype
+  float jitter_px = 2.0f;    // max translation of the prototype
+  float angle_jitter = 0.15f;  // radians of orientation jitter
+  float amplitude_jitter = 0.25f;
+  float noise_std = 0.25f;   // additive pixel noise
+  float brightness_jitter = 0.15f;
+
+  /// Stand-in for CIFAR-10: RGB, strong jitter and noise (hardest).
+  static SynthSpec cifar10_like();
+  /// Stand-in for Fashion-MNIST: grayscale, moderate perturbation.
+  static SynthSpec fmnist_like();
+  /// Stand-in for EMNIST Letters: grayscale, 26 classes, mild perturbation.
+  static SynthSpec emnist_like();
+  /// Resolves "synth-cifar10" | "synth-fmnist" | "synth-emnist".
+  static SynthSpec by_name(const std::string& name);
+};
+
+/// Generates `per_class` labeled examples per class. `split` names an
+/// independent instance-noise stream ("train", "test", "public", ...), so
+/// different splits share class prototypes but never share instances.
+Dataset generate_synthetic(const SynthSpec& spec, int per_class,
+                           const Rng& root, const std::string& split);
+
+}  // namespace fca::data

@@ -1,0 +1,106 @@
+#include "fl/client.hpp"
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::fl {
+
+Client::Client(int id, std::unique_ptr<models::SplitModel> model,
+               data::Dataset train, data::Dataset test,
+               const ClientConfig& config, Rng rng)
+    : id_(id),
+      model_(std::move(model)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(config),
+      augmentor_(config.augment),
+      rng_(rng) {
+  FCA_CHECK(model_ != nullptr);
+  FCA_CHECK_MSG(train_.size() > 0, "client " << id << " has no train data");
+  loader_ = std::make_unique<data::BatchLoader>(train_, std::vector<int>{},
+                                                config_.batch_size);
+  reset_optimizer();
+}
+
+void Client::reset_optimizer() {
+  if (config_.use_adam) {
+    optimizer_ =
+        std::make_unique<nn::Adam>(model_->parameters(), config_.lr);
+  } else {
+    optimizer_ = std::make_unique<nn::SGD>(model_->parameters(), config_.lr,
+                                           /*momentum=*/0.9f);
+  }
+}
+
+float Client::train_epoch_supervised(const std::vector<Tensor>* prox_anchor,
+                                     float prox_mu) {
+  double total_loss = 0.0;
+  int64_t batches = 0;
+  for (const auto& batch_idx : loader_->epoch(rng_)) {
+    const data::Batch batch = data::make_batch(train_, batch_idx);
+    const Tensor x = augmentor_.augment(batch.images, rng_);
+    optimizer_->zero_grad();
+    Tensor logits = model_->forward(x, /*train=*/true);
+    nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+    model_->backward(loss.grad);
+    if (prox_anchor != nullptr && prox_mu > 0.0f) {
+      const auto params = model_->parameters();
+      FCA_CHECK(prox_anchor->size() == params.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        // d/dw [mu/2 ||w - w0||^2] = mu (w - w0)
+        Tensor diff = sub(params[i]->value, (*prox_anchor)[i]);
+        axpy_(params[i]->grad, prox_mu, diff);
+      }
+    }
+    optimizer_->step();
+    total_loss += loss.value;
+    ++batches;
+  }
+  return batches > 0 ? static_cast<float>(total_loss / batches) : 0.0f;
+}
+
+float Client::evaluate() { return evaluate_on(test_); }
+
+float Client::evaluate_on(const data::Dataset& ds) {
+  if (ds.size() == 0) return 0.0f;
+  Tensor logits = predict_logits(ds);
+  return nn::accuracy(logits, ds.labels);
+}
+
+Tensor Client::predict_logits(const data::Dataset& ds) {
+  FCA_CHECK(ds.size() > 0);
+  const int64_t bs = config_.batch_size;
+  Tensor out({ds.size(), model_->num_classes()});
+  for (int64_t start = 0; start < ds.size(); start += bs) {
+    const int64_t stop = std::min(start + bs, ds.size());
+    std::vector<int> idx;
+    idx.reserve(static_cast<size_t>(stop - start));
+    for (int64_t i = start; i < stop; ++i) idx.push_back(static_cast<int>(i));
+    const data::Batch batch = data::make_batch(ds, idx);
+    Tensor logits = model_->forward(batch.images, /*train=*/false);
+    for (int64_t i = start; i < stop; ++i) {
+      out.copy_row_from(i, logits, i - start);
+    }
+  }
+  return out;
+}
+
+Tensor Client::extract_features(const data::Dataset& ds) {
+  FCA_CHECK(ds.size() > 0);
+  const int64_t bs = config_.batch_size;
+  Tensor out({ds.size(), model_->feature_dim()});
+  for (int64_t start = 0; start < ds.size(); start += bs) {
+    const int64_t stop = std::min(start + bs, ds.size());
+    std::vector<int> idx;
+    idx.reserve(static_cast<size_t>(stop - start));
+    for (int64_t i = start; i < stop; ++i) idx.push_back(static_cast<int>(i));
+    const data::Batch batch = data::make_batch(ds, idx);
+    Tensor feats = model_->features(batch.images, /*train=*/false);
+    for (int64_t i = start; i < stop; ++i) {
+      out.copy_row_from(i, feats, i - start);
+    }
+  }
+  return out;
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,70 @@
+#include "fl/fedavg.hpp"
+
+#include "models/serialize.hpp"
+#include "utils/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace fca::fl {
+
+void FedAvg::initialize(FederatedRun& run) {
+  global_ = models::snapshot_values(run.client(0).model().parameters());
+  // Initial synchronization: ship the global model to every client.
+  const comm::Bytes payload = models::serialize_tensors(global_);
+  std::vector<int> all;
+  for (int k = 0; k < run.num_clients(); ++k) all.push_back(k);
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(all), kTagModelDown,
+                                   payload);
+  for (int k = 0; k < run.num_clients(); ++k) {
+    const comm::Bytes down = run.client_endpoint(k).recv(0, kTagModelDown);
+    models::restore_values(models::deserialize_tensors(down),
+                           run.client(k).model().parameters());
+    run.client(k).reset_optimizer();
+  }
+}
+
+float FedAvg::execute_round(FederatedRun& run, int /*round*/,
+                            const std::vector<int>& selected) {
+  // Server -> selected clients: current global model.
+  const comm::Bytes payload = models::serialize_tensors(global_);
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
+                                   kTagModelDown, payload);
+
+  // Clients: load, train E local epochs, upload.
+  double total_loss = 0.0;
+  for (int k : selected) {
+    Client& c = run.client(k);
+    comm::Endpoint& ep = run.client_endpoint(k);
+    const std::vector<Tensor> down =
+        models::deserialize_tensors(ep.recv(0, kTagModelDown));
+    models::restore_values(down, c.model().parameters());
+    c.reset_optimizer();
+    const float mu = prox_mu();
+    for (int e = 0; e < run.config().local_epochs; ++e) {
+      total_loss += c.train_epoch_supervised(mu > 0.0f ? &down : nullptr, mu);
+    }
+    ep.send(0, kTagModelUp,
+            models::serialize_tensors(
+                models::snapshot_values(c.model().parameters())));
+  }
+
+  // Server: weighted average of participant models (eq. 1 weights restricted
+  // to the sampled cohort).
+  const std::vector<double> weights = run.data_weights(selected);
+  std::vector<Tensor> agg;
+  agg.reserve(global_.size());
+  for (const Tensor& g : global_) agg.emplace_back(g.shape());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const std::vector<Tensor> up = models::deserialize_tensors(
+        run.server_endpoint().recv(selected[i] + 1, kTagModelUp));
+    FCA_CHECK(up.size() == agg.size());
+    for (size_t t = 0; t < agg.size(); ++t) {
+      axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+    }
+  }
+  global_ = std::move(agg);
+  return static_cast<float>(total_loss /
+                            (selected.size() *
+                             static_cast<size_t>(run.config().local_epochs)));
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,27 @@
+// FedAvg (McMahan et al. 2017): full-model weighted averaging over
+// homogeneous clients. Requires all clients to share one architecture.
+#pragma once
+
+#include "fl/server.hpp"
+
+namespace fca::fl {
+
+class FedAvg : public RoundStrategy {
+ public:
+  FedAvg() = default;
+
+  std::string name() const override { return "FedAvg"; }
+  /// Snapshots client 0 as the initial global model and broadcasts it so
+  /// every client starts from identical weights.
+  void initialize(FederatedRun& run) override;
+  float execute_round(FederatedRun& run, int round,
+                      const std::vector<int>& selected) override;
+
+ protected:
+  /// Hook for FedProx: returns the proximal coefficient (0 disables).
+  virtual float prox_mu() const { return 0.0f; }
+
+  std::vector<Tensor> global_;  // current global parameter values
+};
+
+}  // namespace fca::fl

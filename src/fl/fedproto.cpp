@@ -1,0 +1,137 @@
+#include "fl/fedproto.hpp"
+
+#include "models/serialize.hpp"
+#include "utils/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace fca::fl {
+
+std::pair<Tensor, Tensor> FedProto::local_prototypes(Client& c) {
+  const data::Dataset& ds = c.train_data();
+  const int64_t d = c.model().feature_dim();
+  const int64_t num_classes = c.model().num_classes();
+  Tensor feats = c.extract_features(ds);
+  Tensor protos({num_classes, d});
+  Tensor counts({num_classes});
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const int y = ds.labels[static_cast<size_t>(i)];
+    counts[y] += 1.0f;
+    for (int64_t j = 0; j < d; ++j) protos[y * d + j] += feats[i * d + j];
+  }
+  for (int64_t ccls = 0; ccls < num_classes; ++ccls) {
+    if (counts[ccls] > 0.0f) {
+      const float inv = 1.0f / counts[ccls];
+      for (int64_t j = 0; j < d; ++j) protos[ccls * d + j] *= inv;
+    }
+  }
+  return {std::move(protos), std::move(counts)};
+}
+
+float FedProto::train_epoch(Client& c, const Tensor& protos,
+                            const std::vector<bool>& valid) const {
+  double total = 0.0;
+  int64_t batches = 0;
+  const int64_t d = c.model().feature_dim();
+  data::BatchLoader loader(c.train_data(), {}, c.config().batch_size);
+  for (const auto& idx : loader.epoch(c.rng())) {
+    const data::Batch batch = data::make_batch(c.train_data(), idx);
+    const Tensor x = c.augmentor().augment(batch.images, c.rng());
+    c.optimizer().zero_grad();
+    Tensor feats = c.model().features(x, /*train=*/true);
+    Tensor logits = c.model().classifier().forward(feats, /*train=*/true);
+    nn::LossResult ce = nn::softmax_cross_entropy(logits, batch.labels);
+    Tensor dfeat = c.model().classifier().backward(ce.grad);
+    float loss = ce.value;
+    if (!protos.empty()) {
+      // lambda * mean_i ||f_i - proto[y_i]||^2, skipping classes the
+      // federation has not produced a prototype for yet.
+      const int64_t b = feats.dim(0);
+      const float scale = 2.0f * config_.lambda / static_cast<float>(b);
+      double reg = 0.0;
+      for (int64_t i = 0; i < b; ++i) {
+        const int y = batch.labels[static_cast<size_t>(i)];
+        if (!valid[static_cast<size_t>(y)]) continue;
+        for (int64_t j = 0; j < d; ++j) {
+          const float diff = feats[i * d + j] - protos[y * d + j];
+          reg += static_cast<double>(diff) * diff;
+          dfeat[i * d + j] += scale * diff;
+        }
+      }
+      loss += config_.lambda * static_cast<float>(reg) /
+              static_cast<float>(b);
+    }
+    c.model().backward_features(dfeat);
+    c.optimizer().step();
+    total += loss;
+    ++batches;
+  }
+  return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
+}
+
+float FedProto::execute_round(FederatedRun& run, int /*round*/,
+                              const std::vector<int>& selected) {
+  const int64_t num_classes = run.client(0).model().num_classes();
+  const int64_t d = run.client(0).model().feature_dim();
+  if (valid_.empty()) {
+    valid_.assign(static_cast<size_t>(num_classes), false);
+    global_protos_ = Tensor({num_classes, d});
+  }
+
+  // Server -> clients: current global prototypes (+ validity as floats).
+  Tensor valid_t({num_classes});
+  for (int64_t cc = 0; cc < num_classes; ++cc) {
+    valid_t[cc] = valid_[static_cast<size_t>(cc)] ? 1.0f : 0.0f;
+  }
+  const comm::Bytes down =
+      models::serialize_tensors({global_protos_, valid_t});
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
+                                   kTagModelDown, down);
+
+  double total_loss = 0.0;
+  for (int k : selected) {
+    Client& c = run.client(k);
+    const std::vector<Tensor> msg = models::deserialize_tensors(
+        run.client_endpoint(k).recv(0, kTagModelDown));
+    std::vector<bool> valid(static_cast<size_t>(num_classes));
+    for (int64_t cc = 0; cc < num_classes; ++cc) {
+      valid[static_cast<size_t>(cc)] = msg[1][cc] > 0.5f;
+    }
+    for (int e = 0; e < run.config().local_epochs; ++e) {
+      total_loss += train_epoch(c, msg[0], valid);
+    }
+    auto [protos, counts] = local_prototypes(c);
+    run.client_endpoint(k).send(
+        0, kTagModelUp, models::serialize_tensors({protos, counts}));
+  }
+
+  // Server: count-weighted prototype aggregation across participants.
+  Tensor agg({num_classes, d});
+  Tensor agg_counts({num_classes});
+  for (int k : selected) {
+    const std::vector<Tensor> up = models::deserialize_tensors(
+        run.server_endpoint().recv(k + 1, kTagModelUp));
+    const Tensor& protos = up[0];
+    const Tensor& counts = up[1];
+    for (int64_t cc = 0; cc < num_classes; ++cc) {
+      if (counts[cc] <= 0.0f) continue;
+      for (int64_t j = 0; j < d; ++j) {
+        agg[cc * d + j] += counts[cc] * protos[cc * d + j];
+      }
+      agg_counts[cc] += counts[cc];
+    }
+  }
+  for (int64_t cc = 0; cc < num_classes; ++cc) {
+    if (agg_counts[cc] > 0.0f) {
+      const float inv = 1.0f / agg_counts[cc];
+      for (int64_t j = 0; j < d; ++j) {
+        global_protos_[cc * d + j] = agg[cc * d + j] * inv;
+      }
+      valid_[static_cast<size_t>(cc)] = true;
+    }
+  }
+  return static_cast<float>(total_loss /
+                            (selected.size() *
+                             static_cast<size_t>(run.config().local_epochs)));
+}
+
+}  // namespace fca::fl

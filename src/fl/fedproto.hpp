@@ -1,0 +1,44 @@
+// FedProto (Tan et al. 2022): federated prototype learning.
+//
+// Clients never exchange weights; instead each client uploads per-class
+// feature prototypes (mean embeddings), the server aggregates them weighted
+// by class counts, and local training adds a prototype-distance regularizer
+// lambda * ||F(x) - proto[y]||^2 on top of cross-entropy. Requires all
+// clients to share one feature dimension (the paper notes FedProto therefore
+// assumes *less* model heterogeneity than the other methods).
+#pragma once
+
+#include "fl/server.hpp"
+
+namespace fca::fl {
+
+struct FedProtoConfig {
+  float lambda = 1.0f;  // prototype regularizer weight
+};
+
+class FedProto : public RoundStrategy {
+ public:
+  explicit FedProto(FedProtoConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "FedProto"; }
+  float execute_round(FederatedRun& run, int round,
+                      const std::vector<int>& selected) override;
+
+  /// Current global prototypes [num_classes, D]; rows of classes never seen
+  /// are zero and `valid()[c]` is false.
+  const Tensor& prototypes() const { return global_protos_; }
+  const std::vector<bool>& valid() const { return valid_; }
+
+ private:
+  /// One local epoch with CE + prototype regularizer; returns mean loss.
+  float train_epoch(Client& c, const Tensor& protos,
+                    const std::vector<bool>& valid) const;
+  /// Per-class mean features and counts over the client's train shard.
+  static std::pair<Tensor, Tensor> local_prototypes(Client& c);
+
+  FedProtoConfig config_;
+  Tensor global_protos_;
+  std::vector<bool> valid_;
+};
+
+}  // namespace fca::fl

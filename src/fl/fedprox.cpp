@@ -1,0 +1,6 @@
+// FedProx is header-only on top of FedAvg; this TU anchors the vtable.
+#include "fl/fedprox.hpp"
+
+namespace fca::fl {
+// (no out-of-line members)
+}  // namespace fca::fl

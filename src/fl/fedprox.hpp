@@ -1,0 +1,21 @@
+// FedProx (Li et al. 2020): FedAvg plus a proximal term
+// mu/2 * ||w - w_global||^2 in every local objective.
+#pragma once
+
+#include "fl/fedavg.hpp"
+
+namespace fca::fl {
+
+class FedProx : public FedAvg {
+ public:
+  explicit FedProx(float mu) : mu_(mu) {}
+  std::string name() const override { return "FedProx"; }
+
+ protected:
+  float prox_mu() const override { return mu_; }
+
+ private:
+  float mu_;
+};
+
+}  // namespace fca::fl

@@ -1,0 +1,208 @@
+#include "fl/ktpfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/serialize.hpp"
+#include "utils/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace fca::fl {
+namespace {
+
+/// Projects a row of coefficients onto the probability simplex by clipping
+/// at zero and renormalizing (sufficient for small gradient steps).
+void project_row(Tensor& coef, int64_t row, int64_t k) {
+  double total = 0.0;
+  for (int64_t j = 0; j < k; ++j) {
+    float& v = coef[row * k + j];
+    if (v < 0.0f) v = 0.0f;
+    total += v;
+  }
+  if (total <= 0.0) {
+    for (int64_t j = 0; j < k; ++j) coef[row * k + j] = 1.0f / static_cast<float>(k);
+    return;
+  }
+  const auto inv = static_cast<float>(1.0 / total);
+  for (int64_t j = 0; j < k; ++j) coef[row * k + j] *= inv;
+}
+
+}  // namespace
+
+KTpFL::KTpFL(data::Dataset public_data, KTpFLConfig config)
+    : public_data_(std::move(public_data)), config_(config) {
+  FCA_CHECK(public_data_.size() > 0);
+  FCA_CHECK(config_.temperature > 0.0f && config_.distill_epochs >= 0 &&
+            config_.coef_lr > 0.0f);
+}
+
+void KTpFL::initialize(FederatedRun& run) {
+  const int k = run.num_clients();
+  coef_ = Tensor({k, k}, 1.0f / static_cast<float>(k));
+  // One-time public data broadcast; its size dominates KT-pFL's traffic and
+  // is what Table 5 charges the method for.
+  Tensor labels({public_data_.size()});
+  for (int64_t i = 0; i < public_data_.size(); ++i) {
+    labels[i] = static_cast<float>(public_data_.labels[static_cast<size_t>(i)]);
+  }
+  const comm::Bytes payload =
+      models::serialize_tensors({public_data_.images, labels});
+  std::vector<int> all;
+  for (int i = 0; i < k; ++i) all.push_back(i);
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(all),
+                                   kTagPublicData, payload);
+  for (int i = 0; i < k; ++i) {
+    // Clients keep their own copy; in this single-process simulation the
+    // receive just validates and discards the duplicate payload.
+    (void)run.client_endpoint(i).recv(0, kTagPublicData);
+  }
+}
+
+Tensor KTpFL::personalized_target(
+    int k, const std::vector<int>& selected,
+    const std::vector<Tensor>& soft_preds) const {
+  const int64_t kk = coef_.dim(0);
+  Tensor target(soft_preds.front().shape());
+  double weight_total = 0.0;
+  for (size_t j = 0; j < selected.size(); ++j) {
+    weight_total += coef_[k * kk + selected[j]];
+  }
+  FCA_CHECK(weight_total > 0.0);
+  for (size_t j = 0; j < selected.size(); ++j) {
+    const auto w = static_cast<float>(coef_[k * kk + selected[j]] /
+                                      weight_total);
+    axpy_(target, w, soft_preds[j]);
+  }
+  return target;
+}
+
+void KTpFL::update_coefficients(const std::vector<int>& selected,
+                                const std::vector<Tensor>& soft_preds) {
+  const int64_t kk = coef_.dim(0);
+  const auto n = static_cast<float>(soft_preds.front().numel());
+  for (size_t a = 0; a < selected.size(); ++a) {
+    const int k = selected[a];
+    const Tensor target = personalized_target(k, selected, soft_preds);
+    // d/dc_kl of ||t_k - p_k||^2 with t_k = sum_l c_kl p_l (pre-normalized
+    // view): 2 <t_k - p_k, p_l>.
+    for (size_t b = 0; b < selected.size(); ++b) {
+      const int l = selected[b];
+      double g = 0.0;
+      for (int64_t i = 0; i < soft_preds[b].numel(); ++i) {
+        g += 2.0 * (target[i] - soft_preds[a][i]) * soft_preds[b][i];
+      }
+      coef_[k * kk + l] -= config_.coef_lr * static_cast<float>(g) / n;
+    }
+    project_row(coef_, k, kk);
+  }
+}
+
+float KTpFL::execute_round(FederatedRun& run, int /*round*/,
+                           const std::vector<int>& selected) {
+  const float t = config_.temperature;
+
+  // 1. Local supervised training.
+  double total_loss = 0.0;
+  for (int k : selected) {
+    Client& c = run.client(k);
+    for (int e = 0; e < run.config().local_epochs; ++e) {
+      total_loss += c.train_epoch_supervised();
+    }
+  }
+
+  // 2. Clients -> server: soft predictions on the public data.
+  for (int k : selected) {
+    Tensor logits = run.client(k).predict_logits(public_data_);
+    run.client_endpoint(k).send(0, kTagAuxUp,
+                                models::serialize_tensors({logits}));
+  }
+  std::vector<Tensor> soft_preds;
+  soft_preds.reserve(selected.size());
+  for (int k : selected) {
+    const std::vector<Tensor> up = models::deserialize_tensors(
+        run.server_endpoint().recv(k + 1, kTagAuxUp));
+    soft_preds.push_back(softmax_rows(mul_scalar(up[0], 1.0f / t)));
+  }
+
+  // 3. Knowledge-coefficient update.
+  update_coefficients(selected, soft_preds);
+
+  if (!config_.share_weights) {
+    // 4a. Server -> clients: personalized soft targets; clients distill.
+    for (size_t a = 0; a < selected.size(); ++a) {
+      const int k = selected[a];
+      Tensor target = personalized_target(k, selected, soft_preds);
+      run.server_endpoint().send(k + 1, kTagAuxDown,
+                                 models::serialize_tensors({target}));
+    }
+    for (int k : selected) {
+      Client& c = run.client(k);
+      const std::vector<Tensor> down = models::deserialize_tensors(
+          run.client_endpoint(k).recv(0, kTagAuxDown));
+      const Tensor& target = down[0];
+      for (int e = 0; e < config_.distill_epochs; ++e) {
+        data::BatchLoader loader(public_data_, {}, c.config().batch_size);
+        for (const auto& idx : loader.epoch(c.rng())) {
+          const data::Batch batch = data::make_batch(public_data_, idx);
+          Tensor target_rows = gather_rows(target, idx);
+          c.optimizer().zero_grad();
+          Tensor logits = c.model().forward(batch.images, /*train=*/true);
+          nn::LossResult loss = nn::soft_target_cross_entropy(
+              mul_scalar(logits, 1.0f / t), target_rows);
+          // d/d(logits) = (1/t) d/d(logits/t); the t^2 distillation factor
+          // and 1/t cancel to a net factor of t.
+          c.model().backward(mul_scalar(loss.grad, t));
+          c.optimizer().step();
+        }
+      }
+    }
+  } else {
+    // 4b. "+weight": clients upload weights; each participant receives the
+    // coefficient-weighted personalized model and loads it.
+    for (int k : selected) {
+      Client& c = run.client(k);
+      run.client_endpoint(k).send(
+          0, kTagModelUp,
+          models::serialize_tensors(
+              models::snapshot_values(c.model().parameters())));
+    }
+    std::vector<std::vector<Tensor>> weights;
+    weights.reserve(selected.size());
+    for (int k : selected) {
+      weights.push_back(models::deserialize_tensors(
+          run.server_endpoint().recv(k + 1, kTagModelUp)));
+    }
+    const int64_t kk = coef_.dim(0);
+    for (size_t a = 0; a < selected.size(); ++a) {
+      const int k = selected[a];
+      double wt = 0.0;
+      for (size_t b = 0; b < selected.size(); ++b) {
+        wt += coef_[k * kk + selected[b]];
+      }
+      std::vector<Tensor> personalized;
+      for (const Tensor& t0 : weights.front()) personalized.emplace_back(t0.shape());
+      for (size_t b = 0; b < selected.size(); ++b) {
+        const auto w =
+            static_cast<float>(coef_[k * kk + selected[b]] / wt);
+        for (size_t i = 0; i < personalized.size(); ++i) {
+          axpy_(personalized[i], w, weights[b][i]);
+        }
+      }
+      run.server_endpoint().send(k + 1, kTagModelDown,
+                                 models::serialize_tensors(personalized));
+    }
+    for (int k : selected) {
+      Client& c = run.client(k);
+      models::restore_values(
+          models::deserialize_tensors(
+              run.client_endpoint(k).recv(0, kTagModelDown)),
+          c.model().parameters());
+    }
+  }
+
+  return static_cast<float>(total_loss /
+                            (selected.size() *
+                             static_cast<size_t>(run.config().local_epochs)));
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,58 @@
+// KT-pFL (Zhang et al. 2021): parameterized knowledge transfer.
+//
+// Re-implementation of the protocol: a public dataset is broadcast once;
+// every round participants (1) train locally, (2) upload soft predictions on
+// the public data, (3) the server updates a learnable knowledge-coefficient
+// matrix c[K][K] so that each client's personalized soft target
+// t_k = sum_l c_kl * p_l tracks informative peers, and (4) clients distill
+// toward their personalized target. The "+weight" variant (Table 3) keeps a
+// personalized *weight* aggregate per client on the server instead of soft
+// predictions, as §4.3 describes; it requires homogeneous models.
+//
+// Coefficient update: gradient descent on sum_k ||t_k - p_k||^2 over the
+// public batch with per-row simplex projection — the same
+// "similar-clients-reinforce-each-other" fixed point as the reference
+// implementation's distillation-loss gradient, without its autograd
+// dependency.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fl/server.hpp"
+
+namespace fca::fl {
+
+struct KTpFLConfig {
+  float temperature = 2.0f;   // distillation temperature
+  int distill_epochs = 1;     // client-side distillation passes per round
+  float coef_lr = 0.3f;       // knowledge-coefficient gradient step
+  bool share_weights = false; // "+weight" variant (homogeneous only)
+};
+
+class KTpFL : public RoundStrategy {
+ public:
+  KTpFL(data::Dataset public_data, KTpFLConfig config = {});
+
+  std::string name() const override {
+    return config_.share_weights ? "KT-pFL+weight" : "KT-pFL";
+  }
+  void initialize(FederatedRun& run) override;
+  float execute_round(FederatedRun& run, int round,
+                      const std::vector<int>& selected) override;
+
+  /// Row-stochastic knowledge-coefficient matrix [K, K].
+  const Tensor& coefficients() const { return coef_; }
+
+ private:
+  /// Personalized soft target for client k over the participant set.
+  Tensor personalized_target(int k, const std::vector<int>& selected,
+                             const std::vector<Tensor>& soft_preds) const;
+  void update_coefficients(const std::vector<int>& selected,
+                           const std::vector<Tensor>& soft_preds);
+
+  data::Dataset public_data_;
+  KTpFLConfig config_;
+  Tensor coef_;  // [K, K]
+  std::vector<int> selected_index_;  // scratch: client id -> position
+};
+
+}  // namespace fca::fl

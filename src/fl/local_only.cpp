@@ -1,0 +1,19 @@
+#include "fl/local_only.hpp"
+
+namespace fca::fl {
+
+float LocalOnly::execute_round(FederatedRun& run, int /*round*/,
+                               const std::vector<int>& selected) {
+  double total = 0.0;
+  for (int k : selected) {
+    Client& c = run.client(k);
+    for (int e = 0; e < run.config().local_epochs; ++e) {
+      total += c.train_epoch_supervised();
+    }
+  }
+  return static_cast<float>(total / (selected.size() *
+                                     static_cast<size_t>(
+                                         run.config().local_epochs)));
+}
+
+}  // namespace fca::fl

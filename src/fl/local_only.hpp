@@ -1,0 +1,16 @@
+// Baseline: every client trains on its local shard only, no communication.
+// This is the "Baseline (local training)" row of Table 2.
+#pragma once
+
+#include "fl/server.hpp"
+
+namespace fca::fl {
+
+class LocalOnly : public RoundStrategy {
+ public:
+  std::string name() const override { return "LocalOnly"; }
+  float execute_round(FederatedRun& run, int round,
+                      const std::vector<int>& selected) override;
+};
+
+}  // namespace fca::fl

@@ -1,0 +1,24 @@
+#include "fl/metrics.hpp"
+
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fca::fl {
+
+double mean_of(const std::vector<double>& values) {
+  FCA_CHECK(!values.empty());
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double std_of(const std::vector<double>& values) {
+  FCA_CHECK(!values.empty());
+  const double m = mean_of(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,42 @@
+// Per-round and per-run metrics collected by the federated driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/network.hpp"
+
+namespace fca::fl {
+
+struct RoundMetrics {
+  int round = 0;
+  /// Cumulative local epochs per client so far (the paper's learning curves
+  /// use local epochs on the x-axis to compare against KT-pFL fairly).
+  int cumulative_local_epochs = 0;
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;
+  double mean_train_loss = 0.0;
+  double wall_seconds = 0.0;
+  /// Traffic accumulated during this round (all ranks).
+  uint64_t round_bytes = 0;
+  /// Raw per-client test accuracies behind mean/std (index = client id).
+  std::vector<double> client_accuracies;
+};
+
+struct RunResult {
+  std::string strategy;
+  std::vector<RoundMetrics> curve;
+  double final_mean_accuracy = 0.0;
+  double final_std_accuracy = 0.0;
+  comm::TrafficStats total_traffic;
+  /// Mean payload bytes a single client uploads per participating round
+  /// (the Table 5 quantity).
+  double client_upload_bytes_per_round = 0.0;
+};
+
+double mean_of(const std::vector<double>& values);
+/// Population standard deviation (matches the paper's client-accuracy
+/// spread).
+double std_of(const std::vector<double>& values);
+
+}  // namespace fca::fl

@@ -1,0 +1,19 @@
+#include "fl/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fca::fl {
+
+std::vector<int> sample_clients(int total, double rate, Rng& rng) {
+  FCA_CHECK(total > 0 && rate > 0.0 && rate <= 1.0);
+  const int count = std::max(
+      1, static_cast<int>(std::lround(rate * static_cast<double>(total))));
+  std::vector<int> ids = rng.sample_without_replacement(total, count);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fca::fl

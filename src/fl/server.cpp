@@ -1,0 +1,112 @@
+#include "fl/server.hpp"
+
+#include "utils/error.hpp"
+#include "utils/logging.hpp"
+#include "utils/timer.hpp"
+
+namespace fca::fl {
+
+FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
+    : clients_(std::move(clients)), config_(config) {
+  FCA_CHECK_MSG(!clients_.empty(), "FederatedRun needs at least one client");
+  FCA_CHECK(config_.rounds >= 1 && config_.local_epochs >= 1 &&
+            config_.sample_rate > 0.0 && config_.sample_rate <= 1.0 &&
+            config_.eval_every >= 1);
+  network_ =
+      std::make_unique<comm::Network>(num_clients() + 1, config_.cost);
+  server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
+  client_eps_.reserve(clients_.size());
+  for (int k = 0; k < num_clients(); ++k) {
+    client_eps_.push_back(
+        std::make_unique<comm::Endpoint>(*network_, k + 1));
+  }
+}
+
+std::vector<int> FederatedRun::ranks_of(const std::vector<int>& clients) {
+  std::vector<int> ranks;
+  ranks.reserve(clients.size());
+  for (int c : clients) ranks.push_back(c + 1);
+  return ranks;
+}
+
+std::vector<double> FederatedRun::data_weights(
+    const std::vector<int>& selected) const {
+  FCA_CHECK(!selected.empty());
+  std::vector<double> w;
+  w.reserve(selected.size());
+  double total = 0.0;
+  for (int k : selected) {
+    const auto n = static_cast<double>(
+        clients_.at(static_cast<size_t>(k))->train_size());
+    w.push_back(n);
+    total += n;
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
+std::vector<double> FederatedRun::evaluate_all() {
+  std::vector<double> acc;
+  acc.reserve(clients_.size());
+  for (auto& c : clients_) acc.push_back(c->evaluate());
+  return acc;
+}
+
+RunResult FederatedRun::execute(RoundStrategy& strategy) {
+  RunResult result;
+  result.strategy = strategy.name();
+  Rng sampler = Rng(config_.seed).fork("sampling/" + strategy.name());
+
+  strategy.initialize(*this);
+  uint64_t bytes_before = network_->total_stats().payload_bytes;
+
+  int participating_rounds_total = 0;
+  for (int round = 1; round <= config_.rounds; ++round) {
+    Timer timer;
+    const std::vector<int> selected =
+        sample_clients(num_clients(), config_.sample_rate, sampler);
+    participating_rounds_total += static_cast<int>(selected.size());
+    const float train_loss = strategy.execute_round(*this, round, selected);
+
+    if (round % config_.eval_every == 0 || round == config_.rounds) {
+      RoundMetrics m;
+      m.round = round;
+      m.cumulative_local_epochs = round * config_.local_epochs;
+      std::vector<double> acc = evaluate_all();
+      m.mean_accuracy = mean_of(acc);
+      m.std_accuracy = std_of(acc);
+      m.client_accuracies = std::move(acc);
+      m.mean_train_loss = train_loss;
+      m.wall_seconds = timer.seconds();
+      const uint64_t bytes_now = network_->total_stats().payload_bytes;
+      m.round_bytes = bytes_now - bytes_before;
+      bytes_before = bytes_now;
+      result.curve.push_back(m);
+      FCA_LOG_INFO << strategy.name() << " round " << round << "/"
+                   << config_.rounds << ": acc " << m.mean_accuracy << " ± "
+                   << m.std_accuracy << ", loss " << m.mean_train_loss;
+    }
+  }
+
+  FCA_CHECK_MSG(network_->pending_messages() == 0,
+                "undelivered messages at end of run (protocol bug)");
+  result.total_traffic = network_->total_stats();
+  if (!result.curve.empty()) {
+    result.final_mean_accuracy = result.curve.back().mean_accuracy;
+    result.final_std_accuracy = result.curve.back().std_accuracy;
+  }
+  // Upload traffic per client-round: everything the client ranks sent,
+  // divided by total participation events.
+  uint64_t client_bytes = 0;
+  for (int k = 0; k < num_clients(); ++k) {
+    client_bytes += network_->rank_stats(k + 1).payload_bytes;
+  }
+  if (participating_rounds_total > 0) {
+    result.client_upload_bytes_per_round =
+        static_cast<double>(client_bytes) /
+        static_cast<double>(participating_rounds_total);
+  }
+  return result;
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,86 @@
+// Federated round driver.
+//
+// FederatedRun owns the clients, the comm fabric (rank 0 = server, rank k+1
+// = client k) and the round loop: sample participants, delegate the round
+// body to a RoundStrategy, evaluate every client on its local test set, and
+// record metrics. All algorithms (FedClassAvg and the baselines) plug in as
+// RoundStrategy implementations, so every method is measured under an
+// identical protocol.
+#pragma once
+
+#include <memory>
+
+#include "comm/endpoint.hpp"
+#include "fl/client.hpp"
+#include "fl/metrics.hpp"
+#include "fl/sampling.hpp"
+
+namespace fca::fl {
+
+struct FLConfig {
+  int rounds = 10;
+  int local_epochs = 1;       // E in Algorithm 1
+  double sample_rate = 1.0;   // client participation per round
+  int eval_every = 1;         // evaluate accuracies every N rounds
+  comm::CostModel cost;       // latency/bandwidth model for the fabric
+  uint64_t seed = 42;         // drives sampling and any server randomness
+};
+
+/// Message tags on the fabric.
+enum Tag : int {
+  kTagModelDown = 1,   // server -> client parameter broadcast
+  kTagModelUp = 2,     // client -> server parameter upload
+  kTagAuxDown = 3,     // server -> client auxiliary payloads
+  kTagAuxUp = 4,       // client -> server auxiliary payloads
+  kTagPublicData = 5,  // one-time public dataset broadcast (KT-pFL)
+};
+
+class FederatedRun;
+
+class RoundStrategy {
+ public:
+  virtual ~RoundStrategy() = default;
+  virtual std::string name() const = 0;
+  /// Called once before round 1 (initial broadcasts, state setup).
+  virtual void initialize(FederatedRun& run) { (void)run; }
+  /// Executes one communication round over the selected clients; returns the
+  /// mean local training loss across participants.
+  virtual float execute_round(FederatedRun& run, int round,
+                              const std::vector<int>& selected) = 0;
+};
+
+class FederatedRun {
+ public:
+  FederatedRun(std::vector<ClientPtr> clients, FLConfig config);
+
+  /// Runs the full federated protocol and returns the metric record.
+  RunResult execute(RoundStrategy& strategy);
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  Client& client(int k) { return *clients_.at(static_cast<size_t>(k)); }
+  std::vector<ClientPtr>& clients() { return clients_; }
+  const FLConfig& config() const { return config_; }
+
+  comm::Network& network() { return *network_; }
+  comm::Endpoint& server_endpoint() { return *server_ep_; }
+  comm::Endpoint& client_endpoint(int k) {
+    return *client_eps_.at(static_cast<size_t>(k));
+  }
+  /// Fabric ranks of a client list (client k lives on rank k + 1).
+  static std::vector<int> ranks_of(const std::vector<int>& clients);
+
+  /// Normalized |D_k| / sum(|D_j|, j in selected) aggregation weights.
+  std::vector<double> data_weights(const std::vector<int>& selected) const;
+
+  /// Mean test accuracy across all clients (and per-client values).
+  std::vector<double> evaluate_all();
+
+ private:
+  std::vector<ClientPtr> clients_;
+  FLConfig config_;
+  std::unique_ptr<comm::Network> network_;
+  std::unique_ptr<comm::Endpoint> server_ep_;
+  std::vector<std::unique_ptr<comm::Endpoint>> client_eps_;
+};
+
+}  // namespace fca::fl

@@ -1,0 +1,33 @@
+// MiniAlexNet: scaled-down AlexNet-style backbone (Krizhevsky et al. 2012).
+//
+// The paper notes it used a custom AlexNet because the torchvision one only
+// fits ImageNet resolutions; likewise this is a small-input adaptation:
+// three convolution stages without batch normalization (true to the
+// original's design), two max-pools, then Flatten -> FC to the feature dim.
+#include "models/blocks.hpp"
+#include "models/factory.hpp"
+#include "nn/linear.hpp"
+#include "utils/error.hpp"
+
+namespace fca::models {
+
+nn::ModulePtr make_alexnet_extractor(const ModelConfig& config, Rng& rng) {
+  const int64_t w = config.width;
+  const int64_t s = config.image_size;
+  FCA_CHECK_MSG(s % 4 == 0, "MiniAlexNet needs image_size divisible by 4");
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(blocks::conv(config.in_channels, w, 5, 1, 2, rng, /*bias=*/true));
+  seq->add(std::make_unique<nn::ReLU>());
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(blocks::conv(w, 2 * w, 3, 1, 1, rng, /*bias=*/true));
+  seq->add(std::make_unique<nn::ReLU>());
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(blocks::conv(2 * w, 4 * w, 3, 1, 1, rng, /*bias=*/true));
+  seq->add(std::make_unique<nn::ReLU>());
+  seq->add(std::make_unique<nn::Flatten>());
+  const int64_t flat = 4 * w * (s / 4) * (s / 4);
+  seq->add(std::make_unique<nn::Linear>(flat, config.feature_dim, rng));
+  return seq;
+}
+
+}  // namespace fca::models

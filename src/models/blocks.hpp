@@ -1,0 +1,51 @@
+// Shared building-block helpers for the model zoo (internal header).
+#pragma once
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/container.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::models::blocks {
+
+inline nn::ModulePtr conv(int64_t in, int64_t out, int64_t k, int64_t s,
+                          int64_t p, Rng& rng, bool bias = false) {
+  return std::make_unique<nn::Conv2d>(in, out, k, s, p, rng, bias);
+}
+
+/// Conv -> BatchNorm -> ReLU.
+inline nn::ModulePtr conv_bn_relu(int64_t in, int64_t out, int64_t k,
+                                  int64_t s, int64_t p, Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(conv(in, out, k, s, p, rng));
+  seq->add(std::make_unique<nn::BatchNorm2d>(out));
+  seq->add(std::make_unique<nn::ReLU>());
+  return seq;
+}
+
+/// Conv -> BatchNorm (no activation; used before residual sums).
+inline nn::ModulePtr conv_bn(int64_t in, int64_t out, int64_t k, int64_t s,
+                             int64_t p, Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(conv(in, out, k, s, p, rng));
+  seq->add(std::make_unique<nn::BatchNorm2d>(out));
+  return seq;
+}
+
+/// Depthwise conv -> BatchNorm (the ShuffleNetV2 3x3 stage; no activation
+/// after depthwise convolutions, per the original design).
+inline nn::ModulePtr dwconv_bn(int64_t channels, int64_t k, int64_t s,
+                               int64_t p, Rng& rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(std::make_unique<nn::Conv2d>(channels, channels, k, s, p, rng,
+                                        /*bias=*/false,
+                                        /*groups=*/channels));
+  seq->add(std::make_unique<nn::BatchNorm2d>(channels));
+  return seq;
+}
+
+}  // namespace fca::models::blocks

@@ -1,0 +1,43 @@
+// CNN2: the two-convolution CNN family used for the FedProto comparison.
+//
+// FedProto (Tan et al. 2022) assumes *milder* model heterogeneity than the
+// other methods: clients run the same two-conv architecture with different
+// output-channel counts. `variant` widens the first stage per client,
+// matching that scheme.
+#include "models/blocks.hpp"
+#include "models/factory.hpp"
+#include "nn/linear.hpp"
+#include "utils/error.hpp"
+
+namespace fca::models {
+
+nn::ModulePtr make_cnn2_extractor(const ModelConfig& config, Rng& rng) {
+  const int64_t s = config.image_size;
+  FCA_CHECK_MSG(s % 4 == 0, "CNN2 needs image_size divisible by 4");
+  const int64_t w1 = config.width + 2 * (config.variant % 4);
+  const int64_t w2 = 2 * config.width;
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(blocks::conv(config.in_channels, w1, 5, 1, 2, rng, /*bias=*/true));
+  seq->add(std::make_unique<nn::ReLU>());
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(blocks::conv(w1, w2, 5, 1, 2, rng, /*bias=*/true));
+  seq->add(std::make_unique<nn::ReLU>());
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(std::make_unique<nn::Flatten>());
+  const int64_t flat = w2 * (s / 4) * (s / 4);
+  seq->add(std::make_unique<nn::Linear>(flat, config.feature_dim, rng));
+  return seq;
+}
+
+std::string arch_name(Arch arch) {
+  switch (arch) {
+    case Arch::kMiniResNet: return "MiniResNet";
+    case Arch::kMiniShuffleNet: return "MiniShuffleNet";
+    case Arch::kMiniGoogLeNet: return "MiniGoogLeNet";
+    case Arch::kMiniAlexNet: return "MiniAlexNet";
+    case Arch::kCnn2: return "CNN2";
+  }
+  return "unknown";
+}
+
+}  // namespace fca::models

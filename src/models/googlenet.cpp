@@ -1,0 +1,62 @@
+// MiniGoogLeNet: scaled-down GoogLeNet-style backbone (Szegedy et al. 2015).
+//
+// Two inception modules with the canonical four branches (1x1, 1x1->3x3,
+// 1x1->5x5, pool->1x1), each convolution followed by BatchNorm + ReLU,
+// global average pooling, and a final FC to the shared feature dimension.
+#include "models/blocks.hpp"
+#include "models/factory.hpp"
+#include "nn/linear.hpp"
+#include "utils/error.hpp"
+
+namespace fca::models {
+namespace {
+
+using blocks::conv_bn_relu;
+
+/// Four-branch inception module; output channels = 2 * `in` by construction
+/// (in/2 + in + in/4 + in/4).
+nn::ModulePtr inception(int64_t in, Rng& rng) {
+  FCA_CHECK_MSG(in % 4 == 0, "inception input channels must be divisible by 4");
+  std::vector<nn::ModulePtr> branches;
+  // 1x1
+  branches.push_back(conv_bn_relu(in, in / 2, 1, 1, 0, rng));
+  // 1x1 reduce -> 3x3
+  {
+    auto b = std::make_unique<nn::Sequential>();
+    b->add(conv_bn_relu(in, in / 4, 1, 1, 0, rng));
+    b->add(conv_bn_relu(in / 4, in, 3, 1, 1, rng));
+    branches.push_back(std::move(b));
+  }
+  // 1x1 reduce -> 5x5
+  {
+    auto b = std::make_unique<nn::Sequential>();
+    b->add(conv_bn_relu(in, in / 4, 1, 1, 0, rng));
+    b->add(conv_bn_relu(in / 4, in / 4, 5, 1, 2, rng));
+    branches.push_back(std::move(b));
+  }
+  // 3x3 maxpool -> 1x1
+  {
+    auto b = std::make_unique<nn::Sequential>();
+    b->add(std::make_unique<nn::MaxPool2d>(3, 1, 1));
+    b->add(conv_bn_relu(in, in / 4, 1, 1, 0, rng));
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<nn::BranchConcat>(std::move(branches));
+}
+
+}  // namespace
+
+nn::ModulePtr make_googlenet_extractor(const ModelConfig& config, Rng& rng) {
+  const int64_t w = config.width;
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(conv_bn_relu(config.in_channels, w, 3, 1, 1, rng));
+  seq->add(inception(w, rng));  // -> 2w
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(inception(2 * w, rng));  // -> 4w
+  seq->add(std::make_unique<nn::MaxPool2d>(2, 2));
+  seq->add(std::make_unique<nn::GlobalAvgPool>());
+  seq->add(std::make_unique<nn::Linear>(4 * w, config.feature_dim, rng));
+  return seq;
+}
+
+}  // namespace fca::models

@@ -1,0 +1,50 @@
+// MiniResNet: scaled-down ResNet-18-style backbone (He et al. 2016).
+//
+// Three stages of two basic residual blocks each, widths w / 2w / 4w, global
+// average pooling, and a final FC layer to the shared feature dimension.
+// `variant` tweaks the stage-2 stride, mirroring the FedProto setup where
+// heterogeneous clients run ResNet-18 "with different strides".
+#include "models/blocks.hpp"
+#include "models/factory.hpp"
+#include "nn/linear.hpp"
+
+namespace fca::models {
+namespace {
+
+using blocks::conv_bn;
+using blocks::conv_bn_relu;
+
+nn::ModulePtr basic_block(int64_t in, int64_t out, int64_t stride, Rng& rng) {
+  auto body = std::make_unique<nn::Sequential>();
+  body->add(conv_bn_relu(in, out, 3, stride, 1, rng));
+  body->add(conv_bn(out, out, 3, 1, 1, rng));
+  nn::ModulePtr shortcut;
+  if (stride != 1 || in != out) {
+    shortcut = conv_bn(in, out, 1, stride, 0, rng);
+  }
+  auto block = std::make_unique<nn::Sequential>();
+  block->add(std::make_unique<nn::Residual>(std::move(body),
+                                            std::move(shortcut)));
+  block->add(std::make_unique<nn::ReLU>());
+  return block;
+}
+
+}  // namespace
+
+nn::ModulePtr make_resnet_extractor(const ModelConfig& config, Rng& rng) {
+  const int64_t w = config.width;
+  const int64_t s2 = (config.variant % 2 == 0) ? 2 : 1;
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(conv_bn_relu(config.in_channels, w, 3, 1, 1, rng));
+  seq->add(basic_block(w, w, 1, rng));
+  seq->add(basic_block(w, w, 1, rng));
+  seq->add(basic_block(w, 2 * w, s2, rng));
+  seq->add(basic_block(2 * w, 2 * w, 1, rng));
+  seq->add(basic_block(2 * w, 4 * w, 2, rng));
+  seq->add(basic_block(4 * w, 4 * w, 1, rng));
+  seq->add(std::make_unique<nn::GlobalAvgPool>());
+  seq->add(std::make_unique<nn::Linear>(4 * w, config.feature_dim, rng));
+  return seq;
+}
+
+}  // namespace fca::models

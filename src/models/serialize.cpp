@@ -1,0 +1,257 @@
+#include "models/serialize.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "utils/error.hpp"
+
+namespace fca::models {
+namespace {
+
+// Buffer format, little-endian:
+//   u32 tensor_count
+//   per tensor: u32 name_len, name bytes, u32 ndim, i64 dims..., f32 data...
+
+void put_u32(std::vector<std::byte>& out, uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void put_i64(std::vector<std::byte>& out, int64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  uint32_t u32() {
+    uint32_t v;
+    read(&v, sizeof(v));
+    return v;
+  }
+  int64_t i64() {
+    int64_t v;
+    read(&v, sizeof(v));
+    return v;
+  }
+  std::string str(size_t len) {
+    FCA_CHECK_MSG(pos_ + len <= bytes_.size(), "truncated buffer");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void floats(float* dst, size_t count) { read(dst, count * sizeof(float)); }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void read(void* dst, size_t n) {
+    FCA_CHECK_MSG(pos_ + n <= bytes_.size(), "truncated buffer");
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::byte> bytes_;
+  size_t pos_ = 0;
+};
+
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor;
+};
+
+std::vector<std::byte> serialize_named(const std::vector<NamedTensor>& items) {
+  std::vector<std::byte> out;
+  put_u32(out, static_cast<uint32_t>(items.size()));
+  for (const auto& it : items) {
+    put_u32(out, static_cast<uint32_t>(it.name.size()));
+    const auto* np = reinterpret_cast<const std::byte*>(it.name.data());
+    out.insert(out.end(), np, np + it.name.size());
+    put_u32(out, static_cast<uint32_t>(it.tensor->ndim()));
+    for (int64_t d : it.tensor->shape()) put_i64(out, d);
+    const auto* dp = reinterpret_cast<const std::byte*>(it.tensor->data());
+    out.insert(out.end(), dp,
+               dp + static_cast<size_t>(it.tensor->numel()) * sizeof(float));
+  }
+  return out;
+}
+
+void deserialize_named(std::span<const std::byte> bytes,
+                       const std::vector<NamedTensor>& items) {
+  Reader r(bytes);
+  const uint32_t count = r.u32();
+  FCA_CHECK_MSG(count == items.size(), "tensor count mismatch: buffer has "
+                                           << count << ", target has "
+                                           << items.size());
+  for (const auto& it : items) {
+    const uint32_t name_len = r.u32();
+    const std::string name = r.str(name_len);
+    FCA_CHECK_MSG(name == it.name,
+                  "tensor name mismatch: '" << name << "' vs '" << it.name
+                                            << "'");
+    const uint32_t ndim = r.u32();
+    FCA_CHECK_MSG(ndim == static_cast<uint32_t>(it.tensor->ndim()),
+                  "rank mismatch for " << name);
+    for (int64_t d = 0; d < it.tensor->ndim(); ++d) {
+      FCA_CHECK_MSG(r.i64() == it.tensor->dim(d), "shape mismatch for "
+                                                      << name);
+    }
+    r.floats(it.tensor->data(), static_cast<size_t>(it.tensor->numel()));
+  }
+  FCA_CHECK_MSG(r.done(), "trailing bytes after deserialization");
+}
+
+size_t serialized_named_size(const std::vector<NamedTensor>& items) {
+  size_t n = sizeof(uint32_t);
+  for (const auto& it : items) {
+    n += sizeof(uint32_t) + it.name.size();
+    n += sizeof(uint32_t) +
+         static_cast<size_t>(it.tensor->ndim()) * sizeof(int64_t);
+    n += static_cast<size_t>(it.tensor->numel()) * sizeof(float);
+  }
+  return n;
+}
+
+std::vector<NamedTensor> param_tensors(const std::vector<nn::Param*>& params) {
+  std::vector<NamedTensor> out;
+  out.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    // Positional prefix keeps equal simple names ("weight") distinct.
+    out.push_back({std::to_string(i) + ":" + params[i]->name,
+                   &params[i]->value});
+  }
+  return out;
+}
+
+std::vector<NamedTensor> state_tensors(SplitModel& model) {
+  std::vector<NamedTensor> out = param_tensors(model.parameters());
+  for (const auto& buf : model.buffers()) {
+    out.push_back({"buf:" + buf.name, buf.tensor});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_params(
+    const std::vector<nn::Param*>& params) {
+  return serialize_named(param_tensors(params));
+}
+
+void deserialize_params(std::span<const std::byte> bytes,
+                        const std::vector<nn::Param*>& params) {
+  deserialize_named(bytes, param_tensors(params));
+}
+
+size_t serialized_params_size(const std::vector<nn::Param*>& params) {
+  return serialized_named_size(param_tensors(params));
+}
+
+std::vector<std::byte> serialize_state(SplitModel& model) {
+  return serialize_named(state_tensors(model));
+}
+
+void deserialize_state(std::span<const std::byte> bytes, SplitModel& model) {
+  deserialize_named(bytes, state_tensors(model));
+}
+
+size_t serialized_state_size(SplitModel& model) {
+  return serialized_named_size(state_tensors(model));
+}
+
+namespace {
+constexpr char kStateMagic[8] = {'F', 'C', 'A', 'S', 'T', 'A', 'T', '1'};
+}  // namespace
+
+void save_state_file(SplitModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FCA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kStateMagic, sizeof(kStateMagic));
+  const std::vector<std::byte> body = serialize_state(model);
+  const auto size = static_cast<uint64_t>(body.size());
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  FCA_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void load_state_file(SplitModel& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FCA_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kStateMagic)] = {};
+  in.read(magic, sizeof(magic));
+  FCA_CHECK_MSG(in.good() && std::memcmp(magic, kStateMagic,
+                                         sizeof(kStateMagic)) == 0,
+                path << " is not an FCA state file");
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  FCA_CHECK_MSG(in.good(), "truncated state file " << path);
+  std::vector<std::byte> body(size);
+  in.read(reinterpret_cast<char*>(body.data()),
+          static_cast<std::streamsize>(size));
+  FCA_CHECK_MSG(in.good(), "truncated state file " << path);
+  deserialize_state(body, model);
+}
+
+std::vector<std::byte> serialize_tensors(const std::vector<Tensor>& tensors) {
+  std::vector<NamedTensor> items;
+  items.reserve(tensors.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    // serialize_named only reads through the pointer, so the const_cast is
+    // safe; the alternative (templating NamedTensor on constness) is not
+    // worth the noise.
+    items.push_back(
+        {std::to_string(i), const_cast<Tensor*>(&tensors[i])});
+  }
+  return serialize_named(items);
+}
+
+std::vector<Tensor> deserialize_tensors(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  const uint32_t count = r.u32();
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = r.u32();
+    (void)r.str(name_len);
+    const uint32_t ndim = r.u32();
+    Shape shape;
+    for (uint32_t d = 0; d < ndim; ++d) shape.push_back(r.i64());
+    Tensor t(shape);
+    r.floats(t.data(), static_cast<size_t>(t.numel()));
+    out.push_back(std::move(t));
+  }
+  FCA_CHECK_MSG(r.done(), "trailing bytes after tensor deserialization");
+  return out;
+}
+
+void copy_param_values(const std::vector<nn::Param*>& src,
+                       const std::vector<nn::Param*>& dst) {
+  FCA_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    FCA_CHECK_MSG(src[i]->value.same_shape(dst[i]->value),
+                  "param shape mismatch at index " << i);
+    std::copy_n(src[i]->value.data(), src[i]->value.numel(),
+                dst[i]->value.data());
+  }
+}
+
+std::vector<Tensor> snapshot_values(const std::vector<nn::Param*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const nn::Param* p : params) out.push_back(p->value.clone());
+  return out;
+}
+
+void restore_values(const std::vector<Tensor>& snapshot,
+                    const std::vector<nn::Param*>& params) {
+  FCA_CHECK(snapshot.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    FCA_CHECK(snapshot[i].same_shape(params[i]->value));
+    std::copy_n(snapshot[i].data(), snapshot[i].numel(),
+                params[i]->value.data());
+  }
+}
+
+}  // namespace fca::models

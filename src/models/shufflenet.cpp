@@ -1,0 +1,118 @@
+// MiniShuffleNet: scaled-down ShuffleNetV2-style backbone (Ma et al. 2018).
+//
+// Keeps the structural signature of ShuffleNetV2 — channel split, a
+// two-branch unit with true depthwise 3x3 convolutions, channel concat,
+// channel shuffle — at reduced width.
+#include "models/blocks.hpp"
+#include "models/factory.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::models {
+namespace {
+
+using blocks::conv_bn_relu;
+using blocks::dwconv_bn;
+
+/// ShuffleNetV2 unit. stride 1: channel split, identity left branch.
+/// stride 2: both branches downsample, doubling channels.
+class ShuffleUnit : public nn::Module {
+ public:
+  ShuffleUnit(int64_t in, int64_t out, int64_t stride, Rng& rng)
+      : in_(in), out_(out), stride_(stride), shuffle_(2) {
+    FCA_CHECK(stride == 1 || stride == 2);
+    if (stride == 1) {
+      FCA_CHECK_MSG(in == out && in % 2 == 0,
+                    "stride-1 ShuffleUnit needs in == out, even");
+      const int64_t half = in / 2;
+      auto right = std::make_unique<nn::Sequential>();
+      right->add(conv_bn_relu(half, half, 1, 1, 0, rng));
+      right->add(dwconv_bn(half, 3, 1, 1, rng));
+      right->add(conv_bn_relu(half, half, 1, 1, 0, rng));
+      right_ = std::move(right);
+    } else {
+      FCA_CHECK_MSG(out % 2 == 0, "ShuffleUnit output channels must be even");
+      const int64_t half = out / 2;
+      auto left = std::make_unique<nn::Sequential>();
+      left->add(dwconv_bn(in, 3, 2, 1, rng));
+      left->add(conv_bn_relu(in, half, 1, 1, 0, rng));
+      left_ = std::move(left);
+      auto right = std::make_unique<nn::Sequential>();
+      right->add(conv_bn_relu(in, half, 1, 1, 0, rng));
+      right->add(dwconv_bn(half, 3, 2, 1, rng));
+      right->add(conv_bn_relu(half, half, 1, 1, 0, rng));
+      right_ = std::move(right);
+    }
+  }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor merged;
+    if (stride_ == 1) {
+      const int64_t half = in_ / 2;
+      Tensor xl = nn::slice_channels(x, 0, half);
+      Tensor xr = nn::slice_channels(x, half, in_);
+      Tensor yr = right_->forward(xr, train);
+      merged = nn::concat_channels({xl, yr});
+    } else {
+      Tensor yl = left_->forward(x, train);
+      Tensor yr = right_->forward(x, train);
+      merged = nn::concat_channels({yl, yr});
+    }
+    return shuffle_.forward(merged, train);
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = shuffle_.backward(grad_out);
+    const int64_t c = g.dim(1);
+    const int64_t half = c / 2;
+    Tensor gl = nn::slice_channels(g, 0, half);
+    Tensor gr = nn::slice_channels(g, half, c);
+    if (stride_ == 1) {
+      Tensor gxr = right_->backward(gr);
+      // Input gradient: [identity-left | right-branch] along channels.
+      return nn::concat_channels({gl, gxr});
+    }
+    Tensor gx = left_->backward(gl);
+    Tensor gx2 = right_->backward(gr);
+    add_(gx, gx2);
+    return gx;
+  }
+
+  void collect_params(std::vector<nn::Param*>& out) override {
+    if (left_) left_->collect_params(out);
+    right_->collect_params(out);
+  }
+
+  void collect_buffers(std::vector<nn::BufferRef>& out,
+                       const std::string& prefix) override {
+    if (left_) left_->collect_buffers(out, prefix + "left.");
+    right_->collect_buffers(out, prefix + "right.");
+  }
+
+  std::string name() const override { return "ShuffleUnit"; }
+
+ private:
+  int64_t in_, out_, stride_;
+  nn::ModulePtr left_;   // null for stride 1
+  nn::ModulePtr right_;
+  nn::ChannelShuffle shuffle_;
+};
+
+}  // namespace
+
+nn::ModulePtr make_shufflenet_extractor(const ModelConfig& config, Rng& rng) {
+  const int64_t w = config.width;
+  FCA_CHECK(w % 2 == 0);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(conv_bn_relu(config.in_channels, w, 3, 1, 1, rng));
+  seq->add(std::make_unique<ShuffleUnit>(w, 2 * w, 2, rng));
+  seq->add(std::make_unique<ShuffleUnit>(2 * w, 2 * w, 1, rng));
+  seq->add(std::make_unique<ShuffleUnit>(2 * w, 4 * w, 2, rng));
+  seq->add(std::make_unique<ShuffleUnit>(4 * w, 4 * w, 1, rng));
+  seq->add(std::make_unique<nn::GlobalAvgPool>());
+  seq->add(std::make_unique<nn::Linear>(4 * w, config.feature_dim, rng));
+  return seq;
+}
+
+}  // namespace fca::models

@@ -1,0 +1,68 @@
+#include "models/split_model.hpp"
+
+#include "utils/error.hpp"
+
+namespace fca::models {
+
+SplitModel::SplitModel(std::string arch_name, nn::ModulePtr extractor,
+                       std::unique_ptr<nn::Linear> classifier)
+    : arch_name_(std::move(arch_name)),
+      extractor_(std::move(extractor)),
+      classifier_(std::move(classifier)) {
+  FCA_CHECK(extractor_ != nullptr && classifier_ != nullptr);
+}
+
+Tensor SplitModel::features(const Tensor& x, bool train) {
+  Tensor f = extractor_->forward(x, train);
+  FCA_CHECK_MSG(f.ndim() == 2 && f.dim(1) == feature_dim(),
+                "extractor of " << arch_name_ << " produced "
+                                << shape_to_string(f.shape())
+                                << ", expected [B, " << feature_dim() << "]");
+  return f;
+}
+
+Tensor SplitModel::forward(const Tensor& x, bool train) {
+  return classifier_->forward(features(x, train), train);
+}
+
+void SplitModel::backward(const Tensor& grad_logits) {
+  Tensor grad_features = classifier_->backward(grad_logits);
+  extractor_->backward(grad_features);
+}
+
+void SplitModel::backward_features(const Tensor& grad_features) {
+  extractor_->backward(grad_features);
+}
+
+std::vector<nn::Param*> SplitModel::parameters() {
+  std::vector<nn::Param*> out = extractor_parameters();
+  classifier_->collect_params(out);
+  return out;
+}
+
+std::vector<nn::Param*> SplitModel::extractor_parameters() {
+  std::vector<nn::Param*> out;
+  extractor_->collect_params(out);
+  return out;
+}
+
+std::vector<nn::Param*> SplitModel::classifier_parameters() {
+  std::vector<nn::Param*> out;
+  classifier_->collect_params(out);
+  return out;
+}
+
+std::vector<nn::BufferRef> SplitModel::buffers() {
+  std::vector<nn::BufferRef> out;
+  extractor_->collect_buffers(out, "extractor.");
+  classifier_->collect_buffers(out, "classifier.");
+  return out;
+}
+
+int64_t SplitModel::parameter_count() {
+  int64_t n = 0;
+  for (const nn::Param* p : parameters()) n += p->numel();
+  return n;
+}
+
+}  // namespace fca::models

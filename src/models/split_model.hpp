@@ -1,0 +1,54 @@
+// SplitModel: the paper's model decomposition f_k = C_k ∘ F_k.
+//
+// Every client model is a feature extractor F (backbone convolutions plus
+// one fully connected layer mapping to a shared feature dimension D) and a
+// classifier C (a single fully connected layer D -> num_classes). Only the
+// classifier has a unified shape across heterogeneous clients; FedClassAvg
+// aggregates exactly its parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/container.hpp"
+#include "nn/linear.hpp"
+
+namespace fca::models {
+
+class SplitModel {
+ public:
+  SplitModel(std::string arch_name, nn::ModulePtr extractor,
+             std::unique_ptr<nn::Linear> classifier);
+
+  /// F_k(x): [B, C, H, W] -> [B, D].
+  Tensor features(const Tensor& x, bool train);
+  /// C_k(F_k(x)): [B, C, H, W] -> [B, num_classes].
+  Tensor forward(const Tensor& x, bool train);
+
+  /// Backprop through the whole model from d(loss)/d(logits); accumulates
+  /// parameter gradients (requires a prior training forward()).
+  void backward(const Tensor& grad_logits);
+  /// Backprop only the extractor from d(loss)/d(features) (requires a prior
+  /// training features()/forward()).
+  void backward_features(const Tensor& grad_features);
+
+  nn::Module& extractor() { return *extractor_; }
+  nn::Linear& classifier() { return *classifier_; }
+
+  std::vector<nn::Param*> parameters();
+  std::vector<nn::Param*> extractor_parameters();
+  std::vector<nn::Param*> classifier_parameters();
+  std::vector<nn::BufferRef> buffers();
+
+  int64_t feature_dim() const { return classifier_->in_features(); }
+  int64_t num_classes() const { return classifier_->out_features(); }
+  const std::string& arch_name() const { return arch_name_; }
+  int64_t parameter_count();
+
+ private:
+  std::string arch_name_;
+  nn::ModulePtr extractor_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace fca::models

@@ -1,0 +1,67 @@
+#include "nn/activation.hpp"
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_input_ = x;
+  return apply(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  FCA_CHECK_MSG(!cached_input_.empty(),
+                "ReLU::backward without a training forward");
+  FCA_CHECK(grad_out.same_shape(cached_input_));
+  Tensor g = grad_out.clone();
+  const float* x = cached_input_.data();
+  float* pg = g.data();
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    if (x[i] <= 0.0f) pg[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_input_ = x;
+  const float s = slope_;
+  return apply(x, [s](float v) { return v > 0.0f ? v : s * v; });
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  FCA_CHECK_MSG(!cached_input_.empty(),
+                "LeakyReLU::backward without a training forward");
+  FCA_CHECK(grad_out.same_shape(cached_input_));
+  Tensor g = grad_out.clone();
+  const float* x = cached_input_.data();
+  float* pg = g.data();
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    if (x[i] <= 0.0f) pg[i] *= slope_;
+  }
+  return g;
+}
+
+Dropout::Dropout(float p, Rng rng) : p_(p), rng_(rng) {
+  FCA_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) {
+    cached_mask_ = Tensor();
+    return x;
+  }
+  cached_mask_ = Tensor(x.shape());
+  const float keep_scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < cached_mask_.numel(); ++i) {
+    cached_mask_[i] = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+  }
+  return mul(x, cached_mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) return grad_out;  // eval-mode or p == 0 forward
+  return mul(grad_out, cached_mask_);
+}
+
+}  // namespace fca::nn

@@ -1,0 +1,143 @@
+#include "nn/conv.hpp"
+
+#include <vector>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+#include "utils/threadpool.hpp"
+
+namespace fca::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng& rng, bool bias,
+               int64_t groups)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      groups_(groups),
+      has_bias_(bias) {
+  FCA_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 &&
+            padding >= 0 && groups > 0);
+  FCA_CHECK_MSG(in_channels % groups == 0 && out_channels % groups == 0,
+                "channels (" << in_channels << ", " << out_channels
+                             << ") not divisible by groups " << groups);
+  const int64_t fan_in = (in_c_ / groups_) * kernel_ * kernel_;
+  weight_ = Param("weight", kaiming_uniform({out_c_, fan_in}, fan_in, rng));
+  if (has_bias_) bias_ = Param("bias", Tensor({out_c_}));
+}
+
+ConvGeom Conv2d::group_geom(int64_t h, int64_t w) const {
+  return ConvGeom{in_c_ / groups_, h,       w,        kernel_, kernel_,
+                  stride_,         stride_, padding_, padding_};
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  FCA_CHECK_MSG(x.ndim() == 4 && x.dim(1) == in_c_,
+                "Conv2d expects [B, " << in_c_ << ", H, W], got "
+                                      << shape_to_string(x.shape()));
+  const int64_t b = x.dim(0);
+  const ConvGeom g = group_geom(x.dim(2), x.dim(3));
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  FCA_CHECK_MSG(oh > 0 && ow > 0, "Conv2d output would be empty for input "
+                                      << shape_to_string(x.shape()));
+  if (train) cached_input_ = x;
+
+  const int64_t icg = in_c_ / groups_;   // in channels per group
+  const int64_t ocg = out_c_ / groups_;  // out channels per group
+  const int64_t col_rows = g.col_rows();
+  const int64_t col_cols = g.col_cols();
+  const int64_t in_img = in_c_ * g.height * g.width;
+  const int64_t out_img = out_c_ * oh * ow;
+
+  Tensor out({b, out_c_, oh, ow});
+  parallel_for_range(
+      0, b,
+      [&](int64_t lo, int64_t hi) {
+        std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int64_t grp = 0; grp < groups_; ++grp) {
+            const float* im =
+                x.data() + i * in_img + grp * icg * g.height * g.width;
+            im2col(im, g, col.data());
+            // out_group = W_group [ocg, icg*k*k] * col [icg*k*k, oh*ow]
+            sgemm(false, false, ocg, col_cols, col_rows, 1.0f,
+                  weight_.value.data() + grp * ocg * col_rows, col_rows,
+                  col.data(), col_cols, 0.0f,
+                  out.data() + i * out_img + grp * ocg * oh * ow, col_cols);
+          }
+          if (has_bias_) {
+            float* o = out.data() + i * out_img;
+            for (int64_t oc = 0; oc < out_c_; ++oc) {
+              const float bv = bias_.value[oc];
+              for (int64_t p = 0; p < oh * ow; ++p) o[oc * oh * ow + p] += bv;
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  FCA_CHECK_MSG(!cached_input_.empty(),
+                "Conv2d::backward without a training forward");
+  const Tensor& x = cached_input_;
+  const int64_t b = x.dim(0);
+  const ConvGeom g = group_geom(x.dim(2), x.dim(3));
+  const int64_t oh = g.out_h(), ow = g.out_w();
+  FCA_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == b &&
+            grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+            grad_out.dim(3) == ow);
+
+  const int64_t icg = in_c_ / groups_;
+  const int64_t ocg = out_c_ / groups_;
+  const int64_t col_rows = g.col_rows();
+  const int64_t col_cols = g.col_cols();
+  const int64_t in_img = in_c_ * g.height * g.width;
+  const int64_t out_img = out_c_ * oh * ow;
+
+  Tensor grad_in(x.shape());
+  // Per-sample loop; the im2col buffer is recomputed here instead of being
+  // cached across the whole batch, which keeps peak memory O(one image's
+  // columns) rather than O(batch).
+  std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
+  std::vector<float> dcol(static_cast<size_t>(col_rows * col_cols));
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t grp = 0; grp < groups_; ++grp) {
+      const float* im =
+          x.data() + i * in_img + grp * icg * g.height * g.width;
+      const float* go = grad_out.data() + i * out_img + grp * ocg * oh * ow;
+      im2col(im, g, col.data());
+      // dW_group += g_out [ocg, ohow] * col^T [ohow, icg*k*k]
+      sgemm(false, true, ocg, col_rows, col_cols, 1.0f, go, col_cols,
+            col.data(), col_cols, 1.0f,
+            weight_.grad.data() + grp * ocg * col_rows, col_rows);
+      // dcol = W_group^T [icg*k*k, ocg] * g_out [ocg, ohow]
+      sgemm(true, false, col_rows, col_cols, ocg, 1.0f,
+            weight_.value.data() + grp * ocg * col_rows, col_rows, go,
+            col_cols, 0.0f, dcol.data(), col_cols);
+      col2im(dcol.data(), g,
+             grad_in.data() + i * in_img + grp * icg * g.height * g.width);
+    }
+    if (has_bias_) {
+      const float* go = grad_out.data() + i * out_img;
+      for (int64_t oc = 0; oc < out_c_; ++oc) {
+        double s = 0.0;
+        for (int64_t p = 0; p < oh * ow; ++p) s += go[oc * oh * ow + p];
+        bias_.grad[oc] += static_cast<float>(s);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace fca::nn

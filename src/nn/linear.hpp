@@ -1,0 +1,37 @@
+// Fully connected layer: y = x W^T + b.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fca {
+class Rng;
+}
+
+namespace fca::nn {
+
+class Linear : public Module {
+ public:
+  /// Kaiming-uniform initialized weights [out, in]; zero bias (if enabled).
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "Linear"; }
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_, out_;
+  bool has_bias_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_input_;
+};
+
+}  // namespace fca::nn

@@ -1,0 +1,42 @@
+// Plain-tensor losses with analytic gradients.
+//
+// These cover the conventional supervised paths (baseline local training,
+// FedAvg, FedProx, KT-pFL distillation) where the gradient w.r.t. logits has
+// a closed form and taping would be overhead. The FedClassAvg objective,
+// which mixes SupCon + CE + proximal terms through shared features, uses the
+// fca::ag heads instead.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fca::nn {
+
+struct LossResult {
+  float value = 0.0f;  // mean loss over the batch
+  Tensor grad;         // d(loss)/d(logits), same shape as logits
+};
+
+/// Mean softmax cross-entropy of logits [B, C] vs integer labels.
+/// grad = (softmax(logits) - onehot) / B.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Mean soft-target cross-entropy: -sum(target * log_softmax(logits)) / B.
+/// Used for knowledge distillation; `target_probs` rows must sum to 1.
+LossResult soft_target_cross_entropy(const Tensor& logits,
+                                     const Tensor& target_probs);
+
+/// Temperature-scaled KL distillation loss (Hinton et al.):
+/// KL(softmax(teacher/T) || softmax(student/T)) * T^2, mean over batch.
+LossResult distillation_kl(const Tensor& student_logits,
+                           const Tensor& teacher_logits, float temperature);
+
+/// Mean squared error between two equally shaped tensors; grad w.r.t. `pred`.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace fca::nn

@@ -1,0 +1,129 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fca::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("gamma", Tensor::ones({channels})),
+      beta_("beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_(Tensor::ones({channels})) {
+  FCA_CHECK(channels > 0 && eps > 0.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  FCA_CHECK_MSG(x.ndim() == 4 && x.dim(1) == channels_,
+                "BatchNorm2d expects [B, " << channels_ << ", H, W], got "
+                                           << shape_to_string(x.shape()));
+  const int64_t b = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+  const int64_t hw = h * w;
+  const int64_t n = b * hw;  // elements per channel
+  Tensor out(x.shape());
+
+  if (!train) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float inv = 1.0f / std::sqrt(running_var_[ch] + eps_);
+      const float g = gamma_.value[ch], bt = beta_.value[ch],
+                  mu = running_mean_[ch];
+      for (int64_t i = 0; i < b; ++i) {
+        const float* xi = x.data() + (i * c + ch) * hw;
+        float* oi = out.data() + (i * c + ch) * hw;
+        for (int64_t p = 0; p < hw; ++p) oi[p] = g * (xi[p] - mu) * inv + bt;
+      }
+    }
+    return out;
+  }
+
+  FCA_CHECK_MSG(n > 1, "BatchNorm2d training needs more than one value per "
+                       "channel");
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor({c});
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double s = 0.0, ss = 0.0;
+    for (int64_t i = 0; i < b; ++i) {
+      const float* xi = x.data() + (i * c + ch) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        s += xi[p];
+        ss += static_cast<double>(xi[p]) * xi[p];
+      }
+    }
+    const double mu = s / n;
+    const double var = std::max(0.0, ss / n - mu * mu);  // biased, as PyTorch
+    const auto inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    cached_inv_std_[ch] = inv;
+    const float g = gamma_.value[ch], bt = beta_.value[ch];
+    for (int64_t i = 0; i < b; ++i) {
+      const float* xi = x.data() + (i * c + ch) * hw;
+      float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      float* oi = out.data() + (i * c + ch) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        xh[p] = (xi[p] - static_cast<float>(mu)) * inv;
+        oi[p] = g * xh[p] + bt;
+      }
+    }
+    // PyTorch tracks the *unbiased* variance in running stats.
+    const double unbiased = n > 1 ? var * n / (n - 1) : var;
+    running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                        momentum_ * static_cast<float>(mu);
+    running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                       momentum_ * static_cast<float>(unbiased);
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  FCA_CHECK_MSG(!cached_xhat_.empty(),
+                "BatchNorm2d::backward without a training forward");
+  FCA_CHECK(grad_out.same_shape(cached_xhat_));
+  const int64_t b = grad_out.dim(0), c = channels_, h = grad_out.dim(2),
+                w = grad_out.dim(3);
+  const int64_t hw = h * w;
+  const int64_t n = b * hw;
+  Tensor grad_in(grad_out.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int64_t i = 0; i < b; ++i) {
+      const float* g = grad_out.data() + (i * c + ch) * hw;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        sum_g += g[p];
+        sum_gx += static_cast<double>(g[p]) * xh[p];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_gx);
+    beta_.grad[ch] += static_cast<float>(sum_g);
+    const double mean_g = sum_g / n;
+    const double mean_gx = sum_gx / n;
+    const double scale = static_cast<double>(gamma_.value[ch]) *
+                         cached_inv_std_[ch];
+    for (int64_t i = 0; i < b; ++i) {
+      const float* g = grad_out.data() + (i * c + ch) * hw;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      float* gi = grad_in.data() + (i * c + ch) * hw;
+      for (int64_t p = 0; p < hw; ++p) {
+        gi[p] = static_cast<float>(scale *
+                                   (g[p] - mean_g - xh[p] * mean_gx));
+      }
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_buffers(std::vector<BufferRef>& out,
+                                  const std::string& prefix) {
+  out.push_back({prefix + "running_mean", &running_mean_});
+  out.push_back({prefix + "running_var", &running_var_});
+}
+
+}  // namespace fca::nn

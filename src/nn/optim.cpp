@@ -1,0 +1,98 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::nn {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  FCA_CHECK(max_norm > 0.0f);
+  double total = 0.0;
+  for (const Param* p : params_) total += sum_squares(p->grad);
+  const auto norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (Param* p : params_) mul_scalar_(p->grad, scale);
+  }
+  return norm;
+}
+
+SGD::SGD(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay, bool nesterov)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      nesterov_(nesterov) {
+  FCA_CHECK(lr > 0.0f && momentum >= 0.0f && weight_decay >= 0.0f);
+  FCA_CHECK_MSG(!nesterov || momentum > 0.0f,
+                "Nesterov momentum requires momentum > 0");
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor g = p.grad.clone();
+    if (weight_decay_ > 0.0f) axpy_(g, weight_decay_, p.value);
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      mul_scalar_(v, momentum_);
+      add_(v, g);
+      if (nesterov_) {
+        axpy_(g, momentum_, v);
+      } else {
+        g = v.clone();
+      }
+    }
+    axpy_(p.value, -lr_, g);
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  FCA_CHECK(lr > 0.0f && beta1 >= 0.0f && beta1 < 1.0f && beta2 >= 0.0f &&
+            beta2 < 1.0f && eps > 0.0f && weight_decay >= 0.0f);
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = p.grad[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * p.value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace fca::nn

@@ -1,0 +1,59 @@
+// First-order optimizers over nn::Param sets.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fca::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameters.
+  virtual void step() = 0;
+  /// Clears every parameter gradient.
+  void zero_grad();
+  /// In-place global-norm gradient clipping; returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+  const std::vector<Param*>& params() const { return params_; }
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_ = 1e-3f;
+};
+
+/// SGD with optional momentum, Nesterov, and decoupled L2 weight decay.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Param*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f, bool nesterov = false);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  bool nesterov_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; the paper's local client update
+/// uses Adam with the Table-1 learning rates.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace fca::nn

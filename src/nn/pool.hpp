@@ -1,0 +1,57 @@
+// Spatial pooling layers (NCHW).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fca::nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  int64_t kernel_, stride_, padding_;
+  Shape cached_in_shape_;
+  std::vector<int64_t> cached_argmax_;  // flat input index per output element
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  int64_t kernel_, stride_, padding_;
+  Shape cached_in_shape_;
+};
+
+/// Collapses each channel's spatial extent to its mean: [B,C,H,W] -> [B,C].
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// [B, C, H, W] -> [B, C*H*W].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace fca::nn

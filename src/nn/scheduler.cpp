@@ -1,0 +1,49 @@
+#include "nn/scheduler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "utils/error.hpp"
+
+namespace fca::nn {
+
+void LrScheduler::step() {
+  ++steps_;
+  optimizer_->set_lr(lr_at(steps_));
+}
+
+StepDecay::StepDecay(Optimizer& optimizer, int64_t period, float gamma)
+    : LrScheduler(optimizer), period_(period), gamma_(gamma) {
+  FCA_CHECK(period > 0 && gamma > 0.0f && gamma <= 1.0f);
+}
+
+float StepDecay::lr_at(int64_t steps) const {
+  const auto decays = static_cast<float>(steps / period_);
+  return base_lr() * std::pow(gamma_, decays);
+}
+
+CosineDecay::CosineDecay(Optimizer& optimizer, int64_t horizon, float min_lr)
+    : LrScheduler(optimizer), horizon_(horizon), min_lr_(min_lr) {
+  FCA_CHECK(horizon > 0 && min_lr >= 0.0f && min_lr <= optimizer.lr());
+}
+
+float CosineDecay::lr_at(int64_t steps) const {
+  if (steps >= horizon_) return min_lr_;
+  const double progress =
+      static_cast<double>(steps) / static_cast<double>(horizon_);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return static_cast<float>(min_lr_ + (base_lr() - min_lr_) * cosine);
+}
+
+LinearWarmup::LinearWarmup(Optimizer& optimizer, int64_t warmup)
+    : LrScheduler(optimizer), warmup_(warmup) {
+  FCA_CHECK(warmup > 0);
+}
+
+float LinearWarmup::lr_at(int64_t steps) const {
+  if (steps >= warmup_) return base_lr();
+  return base_lr() * static_cast<float>(steps) /
+         static_cast<float>(warmup_);
+}
+
+}  // namespace fca::nn

@@ -1,0 +1,75 @@
+// Learning-rate schedules.
+//
+// The paper trains with a fixed Adam learning rate (Table 1); schedulers are
+// provided for the longer-horizon "full" bench scale and for downstream
+// users. step() is called once per communication round (or epoch).
+#pragma once
+
+#include <memory>
+
+#include "nn/optim.hpp"
+
+namespace fca::nn {
+
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer& optimizer)
+      : optimizer_(&optimizer), base_lr_(optimizer.lr()) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advances one step and applies the new learning rate.
+  void step();
+  int64_t steps_taken() const { return steps_; }
+  float base_lr() const { return base_lr_; }
+  float current_lr() const { return optimizer_->lr(); }
+
+ protected:
+  /// Learning rate after `steps` steps (steps >= 1).
+  virtual float lr_at(int64_t steps) const = 0;
+
+ private:
+  Optimizer* optimizer_;
+  float base_lr_;
+  int64_t steps_ = 0;
+};
+
+/// Multiplies the lr by `gamma` every `period` steps.
+class StepDecay : public LrScheduler {
+ public:
+  StepDecay(Optimizer& optimizer, int64_t period, float gamma);
+
+ protected:
+  float lr_at(int64_t steps) const override;
+
+ private:
+  int64_t period_;
+  float gamma_;
+};
+
+/// Cosine annealing from the base lr to `min_lr` over `horizon` steps,
+/// constant afterwards.
+class CosineDecay : public LrScheduler {
+ public:
+  CosineDecay(Optimizer& optimizer, int64_t horizon, float min_lr = 0.0f);
+
+ protected:
+  float lr_at(int64_t steps) const override;
+
+ private:
+  int64_t horizon_;
+  float min_lr_;
+};
+
+/// Linear warmup to the base lr over `warmup` steps, constant afterwards.
+class LinearWarmup : public LrScheduler {
+ public:
+  LinearWarmup(Optimizer& optimizer, int64_t warmup);
+
+ protected:
+  float lr_at(int64_t steps) const override;
+
+ private:
+  int64_t warmup_;
+};
+
+}  // namespace fca::nn

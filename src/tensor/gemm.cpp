@@ -1,0 +1,114 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "utils/error.hpp"
+#include "utils/threadpool.hpp"
+
+namespace fca {
+namespace {
+
+// Element of op(A) at logical (row, col).
+inline float op_at(const float* a, int64_t lda, bool trans, int64_t row,
+                   int64_t col) {
+  return trans ? a[col * lda + row] : a[row * lda + col];
+}
+
+inline void scale_c(float beta, int64_t m, int64_t n, float* c, int64_t ldc) {
+  if (beta == 1.0f) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill_n(row, n, 0.0f);
+    } else {
+      for (int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, int64_t lda, const float* b,
+                 int64_t ldb, float beta, float* c, int64_t ldc) {
+  scale_c(beta, m, n, c, ldc);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * op_at(a, lda, trans_a, i, p);
+      if (av == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        c[i * ldc + j] += av * op_at(b, ldb, trans_b, p, j);
+      }
+    }
+  }
+}
+
+void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                   float alpha, const float* a, int64_t lda, const float* b,
+                   int64_t ldb, float beta, float* c, int64_t ldc,
+                   const GemmBlocking& blk) {
+  FCA_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  scale_c(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+
+  const int64_t mc = std::max<int64_t>(1, blk.mc);
+  const int64_t nc = std::max<int64_t>(1, blk.nc);
+  const int64_t kc = std::max<int64_t>(1, blk.kc);
+
+  // B panels are packed once per (jc, pc) and shared read-only by all row
+  // tasks; each task packs its own A panel into a local buffer.
+  std::vector<float> bp(static_cast<size_t>(kc * nc));
+  for (int64_t jc = 0; jc < n; jc += nc) {
+    const int64_t nb = std::min(nc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kc) {
+      const int64_t kb = std::min(kc, k - pc);
+      for (int64_t p = 0; p < kb; ++p) {
+        if (!trans_b) {
+          const float* src = b + (pc + p) * ldb + jc;
+          std::copy_n(src, nb, bp.data() + p * nb);
+        } else {
+          for (int64_t j = 0; j < nb; ++j) {
+            bp[static_cast<size_t>(p * nb + j)] = b[(jc + j) * ldb + pc + p];
+          }
+        }
+      }
+      parallel_for_range(
+          0, (m + mc - 1) / mc,
+          [&](int64_t blk_lo, int64_t blk_hi) {
+            std::vector<float> ap(static_cast<size_t>(mc * kb));
+            for (int64_t bi = blk_lo; bi < blk_hi; ++bi) {
+              const int64_t ic = bi * mc;
+              const int64_t mb = std::min(mc, m - ic);
+              for (int64_t i = 0; i < mb; ++i) {
+                for (int64_t p = 0; p < kb; ++p) {
+                  ap[static_cast<size_t>(i * kb + p)] =
+                      op_at(a, lda, trans_a, ic + i, pc + p);
+                }
+              }
+              for (int64_t i = 0; i < mb; ++i) {
+                float* crow = c + (ic + i) * ldc + jc;
+                for (int64_t p = 0; p < kb; ++p) {
+                  const float av =
+                      alpha * ap[static_cast<size_t>(i * kb + p)];
+                  if (av == 0.0f) continue;
+                  const float* brow = bp.data() + p * nb;
+                  for (int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
+                }
+              }
+            }
+          },
+          /*grain=*/1);
+    }
+  }
+}
+
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc) {
+  sgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                GemmBlocking{});
+}
+
+}  // namespace fca

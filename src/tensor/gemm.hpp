@@ -1,0 +1,38 @@
+// Single-precision general matrix multiply.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with optional transposes.
+// The kernel is cache-blocked and parallelized over row panels with
+// parallel_for_range; on a single core it reduces to a tight blocked loop.
+#pragma once
+
+#include <cstdint>
+
+namespace fca {
+
+/// Row-major sgemm. op(A) is M×K, op(B) is K×N, C is M×N.
+/// lda/ldb/ldc are the leading (row) strides of the *stored* matrices,
+/// i.e. of A (not op(A)).
+void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// Block sizes used by sgemm; exposed so the micro-bench can sweep them.
+struct GemmBlocking {
+  int64_t mc = 64;   // rows of A per panel
+  int64_t nc = 256;  // cols of B per panel
+  int64_t kc = 128;  // depth per panel
+};
+
+/// sgemm with explicit blocking parameters (used by bench_micro_gemm).
+void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                   float alpha, const float* a, int64_t lda, const float* b,
+                   int64_t ldb, float beta, float* c, int64_t ldc,
+                   const GemmBlocking& blk);
+
+/// Naive triple loop used as the correctness oracle in tests and as the
+/// baseline in the GEMM ablation bench.
+void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, int64_t lda, const float* b,
+                 int64_t ldb, float beta, float* c, int64_t ldc);
+
+}  // namespace fca

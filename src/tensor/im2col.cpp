@@ -1,0 +1,86 @@
+#include "tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace fca {
+
+void im2col(const float* im, const ConvGeom& g, float* col) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.channels; ++c) {
+    const float* imc = im + c * g.height * g.width;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = col + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.height) {
+            std::memset(dst + y * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * g.stride_w - g.pad_w + kw;
+            dst[y * ow + x] =
+                (ix >= 0 && ix < g.width) ? imc[iy * g.width + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeom& g, float* im) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.channels; ++c) {
+    float* imc = im + c * g.height * g.width;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.height) continue;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t ix = x * g.stride_w - g.pad_w + kw;
+            if (ix >= 0 && ix < g.width) {
+              imc[iy * g.width + ix] += src[y * ow + x];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_direct(const float* im, const float* weight, int64_t out_channels,
+                   const ConvGeom& g, float* out) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  for (int64_t oc = 0; oc < out_channels; ++oc) {
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        double acc = 0.0;
+        for (int64_t c = 0; c < g.channels; ++c) {
+          for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+            const int64_t iy = y * g.stride_h - g.pad_h + kh;
+            if (iy < 0 || iy >= g.height) continue;
+            for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+              const int64_t ix = x * g.stride_w - g.pad_w + kw;
+              if (ix < 0 || ix >= g.width) continue;
+              acc += static_cast<double>(
+                         im[(c * g.height + iy) * g.width + ix]) *
+                     weight[((oc * g.channels + c) * g.kernel_h + kh) *
+                                g.kernel_w +
+                            kw];
+            }
+          }
+        }
+        out[(oc * oh + y) * ow + x] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace fca

@@ -1,0 +1,93 @@
+// Tensor operations.
+//
+// Free functions over fca::Tensor. Out-of-place functions return new tensors;
+// functions with a trailing underscore mutate their first argument in place.
+// All binary elementwise ops require exactly matching shapes except the
+// *_rowwise family, which broadcasts a 1-D vector across the rows of a 2-D
+// matrix (the only broadcast the NN stack needs).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fca {
+
+// -- elementwise -------------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor neg(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor apply(const Tensor& a, const std::function<float(float)>& f);
+
+void add_(Tensor& a, const Tensor& b);
+void sub_(Tensor& a, const Tensor& b);
+void mul_(Tensor& a, const Tensor& b);
+void mul_scalar_(Tensor& a, float s);
+void add_scalar_(Tensor& a, float s);
+/// a += alpha * b
+void axpy_(Tensor& a, float alpha, const Tensor& b);
+
+// -- matrix (2-D) ------------------------------------------------------------
+/// Matrix product of a [m,k] and b [k,n] with optional transposes applied to
+/// the *logical* operands.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+Tensor transpose2d(const Tensor& a);
+/// matrix [m,n] + row vector [n], broadcast over rows.
+Tensor add_rowwise(const Tensor& m, const Tensor& row);
+/// matrix [m,n] * row vector [n], broadcast over rows.
+Tensor mul_rowwise(const Tensor& m, const Tensor& row);
+/// matrix [m,n] * column vector [m], broadcast over columns.
+Tensor mul_colwise(const Tensor& m, const Tensor& col);
+
+// -- reductions ----------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+/// Sum of squares of all elements.
+float sum_squares(const Tensor& a);
+float l2_norm(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+/// Column sums of a 2-D matrix -> [n].
+Tensor sum_rows(const Tensor& m);
+/// Row sums of a 2-D matrix -> [m].
+Tensor sum_cols(const Tensor& m);
+/// Row means of a 2-D matrix -> [m].
+Tensor mean_cols(const Tensor& m);
+/// argmax over each row of a 2-D matrix.
+std::vector<int> argmax_rows(const Tensor& m);
+
+// -- softmax family --------------------------------------------------------
+/// Numerically stable row softmax of a 2-D matrix.
+Tensor softmax_rows(const Tensor& m);
+/// Numerically stable row log-softmax of a 2-D matrix.
+Tensor log_softmax_rows(const Tensor& m);
+
+// -- normalization -----------------------------------------------------------
+/// L2-normalizes each row of a 2-D matrix; rows with norm < eps are left as
+/// (value / eps) to stay finite.
+Tensor l2_normalize_rows(const Tensor& m, float eps = 1e-12f);
+
+// -- comparison helpers (tests) ----------------------------------------------
+/// Max |a-b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+// -- row gather ----------------------------------------------------------
+/// Selects rows of a 2-D matrix: out[i, :] = m[idx[i], :].
+Tensor gather_rows(const Tensor& m, const std::vector<int>& idx);
+/// Concatenates 2-D matrices with equal column counts along dim 0.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+}  // namespace fca

@@ -1,0 +1,94 @@
+// Dense float32 tensor.
+//
+// Design: contiguous row-major storage only. reshape() shares the buffer;
+// clone() copies. No strided views — the NN kernels in this codebase all
+// operate on contiguous data, and keeping the invariant "data() is always a
+// dense row-major block of numel() floats" removes an entire class of bugs
+// and lets every kernel be written as a flat loop or a GEMM call.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fca {
+
+using Shape = std::vector<int64_t>;
+
+int64_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, ndim 0).
+  Tensor();
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  /// Tensor of the given shape with all elements set to `fill`.
+  Tensor(Shape shape, float fill);
+  /// Tensor wrapping a copy of `values`; values.size() must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// Elements i.i.d. N(mean, stddev^2) drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// Elements i.i.d. U[lo, hi) drawn from `rng`.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(int64_t n);
+  /// 2-D one-hot rows: out[i, labels[i]] = 1.
+  static Tensor one_hot(const std::vector<int>& labels, int64_t classes);
+
+  // -- shape ---------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reinterprets the buffer with a new shape of equal numel. One dimension
+  /// may be -1 (inferred). Shares storage with this tensor.
+  Tensor reshape(Shape shape) const;
+  /// Deep copy.
+  Tensor clone() const;
+  /// True when two tensors share the same buffer.
+  bool shares_storage_with(const Tensor& other) const {
+    return buf_ == other.buf_;
+  }
+
+  // -- element access ------------------------------------------------------
+  float* data() { return buf_->data(); }
+  const float* data() const { return buf_->data(); }
+  float& operator[](int64_t i) { return (*buf_)[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return (*buf_)[static_cast<size_t>(i)]; }
+  /// Bounds-checked multi-index access (row-major). Intended for tests and
+  /// non-hot code.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Copies the `row`-th slice along dim 0 of `src` into this tensor's
+  /// `row`-th slice (shapes must agree beyond dim 0).
+  void copy_row_from(int64_t row, const Tensor& src, int64_t src_row);
+
+  /// Fills with a constant.
+  void fill(float v);
+
+  std::string to_string() const;
+
+ private:
+  int64_t flat_index(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> buf_;
+};
+
+}  // namespace fca

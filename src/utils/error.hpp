@@ -1,0 +1,52 @@
+// Error handling primitives.
+//
+// The library throws fca::Error for all recoverable/argument errors; the
+// FCA_CHECK family is used at public API boundaries, and FCA_DCHECK for
+// internal invariants that are compiled out in release builds when
+// FCA_NO_DCHECK is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fca {
+
+/// Exception type thrown by every component of this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fca
+
+#define FCA_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::fca::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FCA_CHECK_MSG(cond, msg)                            \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      std::ostringstream fca_os_;                           \
+      fca_os_ << msg;                                       \
+      ::fca::detail::fail(#cond, __FILE__, __LINE__,        \
+                          fca_os_.str());                   \
+    }                                                       \
+  } while (0)
+
+#ifdef FCA_NO_DCHECK
+#define FCA_DCHECK(cond) ((void)0)
+#else
+#define FCA_DCHECK(cond) FCA_CHECK(cond)
+#endif

@@ -1,0 +1,58 @@
+#include "utils/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace fca {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_io_mu;
+
+LogLevel level_from_env() {
+  const char* e = std::getenv("FCA_LOG_LEVEL");
+  if (e == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(e, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(e, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(e, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(e, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(e, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(level_from_env()); }
+} g_env_init;
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&tt, &tm);
+  std::lock_guard lk(g_io_mu);
+  std::fprintf(stderr, "[%s %02d:%02d:%02d] %s\n", level_name(level),
+               tm.tm_hour, tm.tm_min, tm.tm_sec, msg.c_str());
+}
+
+}  // namespace fca

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The simulator logs round-by-round progress at Info; kernels never log.
+// Output goes to stderr so bench stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fca {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kInfo, can be
+/// overridden with the FCA_LOG_LEVEL env var (debug|info|warn|error|off).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line: "[LEVEL hh:mm:ss] message". Thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fca
+
+#define FCA_LOG(level) \
+  if (::fca::log_level() <= ::fca::LogLevel::level) ::fca::detail::LogLine(::fca::LogLevel::level)
+
+#define FCA_LOG_DEBUG FCA_LOG(kDebug)
+#define FCA_LOG_INFO FCA_LOG(kInfo)
+#define FCA_LOG_WARN FCA_LOG(kWarn)
+#define FCA_LOG_ERROR FCA_LOG(kError)

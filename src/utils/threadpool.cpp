@@ -1,0 +1,120 @@
+#include "utils/threadpool.hpp"
+
+#include <algorithm>
+
+#include "utils/error.hpp"
+
+namespace fca {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    FCA_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard lk(mu_);
+    --in_flight_;
+    if (in_flight_ == 0) cv_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::wait_all() {
+  // Help drain the queue: guarantees progress even with zero workers and
+  // reduces tail latency otherwise.
+  while (run_one()) {
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for_range(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t grain) {
+  if (begin >= end) return;
+  FCA_CHECK(grain > 0);
+  const int64_t n = end - begin;
+  ThreadPool& pool = global_pool();
+  const int64_t max_tasks = static_cast<int64_t>(pool.size()) + 1;
+  if (n <= grain || max_tasks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunks = std::min(max_tasks * 4, (n + grain - 1) / grain);
+  const int64_t step = (n + chunks - 1) / chunks;
+  for (int64_t lo = begin; lo < end; lo += step) {
+    const int64_t hi = std::min(lo + step, end);
+    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.wait_all();
+}
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& fn, int64_t grain) {
+  parallel_for_range(
+      begin, end,
+      [&fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace fca

@@ -1,0 +1,70 @@
+// Shared-memory parallelism primitives.
+//
+// fca::parallel_for is the single entry point used by the math kernels. It
+// partitions [begin, end) into contiguous grains and executes them either on
+// OpenMP (when compiled in) or on the process-wide ThreadPool. On a
+// single-core host it degrades to a serial loop with no thread hand-off.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fca {
+
+/// Work-queue thread pool. One instance is shared per process (see
+/// global_pool()); standalone instances are used in tests.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency - 1.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (may be zero on single-core machines, in which
+  /// case submitted work runs inline in wait_all()).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Never blocks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed. Also drains the queue
+  /// on the calling thread so a zero-worker pool still makes progress.
+  void wait_all();
+
+ private:
+  void worker_loop();
+  bool run_one();  // pops and runs one task; returns false if queue empty
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;  // queued + running
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by parallel_for.
+ThreadPool& global_pool();
+
+/// Executes fn(i) for every i in [begin, end), potentially in parallel.
+/// `grain` is the minimum number of iterations per task; loops smaller than
+/// one grain run serially on the calling thread. fn must be safe to invoke
+/// concurrently for distinct i.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& fn, int64_t grain = 256);
+
+/// Range flavor: fn(lo, hi) receives whole grains, which lets kernels keep
+/// per-chunk accumulators. fn must be safe for disjoint ranges concurrently.
+void parallel_for_range(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t grain = 256);
+
+}  // namespace fca

@@ -1,0 +1,30 @@
+// Shared fixtures for FL-level tests: tiny experiments sized to run in
+// (fractions of) seconds on one core.
+#pragma once
+
+#include "core/trainer.hpp"
+
+namespace fca::test {
+
+/// A minimal but non-degenerate experiment: 4 clients, 4 classes' worth of
+/// fmnist-like data, 8x8 images, tiny models.
+inline core::ExperimentConfig tiny_experiment_config() {
+  core::ExperimentConfig cfg;
+  cfg.dataset = "synth-fmnist";
+  cfg.num_clients = 4;
+  cfg.train_per_class = 12;
+  cfg.test_per_class = 6;
+  cfg.public_per_class = 2;
+  cfg.test_per_client = 12;
+  cfg.image_size = 8;
+  cfg.feature_dim = 16;
+  cfg.width = 8;
+  cfg.batch_size = 8;
+  cfg.lr = 3e-3f;
+  cfg.rounds = 2;
+  cfg.local_epochs = 1;
+  cfg.seed = 123;
+  return cfg;
+}
+
+}  // namespace fca::test

@@ -1,0 +1,156 @@
+#include "comm/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "utils/error.hpp"
+
+namespace fca::comm {
+namespace {
+
+Bytes make_payload(size_t n, std::byte fill = std::byte{0xAB}) {
+  return Bytes(n, fill);
+}
+
+TEST(Network, SendThenRecvRoundTrips) {
+  Network net(3);
+  net.send(0, 2, 7, make_payload(10));
+  const Bytes got = net.recv(2, 0, 7);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(got[0], std::byte{0xAB});
+}
+
+TEST(Network, FifoOrderPerChannel) {
+  Network net(2);
+  net.send(0, 1, 1, make_payload(1, std::byte{1}));
+  net.send(0, 1, 1, make_payload(1, std::byte{2}));
+  EXPECT_EQ(net.recv(1, 0, 1)[0], std::byte{1});
+  EXPECT_EQ(net.recv(1, 0, 1)[0], std::byte{2});
+}
+
+TEST(Network, TagsAreIndependentChannels) {
+  Network net(2);
+  net.send(0, 1, 5, make_payload(1, std::byte{5}));
+  net.send(0, 1, 6, make_payload(1, std::byte{6}));
+  EXPECT_EQ(net.recv(1, 0, 6)[0], std::byte{6});
+  EXPECT_EQ(net.recv(1, 0, 5)[0], std::byte{5});
+}
+
+TEST(Network, RecvWithoutSendThrows) {
+  Network net(2);
+  EXPECT_THROW(net.recv(1, 0, 1), Error);
+  net.send(0, 1, 1, make_payload(1));
+  EXPECT_THROW(net.recv(1, 0, 2), Error);  // wrong tag
+  EXPECT_THROW(net.recv(0, 1, 1), Error);  // wrong direction
+}
+
+TEST(Network, RankBoundsChecked) {
+  Network net(2);
+  EXPECT_THROW(net.send(0, 2, 1, make_payload(1)), Error);
+  EXPECT_THROW(net.send(-1, 1, 1, make_payload(1)), Error);
+  EXPECT_THROW(Network(0), Error);
+}
+
+TEST(Network, HasMessageAndPending) {
+  Network net(2);
+  EXPECT_FALSE(net.has_message(1, 0, 1));
+  EXPECT_EQ(net.pending_messages(), 0u);
+  net.send(0, 1, 1, make_payload(4));
+  EXPECT_TRUE(net.has_message(1, 0, 1));
+  EXPECT_EQ(net.pending_messages(), 1u);
+  net.recv(1, 0, 1);
+  EXPECT_EQ(net.pending_messages(), 0u);
+}
+
+TEST(Network, TrafficAccounting) {
+  Network net(3);
+  net.send(1, 0, 1, make_payload(100));
+  net.send(1, 2, 1, make_payload(50));
+  net.send(2, 0, 1, make_payload(25));
+  const TrafficStats r1 = net.rank_stats(1);
+  EXPECT_EQ(r1.messages, 2u);
+  EXPECT_EQ(r1.payload_bytes, 150u);
+  const TrafficStats total = net.total_stats();
+  EXPECT_EQ(total.messages, 3u);
+  EXPECT_EQ(total.payload_bytes, 175u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_stats().payload_bytes, 0u);
+}
+
+TEST(Network, CostModelAccumulatesSimTime) {
+  CostModel cost;
+  cost.latency_s = 0.01;
+  cost.bandwidth_bps = 1000.0;
+  Network net(2, cost);
+  net.send(0, 1, 1, make_payload(500));
+  const TrafficStats s = net.rank_stats(0);
+  EXPECT_NEAR(s.sim_seconds, 0.01 + 0.5, 1e-9);
+}
+
+TEST(Network, DefaultCostModelIsZeroLatencyInfiniteBandwidth) {
+  Network net(2);
+  net.send(0, 1, 1, make_payload(1 << 20));
+  EXPECT_NEAR(net.rank_stats(0).sim_seconds, 0.0, 1e-12);
+}
+
+TEST(Endpoint, SendRecvThroughEndpoints) {
+  Network net(3);
+  Endpoint server(net, 0);
+  Endpoint client(net, 1);
+  const Bytes payload = make_payload(8, std::byte{0x42});
+  server.send(1, 3, payload);
+  EXPECT_TRUE(client.has_message(0, 3));
+  const Bytes got = client.recv(0, 3);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(server.rank(), 0);
+  EXPECT_EQ(client.world_size(), 3);
+}
+
+TEST(Endpoint, BroadcastAndGather) {
+  Network net(4);
+  Endpoint server(net, 0);
+  const Bytes payload = make_payload(16);
+  server.bcast_send({1, 2, 3}, 9, payload);
+  for (int r = 1; r <= 3; ++r) {
+    Endpoint c(net, r);
+    EXPECT_EQ(c.recv(0, 9).size(), 16u);
+    c.send(0, 10, make_payload(static_cast<size_t>(r)));
+  }
+  const std::vector<Bytes> gathered = server.gather({1, 2, 3}, 10);
+  ASSERT_EQ(gathered.size(), 3u);
+  EXPECT_EQ(gathered[0].size(), 1u);
+  EXPECT_EQ(gathered[2].size(), 3u);
+  // Broadcast traffic was metered per destination.
+  EXPECT_EQ(net.rank_stats(0).payload_bytes, 48u);
+}
+
+TEST(Network, ThreadSafeConcurrentSends) {
+  Network net(5);
+  std::vector<std::thread> threads;
+  for (int r = 1; r <= 4; ++r) {
+    threads.emplace_back([&net, r] {
+      for (int i = 0; i < 100; ++i) {
+        net.send(r, 0, 1, make_payload(4));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(net.total_stats().messages, 400u);
+  EXPECT_EQ(net.pending_messages(), 400u);
+  for (int i = 0; i < 400; ++i) {
+    // Drain in any source order.
+    bool got = false;
+    for (int r = 1; r <= 4 && !got; ++r) {
+      if (net.has_message(0, r, 1)) {
+        net.recv(0, r, 1);
+        got = true;
+      }
+    }
+    EXPECT_TRUE(got);
+  }
+  EXPECT_EQ(net.pending_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace fca::comm

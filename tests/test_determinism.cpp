@@ -1,0 +1,108 @@
+// End-to-end determinism and isolation guarantees: repeated executions are
+// bit-identical, strategies cannot corrupt the shared experiment data, and
+// independent strategies see identical initial conditions.
+#include <gtest/gtest.h>
+
+#include "core/fedclassavg.hpp"
+#include "fl_fixtures.hpp"
+#include "fl/fedproto.hpp"
+#include "fl/ktpfl.hpp"
+#include "fl/local_only.hpp"
+#include "tensor/ops.hpp"
+
+namespace fca {
+namespace {
+
+using test::tiny_experiment_config;
+
+void expect_identical_runs(const core::Experiment& exp,
+                           fl::RoundStrategy& a, fl::RoundStrategy& b) {
+  const auto r1 = exp.execute(a);
+  const auto r2 = exp.execute(b);
+  ASSERT_EQ(r1.result.curve.size(), r2.result.curve.size());
+  for (size_t i = 0; i < r1.result.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.result.curve[i].mean_accuracy,
+                     r2.result.curve[i].mean_accuracy)
+        << "round index " << i;
+    EXPECT_DOUBLE_EQ(r1.result.curve[i].std_accuracy,
+                     r2.result.curve[i].std_accuracy);
+    EXPECT_EQ(r1.result.curve[i].round_bytes, r2.result.curve[i].round_bytes);
+  }
+  EXPECT_EQ(r1.result.total_traffic.payload_bytes,
+            r2.result.total_traffic.payload_bytes);
+  EXPECT_EQ(r1.result.total_traffic.messages, r2.result.total_traffic.messages);
+}
+
+TEST(Determinism, FedClassAvgRunsAreBitIdentical) {
+  core::Experiment exp(tiny_experiment_config());
+  core::FedClassAvg a(exp.fedclassavg_config());
+  core::FedClassAvg b(exp.fedclassavg_config());
+  expect_identical_runs(exp, a, b);
+}
+
+TEST(Determinism, KTpFLRunsAreBitIdentical) {
+  core::Experiment exp(tiny_experiment_config());
+  fl::KTpFL a(exp.public_data(), {});
+  fl::KTpFL b(exp.public_data(), {});
+  expect_identical_runs(exp, a, b);
+}
+
+TEST(Determinism, FedProtoRunsAreBitIdentical) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.models = core::ModelScheme::kFedProtoFamily;
+  core::Experiment exp(cfg);
+  fl::FedProto a, b;
+  expect_identical_runs(exp, a, b);
+}
+
+TEST(Determinism, ExecutingStrategiesDoesNotMutateExperimentData) {
+  core::Experiment exp(tiny_experiment_config());
+  const Tensor train_before = exp.train_data().images.clone();
+  const Tensor test_before = exp.test_data().images.clone();
+  const Tensor public_before = exp.public_data().images.clone();
+  fl::LocalOnly local;
+  exp.execute(local);
+  fl::KTpFL ktpfl(exp.public_data(), {});
+  exp.execute(ktpfl);
+  core::FedClassAvg fca_strat(exp.fedclassavg_config());
+  exp.execute(fca_strat);
+  EXPECT_TRUE(allclose(exp.train_data().images, train_before, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(exp.test_data().images, test_before, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(exp.public_data().images, public_before, 0.0f, 0.0f));
+}
+
+TEST(Determinism, StrategiesStartFromIdenticalClientStates) {
+  // Different strategy objects must see bit-identical initial client
+  // weights from the same Experiment (the fair-comparison precondition).
+  core::Experiment exp(tiny_experiment_config());
+  auto c1 = exp.build_clients();
+  auto c2 = exp.build_clients();
+  for (size_t k = 0; k < c1.size(); ++k) {
+    const auto p1 = c1[k]->model().parameters();
+    const auto p2 = c2[k]->model().parameters();
+    ASSERT_EQ(p1.size(), p2.size());
+    for (size_t i = 0; i < p1.size(); ++i) {
+      EXPECT_TRUE(allclose(p1[i]->value, p2[i]->value, 0.0f, 0.0f));
+    }
+    // Also the same augmentation stream: one augmented batch matches.
+    const data::Batch b1 = data::make_batch(c1[k]->train_data(), {0, 1});
+    Tensor a1 = c1[k]->augmentor().augment(b1.images, c1[k]->rng());
+    const data::Batch b2 = data::make_batch(c2[k]->train_data(), {0, 1});
+    Tensor a2 = c2[k]->augmentor().augment(b2.images, c2[k]->rng());
+    EXPECT_TRUE(allclose(a1, a2, 0.0f, 0.0f));
+  }
+}
+
+TEST(Determinism, DifferentSeedsProduceDifferentRuns) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment a(cfg);
+  cfg.seed = 777;
+  core::Experiment b(cfg);
+  fl::LocalOnly s1, s2;
+  const auto r1 = a.execute(s1);
+  const auto r2 = b.execute(s2);
+  EXPECT_NE(r1.result.final_mean_accuracy, r2.result.final_mean_accuracy);
+}
+
+}  // namespace
+}  // namespace fca

@@ -1,0 +1,89 @@
+#include "data/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synth.hpp"
+#include "utils/error.hpp"
+
+namespace fca::data {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/fca_export_test.pnm";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static std::string read_all(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+};
+
+Dataset gray_dataset() {
+  SynthSpec spec = SynthSpec::fmnist_like();
+  spec.height = spec.width = 8;
+  return generate_synthetic(spec, 2, Rng(1), "train");
+}
+
+Dataset rgb_dataset() {
+  SynthSpec spec = SynthSpec::cifar10_like();
+  spec.height = spec.width = 8;
+  return generate_synthetic(spec, 2, Rng(1), "train");
+}
+
+TEST_F(ExportTest, GrayImageIsValidPgm) {
+  const Dataset ds = gray_dataset();
+  export_image(ds, 0, path_);
+  const std::string content = read_all(path_);
+  ASSERT_GE(content.size(), 15u);
+  EXPECT_EQ(content.substr(0, 2), "P5");
+  EXPECT_NE(content.find("8 8"), std::string::npos);
+  // Header + 64 payload bytes.
+  EXPECT_EQ(content.size(), content.find("255\n") + 4 + 64);
+}
+
+TEST_F(ExportTest, RgbImageIsValidPpm) {
+  const Dataset ds = rgb_dataset();
+  export_image(ds, 3, path_);
+  const std::string content = read_all(path_);
+  EXPECT_EQ(content.substr(0, 2), "P6");
+  EXPECT_EQ(content.size(), content.find("255\n") + 4 + 64 * 3);
+}
+
+TEST_F(ExportTest, ContactSheetDimensions) {
+  const Dataset ds = gray_dataset();
+  export_contact_sheet(ds, 2, 3, path_);
+  const std::string content = read_all(path_);
+  EXPECT_EQ(content.substr(0, 2), "P5");
+  // 2 rows x 3 cols of 8x8 tiles with 1-px separators: 17 x 26.
+  EXPECT_NE(content.find("26 17"), std::string::npos);
+}
+
+TEST_F(ExportTest, BoundsChecked) {
+  const Dataset ds = gray_dataset();
+  EXPECT_THROW(export_image(ds, -1, path_), Error);
+  EXPECT_THROW(export_image(ds, 1000, path_), Error);
+  EXPECT_THROW(export_contact_sheet(ds, 100, 100, path_), Error);
+}
+
+TEST_F(ExportTest, NormalizationCoversFullRange) {
+  const Dataset ds = gray_dataset();
+  export_image(ds, 0, path_);
+  const std::string content = read_all(path_);
+  const size_t start = content.find("255\n") + 4;
+  unsigned char lo = 255, hi = 0;
+  for (size_t i = start; i < content.size(); ++i) {
+    const auto v = static_cast<unsigned char>(content[i]);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 255);
+}
+
+}  // namespace
+}  // namespace fca::data

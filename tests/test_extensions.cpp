@@ -1,0 +1,230 @@
+// Tests for the optional/extension features: NT-Xent contrastive mode,
+// the FedClassAvg+Proto hybrid (the paper's future-work direction),
+// state-dict file I/O, and the comm collectives.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/ops.hpp"
+#include "comm/endpoint.hpp"
+#include "core/fedclassavg_proto.hpp"
+#include "fl_fixtures.hpp"
+#include "models/serialize.hpp"
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca {
+namespace {
+
+using test::tiny_experiment_config;
+
+// -- NT-Xent ---------------------------------------------------------------
+
+TEST(NtXent, EquivalentToSupConWithPairLabels) {
+  Rng rng(1);
+  Tensor emb = Tensor::randn({8, 6}, rng);
+  ag::Variable v1 = ag::Variable::leaf(emb.clone());
+  ag::Variable v2 = ag::Variable::leaf(emb.clone());
+  ag::Variable a = ag::nt_xent(v1, 0.5f);
+  ag::Variable b =
+      ag::supervised_contrastive(v2, {0, 1, 2, 3, 0, 1, 2, 3}, 0.5f);
+  EXPECT_NEAR(a.value()[0], b.value()[0], 1e-5);
+  a.backward();
+  b.backward();
+  EXPECT_TRUE(allclose(v1.grad(), v2.grad(), 1e-5f));
+}
+
+TEST(NtXent, RejectsOddBatch) {
+  ag::Variable v = ag::Variable::leaf(Tensor({3, 4}));
+  EXPECT_THROW(ag::nt_xent(v), Error);
+}
+
+TEST(NtXent, PullsPairedViewsTogether) {
+  // Paired views far apart: one gradient step must reduce the loss.
+  Tensor emb({4, 2}, {1, 0, 0, 1, 0.9f, 0.1f, -1, -1});
+  ag::Variable v = ag::Variable::leaf(emb.clone());
+  ag::Variable loss = ag::nt_xent(v, 0.5f);
+  loss.backward();
+  Tensor stepped = emb.clone();
+  axpy_(stepped, -0.05f, v.grad());
+  const float after =
+      ag::nt_xent(ag::Variable::leaf(stepped), 0.5f).value()[0];
+  EXPECT_LT(after, loss.value()[0]);
+}
+
+TEST(FedClassAvgSimclr, RunsAndReportsName) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment exp(cfg);
+  core::FedClassAvgConfig fcfg = exp.fedclassavg_config();
+  fcfg.contrastive_mode = core::ContrastiveMode::kSelfSupervised;
+  fcfg.temperature = 0.5f;
+  core::FedClassAvg strat(fcfg);
+  EXPECT_EQ(strat.name(), "FedClassAvg(simclr)");
+  const auto done = exp.execute(strat);
+  EXPECT_GT(done.result.final_mean_accuracy, 0.1);
+}
+
+// -- FedClassAvg+Proto -------------------------------------------------------
+
+TEST(FedClassAvgProto, RunsOnHeterogeneousClients) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 5;
+  core::Experiment exp(cfg);
+  core::FedClassAvgProtoConfig pcfg;
+  pcfg.base = exp.fedclassavg_config();
+  core::FedClassAvgProto strat(pcfg);
+  const auto done = exp.execute(strat);
+  EXPECT_GT(done.result.final_mean_accuracy, 0.15);
+  EXPECT_EQ(done.run->network().pending_messages(), 0u);
+  // Prototypes cover every class after a full-participation round.
+  int valid = 0;
+  for (bool v : strat.prototype_valid()) valid += v ? 1 : 0;
+  EXPECT_EQ(valid, 10);
+  EXPECT_EQ(strat.prototypes().shape(), (Shape{10, cfg.feature_dim}));
+}
+
+TEST(FedClassAvgProto, TrafficIsClassifierPlusPrototypes) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment exp(cfg);
+  core::FedClassAvgProtoConfig pcfg;
+  pcfg.base = exp.fedclassavg_config();
+  core::FedClassAvgProto strat(pcfg);
+  const auto done = exp.execute(strat);
+  // Upload = classifier (C x D + C) + prototypes (C x D) + counts: still
+  // a few KB, far below a full model, but above plain FedClassAvg.
+  core::FedClassAvg plain(exp.fedclassavg_config());
+  const auto plain_run = exp.execute(plain);
+  EXPECT_GT(done.result.client_upload_bytes_per_round,
+            plain_run.result.client_upload_bytes_per_round);
+  EXPECT_LT(done.result.client_upload_bytes_per_round, 30000.0);
+}
+
+TEST(FedClassAvgProto, RejectsWeightSharingConfig) {
+  core::FedClassAvgProtoConfig pcfg;
+  pcfg.base.share_all_weights = true;
+  EXPECT_THROW(core::FedClassAvgProto{pcfg}, Error);
+}
+
+TEST(FedClassAvgProto, SynchronizesClassifiersLikeBase) {
+  core::Experiment exp(tiny_experiment_config());
+  auto run = std::make_unique<fl::FederatedRun>(exp.build_clients(),
+                                                exp.fl_config());
+  core::FedClassAvgProto strat;
+  strat.initialize(*run);
+  const Tensor& w0 = run->client(0).model().classifier().weight().value;
+  for (int k = 1; k < run->num_clients(); ++k) {
+    EXPECT_TRUE(allclose(
+        w0, run->client(k).model().classifier().weight().value, 0.0f, 0.0f));
+  }
+}
+
+// -- state-dict file I/O -----------------------------------------------------
+
+class StateFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/fca_state_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(StateFileTest, RoundTripsThroughDisk) {
+  models::ModelConfig mc;
+  mc.arch = models::Arch::kMiniResNet;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.feature_dim = 8;
+  mc.num_classes = 3;
+  mc.width = 4;
+  Rng rng(1);
+  auto src = models::build_model(mc, rng);
+  auto dst = models::build_model(mc, rng);
+  dst->classifier().weight().value.fill(0.0f);
+  models::save_state_file(*src, path_);
+  models::load_state_file(*dst, path_);
+  EXPECT_TRUE(allclose(src->classifier().weight().value,
+                       dst->classifier().weight().value, 0.0f, 0.0f));
+  // Eval outputs identical after the round trip.
+  Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+  EXPECT_TRUE(allclose(src->forward(x, false), dst->forward(x, false),
+                       1e-6f));
+}
+
+TEST_F(StateFileTest, RejectsGarbageFile) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    std::fputs("not a state file at all", f);
+    std::fclose(f);
+  }
+  models::ModelConfig mc;
+  mc.arch = models::Arch::kMiniAlexNet;
+  mc.in_channels = 1;
+  mc.image_size = 8;
+  mc.feature_dim = 8;
+  mc.num_classes = 3;
+  mc.width = 4;
+  Rng rng(2);
+  auto model = models::build_model(mc, rng);
+  EXPECT_THROW(models::load_state_file(*model, path_), Error);
+  EXPECT_THROW(models::load_state_file(*model, "/nonexistent/nope.bin"),
+               Error);
+}
+
+// -- comm collectives ----------------------------------------------------
+
+TEST(CommCollectives, PackUnpackFloats) {
+  const std::vector<float> v{1.5f, -2.0f, 3.25f};
+  const comm::Bytes b = comm::Endpoint::pack_floats(v);
+  EXPECT_EQ(b.size(), 12u);
+  EXPECT_EQ(comm::Endpoint::unpack_floats(b), v);
+  comm::Bytes bad(5);
+  EXPECT_THROW(comm::Endpoint::unpack_floats(bad), Error);
+}
+
+TEST(CommCollectives, ReduceSumAddsContributions) {
+  comm::Network net(4);
+  comm::Endpoint root(net, 0);
+  for (int r = 1; r <= 3; ++r) {
+    comm::Endpoint c(net, r);
+    c.send(0, 1, comm::Endpoint::pack_floats(
+                     std::vector<float>{static_cast<float>(r), 1.0f}));
+  }
+  const std::vector<float> sum = root.reduce_sum({1, 2, 3}, 1);
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_FLOAT_EQ(sum[0], 6.0f);
+  EXPECT_FLOAT_EQ(sum[1], 3.0f);
+}
+
+TEST(CommCollectives, ReduceRejectsLengthMismatch) {
+  comm::Network net(3);
+  comm::Endpoint root(net, 0);
+  comm::Endpoint c1(net, 1), c2(net, 2);
+  c1.send(0, 1, comm::Endpoint::pack_floats(std::vector<float>{1.0f}));
+  c2.send(0, 1, comm::Endpoint::pack_floats(std::vector<float>{1.0f, 2.0f}));
+  EXPECT_THROW(root.reduce_sum({1, 2}, 1), Error);
+}
+
+TEST(CommCollectives, AllreduceBroadcastsResult) {
+  comm::Network net(3);
+  comm::Endpoint root(net, 0);
+  comm::Endpoint c1(net, 1), c2(net, 2);
+  c1.send(0, 7, comm::Endpoint::pack_floats(std::vector<float>{1.0f}));
+  c2.send(0, 7, comm::Endpoint::pack_floats(std::vector<float>{2.0f}));
+  const std::vector<float> reduced = root.allreduce_sum({1, 2}, 7);
+  EXPECT_FLOAT_EQ(reduced[0], 3.0f);
+  EXPECT_FLOAT_EQ(comm::Endpoint::unpack_floats(c1.recv(0, 7))[0], 3.0f);
+  EXPECT_FLOAT_EQ(comm::Endpoint::unpack_floats(c2.recv(0, 7))[0], 3.0f);
+}
+
+TEST(CommCollectives, ScatterDeliversPerRankPayloads) {
+  comm::Network net(3);
+  comm::Endpoint root(net, 0);
+  root.scatter({1, 2}, 4,
+               {comm::Endpoint::pack_floats(std::vector<float>{1.0f}),
+                comm::Endpoint::pack_floats(std::vector<float>{2.0f, 3.0f})});
+  comm::Endpoint c1(net, 1), c2(net, 2);
+  EXPECT_EQ(comm::Endpoint::unpack_floats(c1.recv(0, 4)).size(), 1u);
+  EXPECT_EQ(comm::Endpoint::unpack_floats(c2.recv(0, 4)).size(), 2u);
+  EXPECT_THROW(root.scatter({1, 2}, 4, {comm::Bytes{}}), Error);
+}
+
+}  // namespace
+}  // namespace fca

@@ -1,0 +1,180 @@
+// Failure-injection and edge-condition tests: corrupted wire payloads,
+// degenerate client data (single class, fewer samples than a batch),
+// extreme layer geometries, and protocol misuse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fedclassavg.hpp"
+#include "fl_fixtures.hpp"
+#include "fl/fedavg.hpp"
+#include "models/serialize.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca {
+namespace {
+
+using test::tiny_experiment_config;
+
+TEST(FailureInjection, CorruptedPayloadRejectedOnDeserialize) {
+  Rng rng(1);
+  std::vector<Tensor> tensors{Tensor::randn({4, 4}, rng)};
+  auto bytes = models::serialize_tensors(tensors);
+  // Flip the tensor-count header to a huge value.
+  bytes[0] = std::byte{0xFF};
+  bytes[1] = std::byte{0xFF};
+  EXPECT_THROW(models::deserialize_tensors(bytes), Error);
+}
+
+TEST(FailureInjection, TruncatedMidTensorRejected) {
+  Rng rng(2);
+  std::vector<Tensor> tensors{Tensor::randn({64}, rng),
+                              Tensor::randn({64}, rng)};
+  auto bytes = models::serialize_tensors(tensors);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(models::deserialize_tensors(bytes), Error);
+}
+
+TEST(FailureInjection, SingleClassClientStillTrains) {
+  // A client holding exactly one class: CE trivially satisfiable, SupCon
+  // has no negatives across classes — everything must stay finite.
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.partition = core::PartitionScheme::kSkewed;
+  cfg.classes_per_client = 1;
+  cfg.num_clients = 10;  // 10 clients x 1 class = full coverage
+  core::Experiment exp(cfg);
+  auto clients = exp.build_clients();
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  fl::Client& c = *clients[0];
+  const Tensor gw = c.model().classifier().weight().value.clone();
+  const Tensor gb = c.model().classifier().bias().value.clone();
+  const float loss = strat.train_epoch(c, gw, gb);
+  EXPECT_TRUE(std::isfinite(loss));
+  // All labels equal -> the SupCon denominator mask still works and the
+  // model fits the single class quickly.
+  float acc = 0.0f;
+  for (int e = 0; e < 5; ++e) strat.train_epoch(c, gw, gb);
+  acc = c.evaluate();
+  EXPECT_GT(acc, 0.8f);
+}
+
+TEST(FailureInjection, ClientSmallerThanBatchSize) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.batch_size = 4096;  // far larger than any shard
+  core::Experiment exp(cfg);
+  auto clients = exp.build_clients();
+  EXPECT_GT(clients[0]->train_epoch_supervised(), 0.0f);
+  EXPECT_GE(clients[0]->evaluate(), 0.0f);
+}
+
+TEST(FailureInjection, BatchOfOneThroughBatchNormModels) {
+  // batch 1 is fine for BatchNorm2d as long as H*W > 1 (the per-channel
+  // count is B*H*W).
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment exp(cfg);
+  auto model = exp.build_model(0);  // MiniResNet with BN
+  Rng rng(3);
+  Tensor x = Tensor::randn({1, 1, 8, 8}, rng);
+  Tensor y = model->forward(x, /*train=*/true);
+  EXPECT_TRUE(std::isfinite(sum(y)));
+}
+
+TEST(FailureInjection, BatchNormRejectsDegenerateStatistics) {
+  nn::BatchNorm2d bn(2);
+  // 1x1 spatial with batch 1: a single value per channel cannot be
+  // normalized in training mode.
+  EXPECT_THROW(bn.forward(Tensor({1, 2, 1, 1}), /*train=*/true), Error);
+  // Eval mode is fine (uses running stats).
+  EXPECT_NO_THROW(bn.forward(Tensor({1, 2, 1, 1}), /*train=*/false));
+}
+
+TEST(FailureInjection, ConvOutputMustBeNonEmpty) {
+  Rng rng(4);
+  nn::Conv2d conv(1, 1, 5, 1, 0, rng);
+  // 3x3 input with a 5x5 kernel and no padding: empty output -> error.
+  EXPECT_THROW(conv.forward(Tensor({1, 1, 3, 3}), false), Error);
+}
+
+TEST(FailureInjection, BackwardBeforeForwardThrows) {
+  Rng rng(5);
+  nn::Conv2d conv(1, 2, 3, 1, 1, rng);
+  EXPECT_THROW(conv.backward(Tensor({1, 2, 4, 4})), Error);
+  nn::Linear lin(3, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor({1, 2})), Error);
+  nn::BatchNorm2d bn(2);
+  EXPECT_THROW(bn.backward(Tensor({1, 2, 2, 2})), Error);
+}
+
+TEST(FailureInjection, EvalForwardDoesNotEnableBackward) {
+  Rng rng(6);
+  nn::Linear lin(3, 2, rng);
+  lin.forward(Tensor({2, 3}), /*train=*/false);
+  EXPECT_THROW(lin.backward(Tensor({2, 2})), Error);
+}
+
+TEST(FailureInjection, FedAvgRejectsHeterogeneousCohort) {
+  // Full-weight averaging across different architectures must fail loudly
+  // (shape mismatch during restore), not silently corrupt models.
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.models = core::ModelScheme::kHeterogeneous;
+  core::Experiment exp(cfg);
+  fl::FedAvg strat;
+  EXPECT_THROW(exp.execute(strat), Error);
+}
+
+TEST(FailureInjection, MismatchedClassifierPayloadRejected) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment exp(cfg);
+  auto clients = exp.build_clients();
+  // Payload with the wrong classifier width.
+  Rng rng(7);
+  std::vector<Tensor> wrong{Tensor::randn({10, 99}, rng),
+                            Tensor::randn({10}, rng)};
+  EXPECT_THROW(
+      models::restore_values(wrong,
+                             clients[0]->model().classifier_parameters()),
+      Error);
+}
+
+TEST(FailureInjection, ZeroRoundsRejected) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 0;
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat;
+  EXPECT_THROW(exp.execute(strat), Error);
+}
+
+TEST(FailureInjection, SampleRateBoundsEnforced) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.sample_rate = 0.0;
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat;
+  EXPECT_THROW(exp.execute(strat), Error);
+  cfg.sample_rate = 1.5;
+  core::Experiment exp2(cfg);
+  EXPECT_THROW(exp2.execute(strat), Error);
+}
+
+TEST(FailureInjection, ExtremeInputsStayFinite) {
+  // Very large pixel magnitudes: normalization layers and softmax guards
+  // must keep everything finite through a training step.
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  core::Experiment exp(cfg);
+  auto model = exp.build_model(0);
+  Rng rng(8);
+  Tensor x = Tensor::randn({4, 1, 8, 8}, rng, 0.0f, 100.0f);
+  Tensor logits = model->forward(x, true);
+  EXPECT_TRUE(std::isfinite(sum(logits)));
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, {0, 1, 2, 3});
+  EXPECT_TRUE(std::isfinite(loss.value));
+  model->backward(loss.grad);
+  for (nn::Param* p : model->parameters()) {
+    EXPECT_TRUE(std::isfinite(sum(p->grad))) << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace fca

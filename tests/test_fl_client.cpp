@@ -1,0 +1,129 @@
+#include "fl/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl_fixtures.hpp"
+#include "fl/metrics.hpp"
+#include "models/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace fca::fl {
+namespace {
+
+using test::tiny_experiment_config;
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : exp_(tiny_experiment_config()) {}
+  core::Experiment exp_;
+};
+
+TEST_F(ClientTest, BuildClientsProducesConfiguredCount) {
+  const auto clients = exp_.build_clients();
+  ASSERT_EQ(clients.size(), 4u);
+  for (const auto& c : clients) {
+    EXPECT_GT(c->train_size(), 0);
+    EXPECT_GT(c->test_data().size(), 0);
+  }
+}
+
+TEST_F(ClientTest, SupervisedEpochReducesLoss) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[0];
+  const float first = c.train_epoch_supervised();
+  float last = first;
+  for (int e = 0; e < 5; ++e) last = c.train_epoch_supervised();
+  EXPECT_LT(last, first);
+}
+
+TEST_F(ClientTest, EvaluateReturnsProbability) {
+  auto clients = exp_.build_clients();
+  for (auto& c : clients) {
+    const float acc = c->evaluate();
+    EXPECT_GE(acc, 0.0f);
+    EXPECT_LE(acc, 1.0f);
+  }
+}
+
+TEST_F(ClientTest, TrainingImprovesAccuracyOnLocalDistribution) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[1];
+  const float before = c.evaluate();
+  for (int e = 0; e < 20; ++e) c.train_epoch_supervised();
+  const float after = c.evaluate();
+  // Tiny local test sets quantize accuracy coarsely; require a clear
+  // improvement over the untrained model OR an already-high plateau.
+  EXPECT_TRUE(after > before || after > 0.6f)
+      << "before " << before << ", after " << after;
+}
+
+TEST_F(ClientTest, PredictLogitsDeterministicInEval) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[0];
+  Tensor a = c.predict_logits(c.test_data());
+  Tensor b = c.predict_logits(c.test_data());
+  EXPECT_TRUE(allclose(a, b, 0.0f, 0.0f));
+  EXPECT_EQ(a.dim(0), c.test_data().size());
+  EXPECT_EQ(a.dim(1), c.model().num_classes());
+}
+
+TEST_F(ClientTest, ExtractFeaturesShape) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[2];
+  Tensor f = c.extract_features(c.test_data());
+  EXPECT_EQ(f.dim(0), c.test_data().size());
+  EXPECT_EQ(f.dim(1), c.model().feature_dim());
+}
+
+TEST_F(ClientTest, ProximalTermPullsTowardAnchor) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[0];
+  // Anchor = current weights; with a huge mu, weights should barely move.
+  const auto anchor = models::snapshot_values(c.model().parameters());
+  Client& c2 = *clients[1];
+  (void)c2;
+  c.train_epoch_supervised(&anchor, /*prox_mu=*/0.0f);
+  const auto free_run = models::snapshot_values(c.model().parameters());
+  float free_drift = 0.0f;
+  for (size_t i = 0; i < anchor.size(); ++i) {
+    free_drift += sum_squares(sub(free_run[i], anchor[i]));
+  }
+
+  // Fresh client, same seed: heavy prox run.
+  auto clients2 = exp_.build_clients();
+  Client& cc = *clients2[0];
+  const auto anchor2 = models::snapshot_values(cc.model().parameters());
+  cc.train_epoch_supervised(&anchor2, /*prox_mu=*/100.0f);
+  const auto prox_run = models::snapshot_values(cc.model().parameters());
+  float prox_drift = 0.0f;
+  for (size_t i = 0; i < anchor2.size(); ++i) {
+    prox_drift += sum_squares(sub(prox_run[i], anchor2[i]));
+  }
+  EXPECT_LT(prox_drift, free_drift);
+}
+
+TEST_F(ClientTest, ResetOptimizerClearsMomentum) {
+  auto clients = exp_.build_clients();
+  Client& c = *clients[0];
+  c.train_epoch_supervised();
+  // After reset, a zero-gradient step must leave weights unchanged.
+  c.reset_optimizer();
+  const auto before = models::snapshot_values(c.model().parameters());
+  c.optimizer().zero_grad();
+  c.optimizer().step();
+  const auto after = models::snapshot_values(c.model().parameters());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(allclose(before[i], after[i], 1e-6f, 0.0f));
+  }
+}
+
+TEST(Metrics, MeanAndStd) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(std_of({1.0, 2.0, 3.0}), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(std_of({5.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace fca::fl

@@ -1,0 +1,112 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "utils/rng.hpp"
+
+namespace fca {
+namespace {
+
+std::vector<float> random_vec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(ConvGeom, OutputDimensions) {
+  ConvGeom g{3, 16, 16, 3, 3, 1, 1, 1, 1};
+  EXPECT_EQ(g.out_h(), 16);
+  EXPECT_EQ(g.out_w(), 16);
+  EXPECT_EQ(g.col_rows(), 27);
+  EXPECT_EQ(g.col_cols(), 256);
+  ConvGeom s{3, 16, 16, 3, 3, 2, 2, 1, 1};
+  EXPECT_EQ(s.out_h(), 8);
+  ConvGeom nopad{1, 5, 5, 3, 3, 1, 1, 0, 0};
+  EXPECT_EQ(nopad.out_h(), 3);
+}
+
+TEST(Im2col, IdentityKernelCopiesImage) {
+  // 1x1 kernel, stride 1, no padding: col matrix equals the image.
+  ConvGeom g{2, 3, 3, 1, 1, 1, 1, 0, 0};
+  Rng rng(1);
+  std::vector<float> im = random_vec(2 * 9, rng);
+  std::vector<float> col(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  im2col(im.data(), g, col.data());
+  for (size_t i = 0; i < im.size(); ++i) EXPECT_EQ(col[i], im[i]);
+}
+
+TEST(Im2col, PaddingReadsZero) {
+  ConvGeom g{1, 2, 2, 3, 3, 1, 1, 1, 1};
+  std::vector<float> im{1, 2, 3, 4};
+  std::vector<float> col(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  im2col(im.data(), g, col.data());
+  // First row of the col matrix corresponds to kernel tap (0,0); at output
+  // (0,0) this tap reads input (-1,-1) = padding = 0.
+  EXPECT_EQ(col[0], 0.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+  // of the transpose, which is exactly what backward relies on.
+  ConvGeom g{3, 7, 6, 3, 3, 2, 2, 1, 1};
+  Rng rng(2);
+  const size_t im_size = static_cast<size_t>(3 * 7 * 6);
+  const size_t col_size = static_cast<size_t>(g.col_rows() * g.col_cols());
+  std::vector<float> x = random_vec(im_size, rng);
+  std::vector<float> y = random_vec(col_size, rng);
+  std::vector<float> col(col_size, 0.0f);
+  im2col(x.data(), g, col.data());
+  double lhs = 0.0;
+  for (size_t i = 0; i < col_size; ++i) lhs += static_cast<double>(col[i]) * y[i];
+  std::vector<float> back(im_size, 0.0f);
+  col2im(y.data(), g, back.data());
+  double rhs = 0.0;
+  for (size_t i = 0; i < im_size; ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+struct ConvCase {
+  int64_t c, h, w, oc, k, stride, pad;
+};
+
+class ConvLoweringTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvLoweringTest, GemmLoweringMatchesDirectConvolution) {
+  const ConvCase p = GetParam();
+  ConvGeom g{p.c, p.h, p.w, p.k, p.k, p.stride, p.stride, p.pad, p.pad};
+  Rng rng(99);
+  std::vector<float> im = random_vec(static_cast<size_t>(p.c * p.h * p.w), rng);
+  std::vector<float> weight =
+      random_vec(static_cast<size_t>(p.oc * g.col_rows()), rng);
+
+  std::vector<float> direct(
+      static_cast<size_t>(p.oc * g.out_h() * g.out_w()), 0.0f);
+  conv2d_direct(im.data(), weight.data(), p.oc, g, direct.data());
+
+  std::vector<float> col(static_cast<size_t>(g.col_rows() * g.col_cols()));
+  im2col(im.data(), g, col.data());
+  std::vector<float> lowered(direct.size(), 0.0f);
+  sgemm(false, false, p.oc, g.col_cols(), g.col_rows(), 1.0f, weight.data(),
+        g.col_rows(), col.data(), g.col_cols(), 0.0f, lowered.data(),
+        g.col_cols());
+
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(lowered[i], direct[i], 1e-4f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvLoweringTest,
+    ::testing::Values(ConvCase{1, 5, 5, 2, 3, 1, 1},
+                      ConvCase{3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{3, 8, 8, 4, 3, 2, 1},
+                      ConvCase{2, 9, 7, 3, 5, 1, 2},
+                      ConvCase{4, 6, 6, 8, 1, 1, 0},
+                      ConvCase{1, 4, 4, 1, 3, 2, 0},
+                      ConvCase{2, 12, 12, 6, 3, 2, 1}));
+
+}  // namespace
+}  // namespace fca

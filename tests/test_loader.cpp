@@ -1,0 +1,78 @@
+#include "data/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synth.hpp"
+#include "utils/error.hpp"
+
+namespace fca::data {
+namespace {
+
+Dataset tiny_dataset() {
+  SynthSpec spec = SynthSpec::fmnist_like();
+  spec.height = spec.width = 8;
+  return generate_synthetic(spec, 5, Rng(1), "train");
+}
+
+TEST(BatchLoader, EpochCoversEveryIndexOnce) {
+  const Dataset ds = tiny_dataset();
+  BatchLoader loader(ds, {}, 8);
+  Rng rng(2);
+  const auto batches = loader.epoch(rng);
+  std::set<int> seen;
+  for (const auto& b : batches) {
+    for (int i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.size());
+}
+
+TEST(BatchLoader, BatchSizesRespected) {
+  const Dataset ds = tiny_dataset();  // 50 samples
+  BatchLoader loader(ds, {}, 8);
+  EXPECT_EQ(loader.batches_per_epoch(), 7);  // 6 full + 1 partial
+  Rng rng(3);
+  const auto batches = loader.epoch(rng);
+  ASSERT_EQ(batches.size(), 7u);
+  for (size_t i = 0; i + 1 < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].size(), 8u);
+  }
+  EXPECT_EQ(batches.back().size(), 2u);
+}
+
+TEST(BatchLoader, SubsetRestrictsIndices) {
+  const Dataset ds = tiny_dataset();
+  BatchLoader loader(ds, {0, 1, 2, 3, 4}, 2);
+  EXPECT_EQ(loader.sample_count(), 5);
+  Rng rng(4);
+  for (const auto& b : loader.epoch(rng)) {
+    for (int i : b) EXPECT_LT(i, 5);
+  }
+}
+
+TEST(BatchLoader, ShufflesBetweenEpochs) {
+  const Dataset ds = tiny_dataset();
+  BatchLoader loader(ds, {}, 50);
+  Rng rng(5);
+  const auto e1 = loader.epoch(rng);
+  const auto e2 = loader.epoch(rng);
+  EXPECT_NE(e1.front(), e2.front());
+}
+
+TEST(BatchLoader, DeterministicGivenRng) {
+  const Dataset ds = tiny_dataset();
+  BatchLoader loader(ds, {}, 16);
+  Rng a(6), b(6);
+  EXPECT_EQ(loader.epoch(a), loader.epoch(b));
+}
+
+TEST(BatchLoader, RejectsBadArguments) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_THROW(BatchLoader(ds, {}, 0), Error);
+  EXPECT_THROW(BatchLoader(ds, {999}, 4), Error);
+  EXPECT_THROW(BatchLoader(ds, {-1}, 4), Error);
+}
+
+}  // namespace
+}  // namespace fca::data

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/container.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "utils/error.hpp"
+
+namespace fca::nn {
+namespace {
+
+using test::check_input_gradient;
+using test::check_param_gradients;
+
+TEST(Linear, ForwardShapeAndValue) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  // Overwrite weights for a deterministic check.
+  lin.weight().value = Tensor({2, 3}, {1, 0, 0, 0, 1, 0});
+  lin.bias().value = Tensor({2}, {10, 20});
+  Tensor x({1, 3}, {5, 6, 7});
+  Tensor y = lin.forward(x, false);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_FLOAT_EQ(y[0], 15.0f);
+  EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(Linear, GradientsMatchFiniteDifference) {
+  Rng rng(2);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::randn({5, 4}, rng);
+  check_input_gradient(lin, x);
+  check_param_gradients(lin, x);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(3);
+  Linear lin(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  check_param_gradients(lin, x);
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Rng rng(4);
+  Linear lin(3, 2, rng);
+  EXPECT_THROW(lin.forward(Tensor({2, 4}), false), Error);
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 8, 8}));
+  Conv2d strided(3, 4, 3, 2, 1, rng);
+  EXPECT_EQ(strided.forward(x, false).shape(), (Shape{2, 4, 4, 4}));
+}
+
+TEST(Conv2d, GradientsMatchFiniteDifference) {
+  Rng rng(6);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, StridedGradients) {
+  Rng rng(7);
+  Conv2d conv(2, 2, 3, 2, 1, rng);
+  Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, OneByOneKernelEqualsChannelMix) {
+  Rng rng(8);
+  Conv2d conv(2, 1, 1, 1, 0, rng, /*bias=*/false);
+  conv.weight().value = Tensor({1, 2}, {2.0f, 3.0f});
+  Tensor x({1, 2, 1, 1}, {5.0f, 7.0f});
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 31.0f);
+}
+
+TEST(Conv2d, GroupedEqualsPerGroupDense) {
+  // groups=2 must equal two independent dense convs on channel halves.
+  Rng rng(31);
+  Conv2d grouped(4, 6, 3, 1, 1, rng, /*bias=*/false, /*groups=*/2);
+  Rng rng2(32);
+  Conv2d lo(2, 3, 3, 1, 1, rng2, false);
+  Conv2d hi(2, 3, 3, 1, 1, rng2, false);
+  // Share the grouped weights with the two dense convs.
+  std::copy_n(grouped.weight().value.data(), 3 * 18,
+              lo.weight().value.data());
+  std::copy_n(grouped.weight().value.data() + 3 * 18, 3 * 18,
+              hi.weight().value.data());
+  Tensor x = Tensor::randn({2, 4, 5, 5}, rng);
+  Tensor y = grouped.forward(x, false);
+  Tensor ylo = lo.forward(slice_channels(x, 0, 2), false);
+  Tensor yhi = hi.forward(slice_channels(x, 2, 4), false);
+  EXPECT_TRUE(allclose(y, concat_channels({ylo, yhi}), 1e-5f));
+}
+
+TEST(Conv2d, DepthwiseActsPerChannel) {
+  Rng rng(33);
+  Conv2d dw(3, 3, 3, 1, 1, rng, /*bias=*/false, /*groups=*/3);
+  Tensor x = Tensor::randn({1, 3, 4, 4}, rng);
+  Tensor y = dw.forward(x, false);
+  // Zeroing one input channel must zero exactly that output channel.
+  Tensor x2 = x.clone();
+  for (int64_t i = 0; i < 16; ++i) x2[16 + i] = 0.0f;  // channel 1
+  Tensor y2 = dw.forward(x2, false);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(y2[16 + i], 0.0f);
+    EXPECT_FLOAT_EQ(y2[i], y[i]);            // channel 0 untouched
+    EXPECT_FLOAT_EQ(y2[32 + i], y[32 + i]);  // channel 2 untouched
+  }
+}
+
+TEST(Conv2d, GroupedGradientsMatchFiniteDifference) {
+  Rng rng(34);
+  Conv2d conv(4, 4, 3, 1, 1, rng, /*bias=*/true, /*groups=*/2);
+  Tensor x = Tensor::randn({1, 4, 4, 4}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, DepthwiseStridedGradients) {
+  Rng rng(35);
+  Conv2d conv(3, 3, 3, 2, 1, rng, /*bias=*/false, /*groups=*/3);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, GroupsMustDivideChannels) {
+  Rng rng(36);
+  EXPECT_THROW(Conv2d(3, 4, 3, 1, 1, rng, true, 2), Error);
+  EXPECT_THROW(Conv2d(4, 3, 3, 1, 1, rng, true, 2), Error);
+}
+
+TEST(Conv2d, GroupedParameterCountShrinks) {
+  Rng rng(37);
+  Conv2d dense(8, 8, 3, 1, 1, rng, false);
+  Conv2d depthwise(8, 8, 3, 1, 1, rng, false, 8);
+  EXPECT_EQ(dense.weight().value.numel(), 8 * 8 * 9);
+  EXPECT_EQ(depthwise.weight().value.numel(), 8 * 9);
+}
+
+TEST(BatchNorm2d, NormalizesTrainingBatch) {
+  BatchNorm2d bn(2);
+  Rng rng(9);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 5.0f, 2.0f);
+  Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0, var ~1.
+  for (int64_t ch = 0; ch < 2; ++ch) {
+    double s = 0.0, ss = 0.0;
+    for (int64_t i = 0; i < 4; ++i) {
+      for (int64_t p = 0; p < 9; ++p) {
+        const float v = y[(i * 2 + ch) * 9 + p];
+        s += v;
+        ss += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(s / 36.0, 0.0, 1e-4);
+    EXPECT_NEAR(ss / 36.0, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  Rng rng(10);
+  for (int step = 0; step < 30; ++step) {
+    Tensor x = Tensor::randn({8, 1, 4, 4}, rng, 3.0f, 1.5f);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 2.25f, 0.5f);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 2.0f;
+  bn.running_var()[0] = 4.0f;
+  Tensor x({1, 1, 1, 2}, {2.0f, 4.0f});
+  Tensor y = bn.forward(x, /*train=*/false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-4);
+  EXPECT_NEAR(y[1], 1.0f, 1e-3);
+}
+
+TEST(BatchNorm2d, GradientsMatchFiniteDifference) {
+  BatchNorm2d bn(2);
+  Rng rng(11);
+  Tensor x = Tensor::randn({3, 2, 2, 2}, rng);
+  check_input_gradient(bn, x, 1e-2f, 4e-2f);
+  check_param_gradients(bn, x, 1e-2f, 4e-2f);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  pool.forward(x, true);
+  Tensor g({1, 1, 1, 1}, {7.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 7.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPool2d, GradientsMatchFiniteDifference) {
+  MaxPool2d pool(2, 2);
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  check_input_gradient(pool, x);
+}
+
+TEST(MaxPool2d, PaddedWindowGradients) {
+  MaxPool2d pool(3, 1, 1);
+  Rng rng(13);
+  Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  check_input_gradient(pool, x);
+}
+
+TEST(AvgPool2d, ForwardAveragesWindow) {
+  AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 6});
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool2d, GradientsMatchFiniteDifference) {
+  AvgPool2d pool(2, 2);
+  Rng rng(14);
+  Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+  check_input_gradient(pool, x);
+}
+
+TEST(GlobalAvgPool, ForwardAndBackward) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+  Tensor g({1, 2}, {4.0f, 8.0f});
+  Tensor gx = gap.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0f);
+  EXPECT_FLOAT_EQ(gx[4], 2.0f);
+}
+
+TEST(Flatten, RoundTripShapes) {
+  Flatten flat;
+  Rng rng(15);
+  Tensor x = Tensor::randn({3, 2, 4, 4}, rng);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{3, 32}));
+  Tensor gx = flat.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ReLU, ForwardAndGradient) {
+  ReLU relu;
+  Tensor x({4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g({4}, {1, 1, 1, 1});
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+}
+
+TEST(LeakyReLU, NegativeSlope) {
+  LeakyReLU lrelu(0.1f);
+  Tensor x({2}, {-10.0f, 10.0f});
+  Tensor y = lrelu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+  Tensor gx = lrelu.backward(Tensor({2}, {1.0f, 1.0f}));
+  EXPECT_FLOAT_EQ(gx[0], 0.1f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Dropout drop(0.5f, Rng(1));
+  Rng rng(16);
+  Tensor x = Tensor::randn({100}, rng);
+  Tensor y = drop.forward(x, /*train=*/false);
+  EXPECT_TRUE(allclose(x, y));
+}
+
+TEST(Dropout, TrainZeroesAboutPFraction) {
+  Dropout drop(0.3f, Rng(2));
+  Tensor x = Tensor::ones({10000});
+  Tensor y = drop.forward(x, true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.7f, 1e-4);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f, Rng(3));
+  Tensor x = Tensor::ones({64});
+  Tensor y = drop.forward(x, true);
+  Tensor gx = drop.backward(Tensor::ones({64}));
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(gx[i], y[i]);  // mask identical between fwd and bwd
+  }
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(Dropout(1.0f, Rng(1)), Error);
+  EXPECT_THROW(Dropout(-0.1f, Rng(1)), Error);
+}
+
+TEST(Init, KaimingUniformBounds) {
+  Rng rng(17);
+  Tensor w = kaiming_uniform({64, 100}, 100, rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  EXPECT_LE(max_value(w), bound);
+  EXPECT_GE(min_value(w), -bound);
+  // Spread should cover a good part of the range.
+  EXPECT_GT(max_value(w), bound * 0.8f);
+}
+
+TEST(Init, KaimingNormalStddev) {
+  Rng rng(18);
+  Tensor w = kaiming_normal({10000}, 50, rng);
+  const float expected_std = std::sqrt(2.0f / 50.0f);
+  double ss = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) ss += static_cast<double>(w[i]) * w[i];
+  EXPECT_NEAR(std::sqrt(ss / 10000.0), expected_std, expected_std * 0.05);
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(19);
+  Tensor w = xavier_uniform({40, 60}, 60, 40, rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  EXPECT_LE(max_value(w), bound);
+  EXPECT_GE(min_value(w), -bound);
+}
+
+TEST(Module, ParameterCount) {
+  Rng rng(20);
+  Linear lin(10, 5, rng);
+  EXPECT_EQ(lin.parameter_count(), 55);
+}
+
+}  // namespace
+}  // namespace fca::nn

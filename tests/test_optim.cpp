@@ -1,0 +1,153 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fca::nn {
+namespace {
+
+Param make_param(std::vector<float> value, std::vector<float> grad) {
+  Param p("p", Tensor({static_cast<int64_t>(value.size())}, value));
+  p.grad = Tensor({static_cast<int64_t>(grad.size())}, grad);
+  return p;
+}
+
+TEST(SGD, PlainStepIsGradientDescent) {
+  Param p = make_param({1.0f, 2.0f}, {0.5f, -1.0f});
+  SGD sgd({&p}, 0.1f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.1f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Param p = make_param({0.0f}, {1.0f});
+  SGD sgd({&p}, 1.0f, /*momentum=*/0.5f);
+  sgd.step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  sgd.step();  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(SGD, WeightDecayPullsTowardZero) {
+  Param p = make_param({10.0f}, {0.0f});
+  SGD sgd({&p}, 0.1f, 0.0f, /*weight_decay=*/0.1f);
+  sgd.step();
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * (0.1f * 10.0f), 1e-5);
+}
+
+TEST(SGD, NesterovLooksAhead) {
+  Param p = make_param({0.0f}, {1.0f});
+  SGD sgd({&p}, 1.0f, 0.5f, 0.0f, /*nesterov=*/true);
+  sgd.step();  // v=1, g_eff = 1 + 0.5*1 = 1.5, w = -1.5
+  EXPECT_FLOAT_EQ(p.value[0], -1.5f);
+}
+
+TEST(SGD, NesterovRequiresMomentum) {
+  Param p = make_param({0.0f}, {1.0f});
+  EXPECT_THROW(SGD({&p}, 1.0f, 0.0f, 0.0f, true), Error);
+}
+
+TEST(SGD, RejectsNonPositiveLr) {
+  Param p = make_param({0.0f}, {1.0f});
+  EXPECT_THROW(SGD({&p}, 0.0f), Error);
+}
+
+TEST(Adam, FirstStepSizeIsLr) {
+  // With bias correction the first Adam step is ~lr * sign(grad).
+  Param p = make_param({1.0f}, {0.3f});
+  Adam adam({&p}, 0.01f);
+  adam.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, MatchesReferenceIteration) {
+  // Hand-rolled two-step reference.
+  const float lr = 0.1f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  float w = 2.0f, m = 0.0f, v = 0.0f;
+  Param p = make_param({2.0f}, {});
+  Adam adam({&p}, lr, b1, b2, eps);
+  const float grads[2] = {0.4f, -0.2f};
+  for (int t = 1; t <= 2; ++t) {
+    const float g = grads[t - 1];
+    m = b1 * m + (1 - b1) * g;
+    v = b2 * v + (1 - b2) * g * g;
+    const float mhat = m / (1 - std::pow(b1, static_cast<float>(t)));
+    const float vhat = v / (1 - std::pow(b2, static_cast<float>(t)));
+    w -= lr * mhat / (std::sqrt(vhat) + eps);
+
+    p.grad = Tensor({1}, {g});
+    adam.step();
+    EXPECT_NEAR(p.value[0], w, 1e-5) << "step " << t;
+  }
+}
+
+TEST(Adam, WeightDecayAffectsUpdate) {
+  Param p = make_param({5.0f}, {0.0f});
+  Adam adam({&p}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  adam.step();
+  // Effective gradient = 0.5 * 5 = 2.5 -> first step ~= -lr.
+  EXPECT_NEAR(p.value[0], 5.0f - 0.1f, 1e-3);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Param a = make_param({1.0f}, {3.0f});
+  Param b = make_param({1.0f, 1.0f}, {4.0f, 5.0f});
+  SGD sgd({&a, &b}, 0.1f);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad[1], 0.0f);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  Param p = make_param({0.0f, 0.0f}, {3.0f, 4.0f});  // norm 5
+  SGD sgd({&p}, 0.1f);
+  const float norm = sgd.clip_grad_norm(1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5);
+  EXPECT_NEAR(l2_norm(p.grad), 1.0f, 1e-4);
+  // Direction preserved.
+  EXPECT_NEAR(p.grad[0] / p.grad[1], 0.75f, 1e-4);
+}
+
+TEST(Optimizer, ClipGradNormNoopBelowThreshold) {
+  Param p = make_param({0.0f}, {0.5f});
+  SGD sgd({&p}, 0.1f);
+  sgd.clip_grad_norm(1.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.5f);
+}
+
+TEST(Optimizer, SetLrTakesEffect) {
+  Param p = make_param({0.0f}, {1.0f});
+  SGD sgd({&p}, 0.1f);
+  sgd.set_lr(1.0f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // min (w - 3)^2: Adam should approach 3.
+  Param p = make_param({0.0f}, {0.0f});
+  Adam adam({&p}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(SGD, MomentumConvergesOnQuadratic) {
+  Param p = make_param({10.0f}, {0.0f});
+  SGD sgd({&p}, 0.05f, 0.9f);
+  for (int i = 0; i < 300; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace fca::nn

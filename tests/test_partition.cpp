@@ -1,0 +1,168 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "utils/error.hpp"
+
+namespace fca::data {
+namespace {
+
+std::vector<int> balanced_labels(int num_classes, int per_class) {
+  std::vector<int> labels;
+  for (int c = 0; c < num_classes; ++c) {
+    for (int i = 0; i < per_class; ++i) labels.push_back(c);
+  }
+  return labels;
+}
+
+void expect_disjoint_and_equal_size(const Partition& p, int expected_size) {
+  std::set<int> seen;
+  for (const auto& idx : p.client_indices) {
+    EXPECT_EQ(static_cast<int>(idx.size()), expected_size);
+    for (int i : idx) EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+  }
+}
+
+class DirichletAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlphaTest, EqualSizesAndDisjoint) {
+  const std::vector<int> labels = balanced_labels(10, 100);
+  Rng rng(42);
+  const Partition p = dirichlet_partition(labels, 10, 20, GetParam(), rng);
+  EXPECT_EQ(p.num_clients(), 20);
+  expect_disjoint_and_equal_size(p, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlphaTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 10.0));
+
+TEST(Dirichlet, SmallAlphaMoreSkewedThanLarge) {
+  const std::vector<int> labels = balanced_labels(10, 200);
+  auto max_share = [&](double alpha) {
+    Rng rng(7);
+    const Partition p = dirichlet_partition(labels, 10, 20, alpha, rng);
+    double total = 0.0;
+    for (const auto& props : p.proportions) {
+      total += *std::max_element(props.begin(), props.end());
+    }
+    return total / p.proportions.size();
+  };
+  EXPECT_GT(max_share(0.1), max_share(100.0) + 0.1);
+}
+
+TEST(Dirichlet, ProportionsMatchActualCounts) {
+  const std::vector<int> labels = balanced_labels(5, 40);
+  Rng rng(3);
+  const Partition p = dirichlet_partition(labels, 5, 4, 0.5, rng);
+  const auto hist = partition_histogram(p, labels, 5);
+  for (int k = 0; k < 4; ++k) {
+    const auto n = static_cast<double>(p.client_indices[static_cast<size_t>(k)].size());
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(p.proportions[static_cast<size_t>(k)][static_cast<size_t>(c)],
+                  hist[static_cast<size_t>(k)][static_cast<size_t>(c)] / n,
+                  1e-9);
+    }
+  }
+}
+
+TEST(Dirichlet, DeterministicGivenRngSeed) {
+  const std::vector<int> labels = balanced_labels(10, 50);
+  Rng a(9), b(9);
+  const Partition pa = dirichlet_partition(labels, 10, 8, 0.5, a);
+  const Partition pb = dirichlet_partition(labels, 10, 8, 0.5, b);
+  EXPECT_EQ(pa.client_indices, pb.client_indices);
+}
+
+TEST(Skewed, ClientsHoldAtMostTwoNominalClasses) {
+  const std::vector<int> labels = balanced_labels(10, 100);
+  Rng rng(5);
+  const Partition p = skewed_partition(labels, 10, 20, 2, rng);
+  expect_disjoint_and_equal_size(p, 50);
+  const auto hist = partition_histogram(p, labels, 10);
+  for (const auto& h : hist) {
+    int nonzero = 0;
+    for (int64_t c : h) {
+      if (c > 0) ++nonzero;
+    }
+    EXPECT_LE(nonzero, 2);
+    EXPECT_GE(nonzero, 1);
+  }
+}
+
+TEST(Skewed, EveryClassCovered) {
+  const std::vector<int> labels = balanced_labels(10, 100);
+  Rng rng(5);
+  const Partition p = skewed_partition(labels, 10, 20, 2, rng);
+  const auto hist = partition_histogram(p, labels, 10);
+  for (int c = 0; c < 10; ++c) {
+    int64_t total = 0;
+    for (const auto& h : hist) total += h[static_cast<size_t>(c)];
+    EXPECT_GT(total, 0) << "class " << c << " unassigned";
+  }
+}
+
+TEST(Skewed, HandlesMoreClassesThanSlots) {
+  // 26 classes, 20 clients x 2 slots = 40 assignments: some classes get two
+  // clients, pools run short, backfill must keep sizes equal.
+  const std::vector<int> labels = balanced_labels(26, 40);
+  Rng rng(11);
+  const Partition p = skewed_partition(labels, 26, 20, 2, rng);
+  expect_disjoint_and_equal_size(p, 52);
+}
+
+TEST(Skewed, SingleClassPerClient) {
+  const std::vector<int> labels = balanced_labels(10, 30);
+  Rng rng(13);
+  const Partition p = skewed_partition(labels, 10, 10, 1, rng);
+  const auto hist = partition_histogram(p, labels, 10);
+  for (const auto& h : hist) {
+    int nonzero = 0;
+    for (int64_t c : h) {
+      if (c > 0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 1);
+  }
+}
+
+TEST(MatchingTestSplit, RespectsProportionsAndSize) {
+  const std::vector<int> labels = balanced_labels(4, 50);
+  Rng rng(17);
+  const Partition p = skewed_partition(labels, 4, 4, 2, rng);
+  const std::vector<int> test_labels = balanced_labels(4, 30);
+  const auto split = matching_test_split(p, test_labels, 4, 20, rng);
+  ASSERT_EQ(split.size(), 4u);
+  for (size_t k = 0; k < split.size(); ++k) {
+    EXPECT_EQ(split[k].size(), 20u);
+    // Every drawn test sample must belong to a class the client holds.
+    for (int idx : split[k]) {
+      const int y = test_labels[static_cast<size_t>(idx)];
+      EXPECT_GT(p.proportions[k][static_cast<size_t>(y)], 0.0);
+    }
+  }
+}
+
+TEST(PartitionValidation, RejectsBadArguments) {
+  const std::vector<int> labels = balanced_labels(4, 10);
+  Rng rng(1);
+  EXPECT_THROW(dirichlet_partition(labels, 4, 0, 0.5, rng), Error);
+  EXPECT_THROW(dirichlet_partition(labels, 4, 4, 0.0, rng), Error);
+  EXPECT_THROW(skewed_partition(labels, 4, 4, 0, rng), Error);
+  EXPECT_THROW(skewed_partition(labels, 4, 4, 5, rng), Error);
+}
+
+TEST(PartitionHistogram, CountsMatchSizes) {
+  const std::vector<int> labels = balanced_labels(3, 12);
+  Rng rng(2);
+  const Partition p = dirichlet_partition(labels, 3, 3, 1.0, rng);
+  const auto hist = partition_histogram(p, labels, 3);
+  for (size_t k = 0; k < hist.size(); ++k) {
+    int64_t total = 0;
+    for (int64_t c : hist[k]) total += c;
+    EXPECT_EQ(total, static_cast<int64_t>(p.client_indices[k].size()));
+  }
+}
+
+}  // namespace
+}  // namespace fca::data

@@ -1,0 +1,219 @@
+#include "utils/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "utils/error.hpp"
+
+namespace fca {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentAdvance) {
+  Rng parent(42);
+  Rng child1 = parent.fork("stream-a");
+  parent.next_u64();
+  parent.next_u64();
+  Rng parent2(42);
+  Rng child2 = parent2.fork("stream-a");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkLabelsGiveDistinctStreams) {
+  Rng parent(42);
+  Rng a = parent.fork("a");
+  Rng b = parent.fork("b");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double s = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) s += rng.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 50000;
+  double s = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    s += v;
+    ss += v * v;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng rng(13);
+  const int n = 50000;
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(s / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) s += rng.gamma(shape);
+    EXPECT_NEAR(s / n, shape, 0.1 * shape + 0.02) << "shape " << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(23);
+  for (double alpha : {0.1, 0.5, 5.0}) {
+    const std::vector<double> p = rng.dirichlet(alpha, 10);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaConcentrates) {
+  Rng rng(29);
+  // With alpha = 0.05 most mass should sit on a single coordinate.
+  double max_mass = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> p = rng.dirichlet(0.05, 10);
+    max_mass += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(max_mass / trials, 0.75);
+}
+
+TEST(Rng, DirichletLargeAlphaUniformizes) {
+  Rng rng(31);
+  double max_mass = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> p = rng.dirichlet(100.0, 10);
+    max_mass += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_LT(max_mass / trials, 0.2);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(37);
+  const std::vector<int> p = rng.permutation(50);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, PermutationZeroAndOne) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  EXPECT_EQ(rng.permutation(1), std::vector<int>{0});
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const std::vector<int> s = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<int> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementBounds) {
+  Rng rng(41);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), Error);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(43);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.categorical({1.0, 2.0, 7.0}))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(47);
+  EXPECT_THROW(rng.categorical({}), Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(Rng, HashLabelStable) {
+  EXPECT_EQ(hash_label("abc"), hash_label("abc"));
+  EXPECT_NE(hash_label("abc"), hash_label("abd"));
+}
+
+}  // namespace
+}  // namespace fca

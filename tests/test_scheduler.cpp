@@ -1,0 +1,85 @@
+#include "nn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "utils/error.hpp"
+
+namespace fca::nn {
+namespace {
+
+Param dummy_param() { return Param("p", Tensor({1})); }
+
+TEST(StepDecay, HalvesEveryPeriod) {
+  Param p = dummy_param();
+  SGD sgd({&p}, 1.0f);
+  StepDecay sched(sgd, /*period=*/2, /*gamma=*/0.5f);
+  sched.step();  // step 1
+  EXPECT_FLOAT_EQ(sgd.lr(), 1.0f);
+  sched.step();  // step 2 -> one decay
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.5f);
+  sched.step();
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.5f);
+  sched.step();  // step 4 -> two decays
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.25f);
+  EXPECT_EQ(sched.steps_taken(), 4);
+}
+
+TEST(CosineDecay, EndpointsAndMonotonicity) {
+  Param p = dummy_param();
+  SGD sgd({&p}, 1.0f);
+  CosineDecay sched(sgd, /*horizon=*/10, /*min_lr=*/0.1f);
+  float prev = 1.0f;
+  for (int i = 0; i < 10; ++i) {
+    sched.step();
+    EXPECT_LE(sgd.lr(), prev + 1e-6f);
+    prev = sgd.lr();
+  }
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.1f);
+  sched.step();  // past horizon: stays at min
+  EXPECT_FLOAT_EQ(sgd.lr(), 0.1f);
+}
+
+TEST(CosineDecay, MidpointIsMeanOfEndpoints) {
+  Param p = dummy_param();
+  SGD sgd({&p}, 1.0f);
+  CosineDecay sched(sgd, /*horizon=*/8, /*min_lr=*/0.0f);
+  for (int i = 0; i < 4; ++i) sched.step();
+  EXPECT_NEAR(sgd.lr(), 0.5f, 1e-5);
+}
+
+TEST(LinearWarmup, RampsToBase) {
+  Param p = dummy_param();
+  Adam adam({&p}, 0.4f);
+  LinearWarmup sched(adam, /*warmup=*/4);
+  sched.step();
+  EXPECT_FLOAT_EQ(adam.lr(), 0.1f);
+  sched.step();
+  EXPECT_FLOAT_EQ(adam.lr(), 0.2f);
+  sched.step();
+  sched.step();
+  EXPECT_FLOAT_EQ(adam.lr(), 0.4f);
+  sched.step();
+  EXPECT_FLOAT_EQ(adam.lr(), 0.4f);
+}
+
+TEST(Scheduler, Validation) {
+  Param p = dummy_param();
+  SGD sgd({&p}, 1.0f);
+  EXPECT_THROW(StepDecay(sgd, 0, 0.5f), Error);
+  EXPECT_THROW(StepDecay(sgd, 2, 1.5f), Error);
+  EXPECT_THROW(CosineDecay(sgd, 0), Error);
+  EXPECT_THROW(CosineDecay(sgd, 5, 2.0f), Error);  // min_lr > base
+  EXPECT_THROW(LinearWarmup(sgd, 0), Error);
+}
+
+TEST(Scheduler, BaseLrCapturedAtConstruction) {
+  Param p = dummy_param();
+  SGD sgd({&p}, 0.8f);
+  StepDecay sched(sgd, 1, 0.5f);
+  EXPECT_FLOAT_EQ(sched.base_lr(), 0.8f);
+  sched.step();
+  EXPECT_FLOAT_EQ(sched.current_lr(), 0.4f);
+}
+
+}  // namespace
+}  // namespace fca::nn

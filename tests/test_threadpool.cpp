@@ -1,0 +1,99 @@
+#include "utils/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace fca {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersStillMakesProgress) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, WaitAllIdempotent) {
+  ThreadPool pool(1);
+  pool.wait_all();
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_all();
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; },
+               /*grain=*/16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(5, 6, [&](int64_t i) {
+    EXPECT_EQ(i, 5);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForRange, RangesPartitionTheInterval) {
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  parallel_for_range(
+      0, 777,
+      [&](int64_t lo, int64_t hi) {
+        std::lock_guard lk(mu);
+        ranges.emplace_back(lo, hi);
+      },
+      /*grain=*/10);
+  int64_t total = 0;
+  for (auto [lo, hi] : ranges) {
+    EXPECT_LT(lo, hi);
+    total += hi - lo;
+  }
+  EXPECT_EQ(total, 777);
+  // Ranges must be disjoint: sort and check adjacency covers [0, 777).
+  std::sort(ranges.begin(), ranges.end());
+  int64_t cursor = 0;
+  for (auto [lo, hi] : ranges) {
+    EXPECT_EQ(lo, cursor);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, 777);
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> total{0};
+  parallel_for_range(0, static_cast<int64_t>(values.size()),
+                     [&](int64_t lo, int64_t hi) {
+                       int64_t local = 0;
+                       for (int64_t i = lo; i < hi; ++i) local += values[static_cast<size_t>(i)];
+                       total.fetch_add(local);
+                     });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace fca

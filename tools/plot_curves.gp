@@ -1,0 +1,18 @@
+# Gnuplot script: renders the Figure 4/5/6/7 learning-curve CSVs produced in
+# bench_out/ into PNGs.
+#
+#   gnuplot -e "csv='bench_out/fig4_curves_dirichlet.csv'; out='fig4.png'" \
+#           tools/plot_curves.gp
+#
+# The CSVs have the header: dataset,method,round,local_epochs,mean_acc,std_acc
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output out
+set key bottom right
+set xlabel 'cumulative local epochs'
+set ylabel 'average test accuracy'
+set grid
+set yrange [0:1]
+plot for [m in "ours kt-pfl baseline fedavg ours+weight kt-pfl+weight"] \
+     csv using 4:(strcol(2) eq m ? column(5) : 1/0) \
+     with linespoints title m

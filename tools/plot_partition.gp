@@ -1,0 +1,12 @@
+# Gnuplot script: renders the Figure 2/3 partition histograms as heat maps.
+#
+#   gnuplot -e "csv='bench_out/fig2_fig3_partition.csv'; out='fig2.png'; \
+#               ds='synth-cifar10'; scheme='Dir(0.5)'" tools/plot_partition.gp
+set datafile separator ','
+set terminal pngcairo size 700,500
+set output out
+set xlabel 'class'
+set ylabel 'client'
+set view map
+splot csv using 4:(strcol(1) eq ds && strcol(2) eq scheme ? column(3) : 1/0):5 \
+      with points pointtype 5 pointsize 3 palette title ''
