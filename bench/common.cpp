@@ -95,15 +95,50 @@ void banner(const std::string& bench, const std::string& paper_anchor) {
   std::printf("==============================================================\n");
 }
 
+namespace {
+
+/// "fedclassavg+proto" -> "fedclassavg_proto": a filesystem-safe run label.
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
 core::CompletedRun run_and_report(const core::Experiment& exp,
                                   fl::RoundStrategy& strategy) {
   Timer t;
-  core::CompletedRun done = exp.execute(strategy);
+  core::CompletedRun done;
+  const char* ckpt_root = std::getenv("FCA_CHECKPOINT_DIR");
+  if (ckpt_root != nullptr && *ckpt_root != '\0') {
+    ckpt::Options opts;
+    opts.dir = std::string(ckpt_root) + "/" +
+               sanitize(exp.config().dataset) + "_" +
+               sanitize(strategy.name());
+    const char* every = std::getenv("FCA_CHECKPOINT_EVERY");
+    if (every != nullptr && *every != '\0') opts.every = std::atoi(every);
+    done = exp.execute(strategy, opts);
+  } else {
+    done = exp.execute(strategy);
+  }
   std::printf("  %-18s %-14s final %.4f ± %.4f   (%.1fs, %.1f KB/client-round)\n",
               strategy.name().c_str(), exp.config().dataset.c_str(),
               done.result.final_mean_accuracy, done.result.final_std_accuracy,
               t.seconds(),
               done.result.client_upload_bytes_per_round / 1024.0);
+  if (done.checkpoint_stats.saves > 0) {
+    const ckpt::Stats& cs = done.checkpoint_stats;
+    std::printf("    checkpoints: %d saves, %.1f ms total (%.2f ms/save), "
+                "%.1f KB on disk\n",
+                cs.saves, cs.save_seconds * 1e3,
+                cs.save_seconds * 1e3 / cs.saves,
+                cs.last_file_bytes / 1024.0);
+  }
   std::fflush(stdout);
   return done;
 }

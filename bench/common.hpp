@@ -12,6 +12,10 @@
 //   full    — tens of minutes; longest horizons, closest to convergence
 // FCA_BENCH_DATASETS=synth-fmnist,synth-cifar10,... overrides the dataset
 // list a bench sweeps (figure benches default to fmnist only).
+// FCA_CHECKPOINT_DIR=path enables checkpointing for every bench run (one
+// subdirectory per dataset/strategy pair); FCA_CHECKPOINT_EVERY sets the
+// save interval (default 1). When enabled, each progress line reports the
+// checkpoint save overhead and on-disk size.
 #pragma once
 
 #include <cstdio>

@@ -4,6 +4,10 @@
 //   $ ./examples/fca_cli --dataset synth-fmnist --algorithm fedclassavg
 //   $ ./examples/fca_cli --algorithm ktpfl --models homogeneous
 //   $ ./examples/fca_cli --rounds 30 --partition skewed --save-curve out.csv
+//   $ ./examples/fca_cli --rounds 20 --checkpoint-dir ckpts
+//         --checkpoint-every 5          # checkpoint as the run progresses
+//   $ ./examples/fca_cli --rounds 20 --checkpoint-dir ckpts --resume
+//                                       # continue from the last checkpoint
 //   $ ./examples/fca_cli --help
 //
 // Algorithms: local | fedavg | fedprox | fedproto | ktpfl | ktpfl-weight |
@@ -46,6 +50,11 @@ void print_help() {
       "  --train-per-class N synthetic samples per class (default 25)\n"
       "  --seed N            experiment seed (default 42)\n"
       "  --save-curve PATH   write the learning curve as CSV\n"
+      "  --checkpoint-dir D  checkpoint directory (enables checkpointing)\n"
+      "  --checkpoint-every N  save every N rounds (default 1)\n"
+      "  --checkpoint-keep N   retain the newest N checkpoints (default 2)\n"
+      "  --resume            continue from the last checkpoint in\n"
+      "                      --checkpoint-dir (fresh run if none exists)\n"
       "  --help              this text\n");
 }
 
@@ -57,8 +66,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
       throw Error("unexpected argument: " + key + " (see --help)");
     }
     key = key.substr(2);
-    if (key == "help") {
-      flags["help"] = "1";
+    if (key == "help" || key == "resume") {  // value-less flags
+      flags[key] = "1";
       continue;
     }
     if (i + 1 >= argc) throw Error("missing value for --" + key);
@@ -162,7 +171,27 @@ int main(int argc, char** argv) {
                 strategy->name().c_str(), config.dataset.c_str(),
                 config.num_clients, config.rounds, partition.c_str(),
                 models.c_str());
-    const auto done = experiment.execute(*strategy);
+
+    const std::string ckpt_dir = get("checkpoint-dir", "");
+    const bool resume = flags.count("resume") != 0;
+    if (resume && ckpt_dir.empty()) {
+      throw Error("--resume requires --checkpoint-dir");
+    }
+    core::CompletedRun done;
+    if (!ckpt_dir.empty()) {
+      ckpt::Options opts;
+      opts.dir = ckpt_dir;
+      opts.every = std::stoi(get("checkpoint-every", "1"));
+      opts.keep_last = std::stoi(get("checkpoint-keep", "2"));
+      done = resume ? experiment.execute_or_resume(*strategy, opts)
+                    : experiment.execute(*strategy, opts);
+      std::printf("checkpoints: %d saved (%.1f ms total, newest %.1f KB)\n",
+                  done.checkpoint_stats.saves,
+                  done.checkpoint_stats.save_seconds * 1e3,
+                  done.checkpoint_stats.last_file_bytes / 1024.0);
+    } else {
+      done = experiment.execute(*strategy);
+    }
 
     std::printf("\n%8s %12s %12s %14s\n", "round", "mean acc", "std acc",
                 "KB this round");

@@ -1,0 +1,304 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/format.hpp"
+#include "models/serialize.hpp"
+#include "utils/error.hpp"
+#include "utils/logging.hpp"
+#include "utils/timer.hpp"
+
+namespace fca::ckpt {
+namespace {
+
+constexpr char kFilePrefix[] = "ckpt_round_";
+constexpr char kFileSuffix[] = ".fckpt";
+
+std::string client_section(int k) { return "client/" + std::to_string(k); }
+
+std::vector<std::byte> encode_client(fl::Client& client) {
+  ByteWriter w;
+  w.blob(models::serialize_state(client.model()));
+  // Optimizer: scalar state (e.g. Adam's step count) + slot tensors.
+  const std::vector<int64_t> scalars = client.optimizer().scalar_state();
+  w.u32(static_cast<uint32_t>(scalars.size()));
+  for (int64_t s : scalars) w.i64(s);
+  std::vector<Tensor> slots;
+  for (Tensor* t : client.optimizer().state_tensors()) {
+    slots.push_back(t->clone());
+  }
+  w.blob(models::serialize_tensors(slots));
+  w.u64(client.rng().state());
+  return w.take();
+}
+
+void decode_client(std::span<const std::byte> bytes, fl::Client& client) {
+  ByteReader r(bytes);
+  const std::vector<std::byte> model_state = r.blob();
+  models::deserialize_state(model_state, client.model());
+  const uint32_t scalar_count = r.u32();
+  std::vector<int64_t> scalars(scalar_count);
+  for (uint32_t i = 0; i < scalar_count; ++i) scalars[i] = r.i64();
+  client.optimizer().restore_scalar_state(scalars);
+  const std::vector<std::byte> slot_bytes = r.blob();
+  const std::vector<Tensor> slots = models::deserialize_tensors(slot_bytes);
+  const std::vector<Tensor*> targets = client.optimizer().state_tensors();
+  FCA_CHECK_MSG(slots.size() == targets.size(),
+                "optimizer slot count mismatch for client " << client.id()
+                    << ": checkpoint has " << slots.size() << ", live has "
+                    << targets.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    FCA_CHECK_MSG(slots[i].same_shape(*targets[i]),
+                  "optimizer slot shape mismatch for client " << client.id());
+    std::copy_n(slots[i].data(), slots[i].numel(), targets[i]->data());
+  }
+  client.rng().restore(r.u64());
+  r.expect_done();
+}
+
+std::vector<std::byte> encode_metrics(
+    const std::vector<fl::RoundMetrics>& curve) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(curve.size()));
+  for (const fl::RoundMetrics& m : curve) {
+    w.i64(m.round);
+    w.i64(m.cumulative_local_epochs);
+    w.f64(m.mean_accuracy);
+    w.f64(m.std_accuracy);
+    w.f64(m.mean_train_loss);
+    w.f64(m.wall_seconds);
+    w.u64(m.round_bytes);
+    w.u32(static_cast<uint32_t>(m.client_accuracies.size()));
+    for (double a : m.client_accuracies) w.f64(a);
+  }
+  return w.take();
+}
+
+std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  const uint32_t count = r.u32();
+  std::vector<fl::RoundMetrics> curve;
+  curve.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    fl::RoundMetrics m;
+    m.round = static_cast<int>(r.i64());
+    m.cumulative_local_epochs = static_cast<int>(r.i64());
+    m.mean_accuracy = r.f64();
+    m.std_accuracy = r.f64();
+    m.mean_train_loss = r.f64();
+    m.wall_seconds = r.f64();
+    m.round_bytes = r.u64();
+    const uint32_t n = r.u32();
+    m.client_accuracies.resize(n);
+    for (uint32_t j = 0; j < n; ++j) m.client_accuracies[j] = r.f64();
+    curve.push_back(std::move(m));
+  }
+  r.expect_done();
+  return curve;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(Options options)
+    : options_(std::move(options)) {
+  FCA_CHECK_MSG(!options_.dir.empty(), "checkpoint directory must be set");
+  FCA_CHECK_MSG(options_.every >= 1, "checkpoint interval must be >= 1");
+  FCA_CHECK_MSG(options_.keep_last >= 1, "must retain at least 1 checkpoint");
+}
+
+std::string CheckpointManager::checkpoint_path(const std::string& dir,
+                                               int round) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kFilePrefix, round,
+                kFileSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::vector<int> CheckpointManager::available_rounds(const std::string& dir) {
+  std::vector<int> rounds;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kFilePrefix, 0) != 0) continue;
+    if (name.size() <= sizeof(kFilePrefix) - 1 + sizeof(kFileSuffix) - 1 ||
+        name.substr(name.size() - (sizeof(kFileSuffix) - 1)) != kFileSuffix) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(sizeof(kFilePrefix) - 1,
+                    name.size() - (sizeof(kFilePrefix) - 1) -
+                        (sizeof(kFileSuffix) - 1));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    rounds.push_back(std::stoi(digits));
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+void CheckpointManager::after_round(fl::FederatedRun& run,
+                                    fl::RoundStrategy& strategy,
+                                    const fl::ResumeState& cursor) {
+  const int round = cursor.next_round - 1;
+  if (round % options_.every != 0 && round != run.config().rounds) return;
+  save(run, strategy, cursor);
+}
+
+void CheckpointManager::save(fl::FederatedRun& run,
+                             fl::RoundStrategy& strategy,
+                             const fl::ResumeState& cursor) {
+  Timer timer;
+  const int round = cursor.next_round - 1;
+  std::filesystem::create_directories(options_.dir);
+
+  SectionWriter w;
+  ByteWriter meta;
+  meta.u32(static_cast<uint32_t>(run.num_clients()));
+  meta.u32(static_cast<uint32_t>(round));
+  meta.str(strategy.name());
+  meta.u64(cursor.sampler_state);
+  meta.u64(cursor.bytes_marker);
+  meta.i64(cursor.participating_rounds_total);
+  w.add("meta", meta.take());
+  w.add("strategy", strategy.save_state());
+  for (int k = 0; k < run.num_clients(); ++k) {
+    w.add(client_section(k), encode_client(run.client(k)));
+  }
+  ByteWriter net;
+  const int ranks = run.network().size();
+  net.u32(static_cast<uint32_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const comm::TrafficStats s = run.network().rank_stats(r);
+    net.u64(s.messages);
+    net.u64(s.payload_bytes);
+    net.f64(s.sim_seconds);
+  }
+  w.add("network", net.take());
+  w.add("metrics", encode_metrics(cursor.curve));
+
+  const std::string path = checkpoint_path(options_.dir, round);
+  w.write(path);
+
+  ++stats_.saves;
+  stats_.save_seconds += timer.seconds();
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (!ec) {
+    stats_.bytes_written += size;
+    stats_.last_file_bytes = size;
+  }
+  FCA_LOG_DEBUG << "checkpointed round " << round << " to " << path << " ("
+                << size << " bytes)";
+
+  // Retention: drop everything but the newest keep_last files.
+  std::vector<int> rounds = available_rounds(options_.dir);
+  const int excess =
+      static_cast<int>(rounds.size()) - options_.keep_last;
+  for (int i = 0; i < excess; ++i) {
+    std::filesystem::remove(checkpoint_path(options_.dir, rounds[static_cast<size_t>(i)]), ec);
+  }
+}
+
+fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
+                                          fl::RoundStrategy& strategy) {
+  std::vector<int> rounds = available_rounds(options_.dir);
+  FCA_CHECK_MSG(!rounds.empty(),
+                "no checkpoints to resume from in " << options_.dir);
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    const std::string path = checkpoint_path(options_.dir, *it);
+    Timer timer;
+    try {
+      SectionReader reader(path);
+
+      ByteReader meta(reader.section("meta"));
+      const uint32_t num_clients = meta.u32();
+      const uint32_t round = meta.u32();
+      const std::string strategy_name = meta.str();
+      FCA_CHECK_MSG(static_cast<int>(num_clients) == run.num_clients(),
+                    "checkpoint has " << num_clients << " clients, run has "
+                                      << run.num_clients());
+      FCA_CHECK_MSG(strategy_name == strategy.name(),
+                    "checkpoint was taken with strategy '"
+                        << strategy_name << "', resuming with '"
+                        << strategy.name() << "'");
+      fl::ResumeState cursor;
+      cursor.next_round = static_cast<int>(round) + 1;
+      cursor.sampler_state = meta.u64();
+      cursor.bytes_marker = meta.u64();
+      cursor.participating_rounds_total = static_cast<int>(meta.i64());
+      meta.expect_done();
+
+      strategy.load_state(reader.section("strategy"));
+      for (int k = 0; k < run.num_clients(); ++k) {
+        decode_client(reader.section(client_section(k)), run.client(k));
+      }
+
+      ByteReader net(reader.section("network"));
+      const uint32_t ranks = net.u32();
+      FCA_CHECK_MSG(static_cast<int>(ranks) == run.network().size(),
+                    "checkpoint network has " << ranks << " ranks, run has "
+                                              << run.network().size());
+      std::vector<comm::TrafficStats> sent(ranks);
+      for (uint32_t r = 0; r < ranks; ++r) {
+        sent[r].messages = net.u64();
+        sent[r].payload_bytes = net.u64();
+        sent[r].sim_seconds = net.f64();
+      }
+      net.expect_done();
+      run.network().clear_pending();
+      run.network().restore_stats(sent);
+
+      cursor.curve = decode_metrics(reader.section("metrics"));
+
+      ++stats_.loads;
+      stats_.load_seconds += timer.seconds();
+      FCA_LOG_INFO << "resumed from " << path << " (round " << round << ")";
+      return cursor;
+    } catch (const std::exception& e) {
+      FCA_LOG_WARN << "checkpoint " << path << " rejected: " << e.what()
+                   << (std::next(it) != rounds.rend()
+                           ? "; falling back to previous checkpoint"
+                           : "");
+    }
+  }
+  throw Error("no loadable checkpoint in " + options_.dir +
+              " (all candidates failed validation)");
+}
+
+std::optional<fl::ResumeState> CheckpointManager::recover(
+    fl::FederatedRun& run, fl::RoundStrategy& strategy) {
+  try {
+    return resume(run, strategy);
+  } catch (const std::exception& e) {
+    FCA_LOG_WARN << "crash recovery unavailable: " << e.what();
+    return std::nullopt;
+  }
+}
+
+void CheckpointManager::restore_client(fl::FederatedRun& run, int client_id) {
+  std::vector<int> rounds = available_rounds(options_.dir);
+  FCA_CHECK_MSG(!rounds.empty(),
+                "no checkpoints in " << options_.dir << " to restore client "
+                                     << client_id << " from");
+  for (auto it = rounds.rbegin(); it != rounds.rend(); ++it) {
+    const std::string path = checkpoint_path(options_.dir, *it);
+    try {
+      SectionReader reader(path);
+      decode_client(reader.section(client_section(client_id)),
+                    run.client(client_id));
+      FCA_LOG_INFO << "restored client " << client_id << " from " << path;
+      return;
+    } catch (const std::exception& e) {
+      FCA_LOG_WARN << "checkpoint " << path << " rejected while restoring "
+                   << "client " << client_id << ": " << e.what();
+    }
+  }
+  throw Error("no loadable checkpoint in " + options_.dir +
+              " to restore client " + std::to_string(client_id));
+}
+
+}  // namespace fca::ckpt

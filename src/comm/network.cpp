@@ -71,9 +71,23 @@ TrafficStats Network::total_stats() const {
   return total;
 }
 
+void Network::clear_pending() {
+  std::lock_guard lk(mu_);
+  mailboxes_.clear();
+  pending_ = 0;
+}
+
 void Network::reset_stats() {
   std::lock_guard lk(mu_);
   for (auto& s : sent_) s = TrafficStats{};
+}
+
+void Network::restore_stats(const std::vector<TrafficStats>& sent) {
+  FCA_CHECK_MSG(sent.size() == static_cast<size_t>(ranks_),
+                "stats for " << sent.size() << " ranks, network has "
+                             << ranks_);
+  std::lock_guard lk(mu_);
+  sent_ = sent;
 }
 
 }  // namespace fca::comm

@@ -59,11 +59,20 @@ class Network {
   /// Number of undelivered messages (should be 0 at simulation end).
   size_t pending_messages() const;
 
+  /// Drops every undelivered message. Crash recovery uses this: a failure
+  /// mid-round leaves half-delivered broadcasts in the mailboxes, which must
+  /// be discarded before the round is replayed from a checkpoint.
+  void clear_pending();
+
   /// Traffic sent by one rank.
   TrafficStats rank_stats(int rank) const;
   /// Aggregate traffic.
   TrafficStats total_stats() const;
   void reset_stats();
+  /// Replaces the per-rank accounting with checkpointed values (must have
+  /// exactly size() entries). Resume uses this so traffic totals after an
+  /// interrupted-and-resumed run match the uninterrupted run's bit for bit.
+  void restore_stats(const std::vector<TrafficStats>& sent);
 
  private:
   struct Key {

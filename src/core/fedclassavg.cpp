@@ -85,6 +85,16 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
   }
 }
 
+comm::Bytes FedClassAvg::save_state() const {
+  return models::serialize_tensors(global_);
+}
+
+void FedClassAvg::load_state(std::span<const std::byte> state) {
+  global_ = models::deserialize_tensors(state);
+  FCA_CHECK_MSG(global_.size() >= 2,
+                "FedClassAvg state must hold at least [W, b]");
+}
+
 float FedClassAvg::train_epoch(fl::Client& client, const Tensor& global_weight,
                                const Tensor& global_bias) const {
   models::SplitModel& model = client.model();

@@ -47,6 +47,8 @@ class FedClassAvg : public fl::RoundStrategy {
   void initialize(fl::FederatedRun& run) override;
   float execute_round(fl::FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  comm::Bytes save_state() const override;
+  void load_state(std::span<const std::byte> state) override;
 
   /// Current global classifier [weight [C, D], bias [C]] (after
   /// initialize(); in +weight mode the classifier slice of the global

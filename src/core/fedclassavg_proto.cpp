@@ -51,6 +51,31 @@ FedClassAvgProto::FedClassAvgProto(FedClassAvgProtoConfig config)
                 "plain FedClassAvg for the +weight variant");
 }
 
+comm::Bytes FedClassAvgProto::save_state() const {
+  // [classifier W, classifier b, prototypes, seen-class mask].
+  FCA_CHECK_MSG(global_.size() == 2, "global classifier not initialized");
+  Tensor mask({static_cast<int64_t>(valid_.size())});
+  for (size_t i = 0; i < valid_.size(); ++i) {
+    mask[static_cast<int64_t>(i)] = valid_[i] ? 1.0f : 0.0f;
+  }
+  return models::serialize_tensors(
+      {global_[0], global_[1], global_protos_, mask});
+}
+
+void FedClassAvgProto::load_state(std::span<const std::byte> state) {
+  std::vector<Tensor> t = models::deserialize_tensors(state);
+  FCA_CHECK_MSG(t.size() == 4,
+                "FedClassAvg+Proto state must hold [W, b, protos, mask]");
+  global_.clear();
+  global_.push_back(std::move(t[0]));
+  global_.push_back(std::move(t[1]));
+  global_protos_ = std::move(t[2]);
+  valid_.assign(static_cast<size_t>(t[3].numel()), false);
+  for (size_t i = 0; i < valid_.size(); ++i) {
+    valid_[i] = t[3][static_cast<int64_t>(i)] != 0.0f;
+  }
+}
+
 void FedClassAvgProto::initialize(fl::FederatedRun& run) {
   // Same classifier synchronization as FedClassAvg::initialize.
   std::vector<int> all;

@@ -38,6 +38,8 @@ class FedClassAvgProto : public fl::RoundStrategy {
   void initialize(fl::FederatedRun& run) override;
   float execute_round(fl::FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  comm::Bytes save_state() const override;
+  void load_state(std::span<const std::byte> state) override;
 
   /// Global prototypes [num_classes, D]; zero rows for classes not yet seen.
   const Tensor& prototypes() const { return global_protos_; }

@@ -118,7 +118,38 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy) const {
                << " clients, " << config_.rounds << " rounds)";
   auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
   fl::RunResult result = run->execute(strategy);
-  return {std::move(result), std::move(run)};
+  return {std::move(result), std::move(run), {}};
+}
+
+CompletedRun Experiment::execute(fl::RoundStrategy& strategy,
+                                 const ckpt::Options& options) const {
+  FCA_LOG_INFO << "experiment " << config_.dataset << " x " << strategy.name()
+               << " (" << config_.num_clients << " clients, "
+               << config_.rounds << " rounds, checkpointing to "
+               << options.dir << " every " << options.every << ")";
+  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  ckpt::CheckpointManager manager(options);
+  fl::RunResult result = run->execute(strategy, &manager);
+  return {std::move(result), std::move(run), manager.stats()};
+}
+
+CompletedRun Experiment::resume(fl::RoundStrategy& strategy,
+                                const ckpt::Options& options) const {
+  FCA_LOG_INFO << "experiment " << config_.dataset << " x " << strategy.name()
+               << ": resuming from " << options.dir;
+  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  ckpt::CheckpointManager manager(options);
+  const fl::ResumeState cursor = manager.resume(*run, strategy);
+  fl::RunResult result = run->execute(strategy, &manager, &cursor);
+  return {std::move(result), std::move(run), manager.stats()};
+}
+
+CompletedRun Experiment::execute_or_resume(fl::RoundStrategy& strategy,
+                                           const ckpt::Options& options) const {
+  if (!ckpt::CheckpointManager::available_rounds(options.dir).empty()) {
+    return resume(strategy, options);
+  }
+  return execute(strategy, options);
 }
 
 FedClassAvgConfig Experiment::fedclassavg_config() const {

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/fedclassavg.hpp"
 #include "data/partition.hpp"
@@ -64,10 +65,12 @@ struct ExperimentConfig {
 };
 
 /// A finished run: the metrics plus the driver (for post-hoc analysis of the
-/// trained clients, e.g. t-SNE or conductance).
+/// trained clients, e.g. t-SNE or conductance). checkpoint_stats is all-zero
+/// unless the run was executed with checkpointing enabled.
 struct CompletedRun {
   fl::RunResult result;
   std::unique_ptr<fl::FederatedRun> run;
+  ckpt::Stats checkpoint_stats;
 };
 
 class Experiment {
@@ -95,6 +98,22 @@ class Experiment {
 
   /// Builds fresh clients, runs the strategy, returns metrics + driver.
   CompletedRun execute(fl::RoundStrategy& strategy) const;
+
+  /// Like execute(), but checkpoints per `options` as the run progresses and
+  /// replays from the last checkpoint if a round throws mid-flight.
+  CompletedRun execute(fl::RoundStrategy& strategy,
+                       const ckpt::Options& options) const;
+
+  /// Restores the newest loadable checkpoint in options.dir and continues
+  /// the run to config().rounds. The finished curve and traffic totals are
+  /// bit-identical to an uninterrupted run with the same config.
+  CompletedRun resume(fl::RoundStrategy& strategy,
+                      const ckpt::Options& options) const;
+
+  /// resume() when options.dir holds a checkpoint, execute() otherwise —
+  /// the idempotent entry point for restartable jobs.
+  CompletedRun execute_or_resume(fl::RoundStrategy& strategy,
+                                 const ckpt::Options& options) const;
 
   /// Convenience: the dataset's FedClassAvg config (Table 1 rho).
   FedClassAvgConfig fedclassavg_config() const;

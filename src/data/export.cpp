@@ -1,10 +1,12 @@
 #include "data/export.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
+#include <cstddef>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "utils/atomic_io.hpp"
 #include "utils/error.hpp"
 
 namespace fca::data {
@@ -26,23 +28,28 @@ std::vector<unsigned char> to_bytes(const float* values, size_t count) {
 }
 
 /// Writes a PGM (1 channel) or PPM (3 channels) from planar channel data.
+/// The file is assembled in memory and written atomically, so a killed run
+/// never leaves a truncated image behind.
 void write_netpbm(const std::string& path, int64_t channels, int64_t h,
                   int64_t w, const std::vector<unsigned char>& planar) {
   FCA_CHECK(channels == 1 || channels == 3);
-  std::ofstream out(path, std::ios::binary);
-  FCA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out << (channels == 1 ? "P5" : "P6") << '\n'
-      << w << ' ' << h << "\n255\n";
+  const std::string header = std::string(channels == 1 ? "P5" : "P6") + "\n" +
+                             std::to_string(w) + " " + std::to_string(h) +
+                             "\n255\n";
+  std::vector<std::byte> file(header.size() +
+                              static_cast<size_t>(channels * h * w));
+  std::memcpy(file.data(), header.data(), header.size());
   // Interleave planar CHW into HWC pixel order.
+  size_t pos = header.size();
   for (int64_t y = 0; y < h; ++y) {
     for (int64_t x = 0; x < w; ++x) {
       for (int64_t c = 0; c < channels; ++c) {
-        out.put(static_cast<char>(
-            planar[static_cast<size_t>((c * h + y) * w + x)]));
+        file[pos++] = static_cast<std::byte>(
+            planar[static_cast<size_t>((c * h + y) * w + x)]);
       }
     }
   }
-  FCA_CHECK_MSG(out.good(), "write to " << path << " failed");
+  atomic_write_file(path, std::span<const std::byte>(file));
 }
 
 }  // namespace

@@ -22,6 +22,15 @@ void FedAvg::initialize(FederatedRun& run) {
   }
 }
 
+comm::Bytes FedAvg::save_state() const {
+  return models::serialize_tensors(global_);
+}
+
+void FedAvg::load_state(std::span<const std::byte> state) {
+  global_ = models::deserialize_tensors(state);
+  FCA_CHECK_MSG(!global_.empty(), "FedAvg state is empty");
+}
+
 float FedAvg::execute_round(FederatedRun& run, int /*round*/,
                             const std::vector<int>& selected) {
   // Server -> selected clients: current global model.

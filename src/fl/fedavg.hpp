@@ -16,6 +16,8 @@ class FedAvg : public RoundStrategy {
   void initialize(FederatedRun& run) override;
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  comm::Bytes save_state() const override;
+  void load_state(std::span<const std::byte> state) override;
 
  protected:
   /// Hook for FedProx: returns the proximal coefficient (0 disables).

@@ -6,6 +6,25 @@
 
 namespace fca::fl {
 
+comm::Bytes FedProto::save_state() const {
+  // Prototypes plus the seen-class mask as a 0/1 float tensor.
+  Tensor mask({static_cast<int64_t>(valid_.size())});
+  for (size_t i = 0; i < valid_.size(); ++i) {
+    mask[static_cast<int64_t>(i)] = valid_[i] ? 1.0f : 0.0f;
+  }
+  return models::serialize_tensors({global_protos_, mask});
+}
+
+void FedProto::load_state(std::span<const std::byte> state) {
+  std::vector<Tensor> t = models::deserialize_tensors(state);
+  FCA_CHECK_MSG(t.size() == 2, "FedProto state must hold [protos, mask]");
+  global_protos_ = std::move(t[0]);
+  valid_.assign(static_cast<size_t>(t[1].numel()), false);
+  for (size_t i = 0; i < valid_.size(); ++i) {
+    valid_[i] = t[1][static_cast<int64_t>(i)] != 0.0f;
+  }
+}
+
 std::pair<Tensor, Tensor> FedProto::local_prototypes(Client& c) {
   const data::Dataset& ds = c.train_data();
   const int64_t d = c.model().feature_dim();

@@ -23,6 +23,8 @@ class FedProto : public RoundStrategy {
   std::string name() const override { return "FedProto"; }
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  comm::Bytes save_state() const override;
+  void load_state(std::span<const std::byte> state) override;
 
   /// Current global prototypes [num_classes, D]; rows of classes never seen
   /// are zero and `valid()[c]` is false.

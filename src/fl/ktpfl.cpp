@@ -58,6 +58,18 @@ void KTpFL::initialize(FederatedRun& run) {
   }
 }
 
+comm::Bytes KTpFL::save_state() const {
+  return models::serialize_tensors({coef_});
+}
+
+void KTpFL::load_state(std::span<const std::byte> state) {
+  std::vector<Tensor> t = models::deserialize_tensors(state);
+  FCA_CHECK_MSG(t.size() == 1 && t[0].ndim() == 2 &&
+                    t[0].dim(0) == t[0].dim(1),
+                "KT-pFL state must hold one square coefficient matrix");
+  coef_ = std::move(t[0]);
+}
+
 Tensor KTpFL::personalized_target(
     int k, const std::vector<int>& selected,
     const std::vector<Tensor>& soft_preds) const {

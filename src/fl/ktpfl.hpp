@@ -38,6 +38,10 @@ class KTpFL : public RoundStrategy {
   void initialize(FederatedRun& run) override;
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// The knowledge-coefficient matrix; the public dataset is construction
+  /// state and is re-supplied on resume, not checkpointed.
+  comm::Bytes save_state() const override;
+  void load_state(std::span<const std::byte> state) override;
 
   /// Row-stochastic knowledge-coefficient matrix [K, K].
   const Tensor& coefficients() const { return coef_; }

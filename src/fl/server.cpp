@@ -6,6 +6,12 @@
 
 namespace fca::fl {
 
+void RoundStrategy::load_state(std::span<const std::byte> state) {
+  FCA_CHECK_MSG(state.empty(),
+                "strategy " << name() << " has no state to restore, got "
+                            << state.size() << " bytes");
+}
+
 FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
     : clients_(std::move(clients)), config_(config) {
   FCA_CHECK_MSG(!clients_.empty(), "FederatedRun needs at least one client");
@@ -52,21 +58,64 @@ std::vector<double> FederatedRun::evaluate_all() {
   return acc;
 }
 
-RunResult FederatedRun::execute(RoundStrategy& strategy) {
+RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
+                                const ResumeState* resume) {
   RunResult result;
   result.strategy = strategy.name();
   Rng sampler = Rng(config_.seed).fork("sampling/" + strategy.name());
 
-  strategy.initialize(*this);
-  uint64_t bytes_before = network_->total_stats().payload_bytes;
-
+  int start_round = 1;
   int participating_rounds_total = 0;
-  for (int round = 1; round <= config_.rounds; ++round) {
+  uint64_t bytes_before = 0;
+  if (resume != nullptr) {
+    FCA_CHECK_MSG(resume->next_round >= 1 &&
+                      resume->next_round <= config_.rounds + 1,
+                  "resume round " << resume->next_round
+                                  << " outside [1, " << config_.rounds + 1
+                                  << "]");
+    // Client, strategy and network state were restored by the caller (the
+    // checkpoint manager); only the driver-local cursor is applied here.
+    sampler.restore(resume->sampler_state);
+    start_round = resume->next_round;
+    participating_rounds_total = resume->participating_rounds_total;
+    bytes_before = resume->bytes_marker;
+    result.curve = resume->curve;
+  } else {
+    strategy.initialize(*this);
+    bytes_before = network_->total_stats().payload_bytes;
+  }
+
+  // Consecutive failed attempts at the current round; recovery replays from
+  // the last checkpoint, and a round that keeps failing must eventually
+  // surface its error instead of looping.
+  int failed_attempts = 0;
+  constexpr int kMaxFailedAttempts = 3;
+
+  for (int round = start_round; round <= config_.rounds; ++round) {
     Timer timer;
     const std::vector<int> selected =
         sample_clients(num_clients(), config_.sample_rate, sampler);
     participating_rounds_total += static_cast<int>(selected.size());
-    const float train_loss = strategy.execute_round(*this, round, selected);
+    float train_loss = 0.0f;
+    try {
+      train_loss = strategy.execute_round(*this, round, selected);
+      failed_attempts = 0;
+    } catch (const std::exception& e) {
+      std::optional<ResumeState> recovered;
+      if (hook != nullptr && ++failed_attempts < kMaxFailedAttempts) {
+        recovered = hook->recover(*this, strategy);
+      }
+      if (!recovered.has_value()) throw;
+      FCA_LOG_WARN << strategy.name() << " round " << round << " failed ("
+                   << e.what() << "); replaying from round "
+                   << recovered->next_round << " via checkpoint";
+      sampler.restore(recovered->sampler_state);
+      participating_rounds_total = recovered->participating_rounds_total;
+      bytes_before = recovered->bytes_marker;
+      result.curve = recovered->curve;
+      round = recovered->next_round - 1;  // loop increment lands on it
+      continue;
+    }
 
     if (round % config_.eval_every == 0 || round == config_.rounds) {
       RoundMetrics m;
@@ -85,6 +134,16 @@ RunResult FederatedRun::execute(RoundStrategy& strategy) {
       FCA_LOG_INFO << strategy.name() << " round " << round << "/"
                    << config_.rounds << ": acc " << m.mean_accuracy << " ± "
                    << m.std_accuracy << ", loss " << m.mean_train_loss;
+    }
+
+    if (hook != nullptr) {
+      ResumeState cursor;
+      cursor.next_round = round + 1;
+      cursor.sampler_state = sampler.state();
+      cursor.participating_rounds_total = participating_rounds_total;
+      cursor.bytes_marker = bytes_before;
+      cursor.curve = result.curve;
+      hook->after_round(*this, strategy, cursor);
     }
   }
 

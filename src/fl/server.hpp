@@ -6,9 +6,16 @@
 // record metrics. All algorithms (FedClassAvg and the baselines) plug in as
 // RoundStrategy implementations, so every method is measured under an
 // identical protocol.
+//
+// Round boundaries are the driver's durability points: a RoundHook observes
+// each completed round with the exact cursor (round index, sampler state,
+// accounting markers, metrics so far) needed to continue the run later, and
+// execute() accepts such a cursor to resume. The checkpoint subsystem
+// (src/ckpt) plugs in through this interface.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "comm/endpoint.hpp"
 #include "fl/client.hpp"
@@ -47,14 +54,57 @@ class RoundStrategy {
   /// mean local training loss across participants.
   virtual float execute_round(FederatedRun& run, int round,
                               const std::vector<int>& selected) = 0;
+
+  /// Serializes the strategy's server-side state (global classifier,
+  /// prototypes, knowledge coefficients, ...) at a round boundary. The
+  /// default covers stateless strategies. Every strategy must round-trip
+  /// through save_state()/load_state() bit-identically for checkpoint resume
+  /// to reproduce an uninterrupted run.
+  virtual comm::Bytes save_state() const { return {}; }
+  /// Restores state captured with save_state(); replaces initialize() when
+  /// resuming from a checkpoint.
+  virtual void load_state(std::span<const std::byte> state);
+};
+
+/// Cursor describing where a run stands at a round boundary — everything the
+/// driver itself (as opposed to clients/strategy/network) needs to continue.
+struct ResumeState {
+  int next_round = 1;                  // first round still to execute
+  uint64_t sampler_state = 0;          // fca::Rng state of the client sampler
+  int participating_rounds_total = 0;  // sum of cohort sizes so far
+  uint64_t bytes_marker = 0;           // traffic watermark of the last eval
+  std::vector<RoundMetrics> curve;     // metrics recorded so far
+};
+
+/// Observer of completed rounds. after_round() receives the cursor that
+/// resumes from the upcoming boundary; recover() may restore a consistent
+/// earlier state after a mid-round failure (returning std::nullopt declines).
+class RoundHook {
+ public:
+  virtual ~RoundHook() = default;
+  virtual void after_round(FederatedRun& run, RoundStrategy& strategy,
+                           const ResumeState& cursor) = 0;
+  virtual std::optional<ResumeState> recover(FederatedRun& run,
+                                             RoundStrategy& strategy) {
+    (void)run;
+    (void)strategy;
+    return std::nullopt;
+  }
 };
 
 class FederatedRun {
  public:
   FederatedRun(std::vector<ClientPtr> clients, FLConfig config);
 
-  /// Runs the full federated protocol and returns the metric record.
-  RunResult execute(RoundStrategy& strategy);
+  /// Runs the federated protocol and returns the metric record.
+  ///
+  /// With a `hook`, every completed round is reported (checkpointing), and a
+  /// round that throws is retried from the state recover() restores instead
+  /// of aborting the run. With a `resume` cursor, the run continues from
+  /// cursor.next_round against already-restored client/strategy/network
+  /// state and skips strategy.initialize().
+  RunResult execute(RoundStrategy& strategy, RoundHook* hook = nullptr,
+                    const ResumeState* resume = nullptr);
 
   int num_clients() const { return static_cast<int>(clients_.size()); }
   Client& client(int k) { return *clients_.at(static_cast<size_t>(k)); }

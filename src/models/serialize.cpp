@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "utils/atomic_io.hpp"
 #include "utils/error.hpp"
 
 namespace fca::models {
@@ -165,15 +166,15 @@ constexpr char kStateMagic[8] = {'F', 'C', 'A', 'S', 'T', 'A', 'T', '1'};
 }  // namespace
 
 void save_state_file(SplitModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  FCA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out.write(kStateMagic, sizeof(kStateMagic));
   const std::vector<std::byte> body = serialize_state(model);
+  std::vector<std::byte> file(sizeof(kStateMagic) + sizeof(uint64_t) +
+                              body.size());
+  std::memcpy(file.data(), kStateMagic, sizeof(kStateMagic));
   const auto size = static_cast<uint64_t>(body.size());
-  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  out.write(reinterpret_cast<const char*>(body.data()),
-            static_cast<std::streamsize>(body.size()));
-  FCA_CHECK_MSG(out.good(), "write to " << path << " failed");
+  std::memcpy(file.data() + sizeof(kStateMagic), &size, sizeof(size));
+  std::memcpy(file.data() + sizeof(kStateMagic) + sizeof(size), body.data(),
+              body.size());
+  atomic_write_file(path, std::span<const std::byte>(file));
 }
 
 void load_state_file(SplitModel& model, const std::string& path) {

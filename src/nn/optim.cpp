@@ -11,6 +11,10 @@ void Optimizer::zero_grad() {
   for (Param* p : params_) p->zero_grad();
 }
 
+void Optimizer::restore_scalar_state(const std::vector<int64_t>& state) {
+  FCA_CHECK_MSG(state.empty(), "optimizer has no scalar state to restore");
+}
+
 float Optimizer::clip_grad_norm(float max_norm) {
   FCA_CHECK(max_norm > 0.0f);
   double total = 0.0;
@@ -56,6 +60,13 @@ void SGD::step() {
   }
 }
 
+std::vector<Tensor*> SGD::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(velocity_.size());
+  for (Tensor& v : velocity_) out.push_back(&v);
+  return out;
+}
+
 Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -93,6 +104,22 @@ void Adam::step() {
       p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+std::vector<Tensor*> Adam::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(m_.size() + v_.size());
+  for (Tensor& m : m_) out.push_back(&m);
+  for (Tensor& v : v_) out.push_back(&v);
+  return out;
+}
+
+std::vector<int64_t> Adam::scalar_state() const { return {t_}; }
+
+void Adam::restore_scalar_state(const std::vector<int64_t>& state) {
+  FCA_CHECK_MSG(state.size() == 1 && state[0] >= 0,
+                "bad Adam scalar state");
+  t_ = state[0];
 }
 
 }  // namespace fca::nn

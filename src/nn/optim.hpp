@@ -20,6 +20,16 @@ class Optimizer {
   /// In-place global-norm gradient clipping; returns the pre-clip norm.
   float clip_grad_norm(float max_norm);
 
+  // -- checkpoint support ----------------------------------------------------
+  /// Mutable views of the optimizer's slot tensors (momentum buffers, moment
+  /// estimates, ...) in a stable order; empty for stateless optimizers.
+  /// Copying these out and back restores the optimizer exactly.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+  /// Non-tensor state (e.g. Adam's step counter) in a stable order.
+  virtual std::vector<int64_t> scalar_state() const { return {}; }
+  /// Restores state captured with scalar_state().
+  virtual void restore_scalar_state(const std::vector<int64_t>& state);
+
   const std::vector<Param*>& params() const { return params_; }
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
@@ -35,6 +45,7 @@ class SGD : public Optimizer {
   SGD(std::vector<Param*> params, float lr, float momentum = 0.0f,
       float weight_decay = 0.0f, bool nesterov = false);
   void step() override;
+  std::vector<Tensor*> state_tensors() override;
 
  private:
   float momentum_, weight_decay_;
@@ -49,6 +60,9 @@ class Adam : public Optimizer {
   Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void step() override;
+  std::vector<Tensor*> state_tensors() override;
+  std::vector<int64_t> scalar_state() const override;
+  void restore_scalar_state(const std::vector<int64_t>& state) override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

@@ -28,6 +28,14 @@ class Rng {
   /// Forking does not advance this stream.
   [[nodiscard]] Rng fork(std::string_view label) const;
 
+  /// The complete stream state. The counter-based design means a single
+  /// 64-bit word captures everything: restore()-ing it reproduces the exact
+  /// draw sequence from this point, which is what checkpoint/resume relies
+  /// on for bit-identical replays.
+  uint64_t state() const { return state_; }
+  /// Rewinds/advances this stream to a state captured with state().
+  void restore(uint64_t state) { state_ = state; }
+
   /// Next raw 64-bit value.
   uint64_t next_u64();
 

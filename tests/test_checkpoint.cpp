@@ -1,0 +1,353 @@
+// Checkpoint subsystem tests: container format integrity (CRC, atomic
+// writes, corruption rejection), retention, and the headline guarantee —
+// a run checkpointed at round N and resumed is bit-identical to an
+// uninterrupted run, even when the newest checkpoint file is corrupted and
+// resume must fall back to an older one.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/format.hpp"
+#include "core/fedclassavg.hpp"
+#include "fl_fixtures.hpp"
+#include "models/serialize.hpp"
+#include "utils/atomic_io.hpp"
+#include "utils/error.hpp"
+
+namespace fca {
+namespace {
+
+using test::tiny_experiment_config;
+
+/// Fresh scratch directory per test.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "fca_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::byte> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void flip_byte(const std::string& path, size_t offset) {
+  std::vector<std::byte> bytes = read_file(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= std::byte{0x40};
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes & CRC32
+
+TEST(AtomicIo, WritesAndReplacesWithoutTempResidue) {
+  const std::string dir = scratch_dir("atomic");
+  const std::string path = dir + "/out.bin";
+  atomic_write_file(path, std::string_view("first"));
+  atomic_write_file(path, std::string_view("second contents"));
+  const std::vector<std::byte> bytes = read_file(path);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()),
+            "second contents");
+  // No temp file left behind.
+  size_t entries = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicIo, MissingParentDirectoryThrows) {
+  EXPECT_THROW(
+      atomic_write_file("/nonexistent-dir-xyz/file.bin", std::string_view("x")),
+      Error);
+}
+
+TEST(CkptFormat, Crc32MatchesKnownVector) {
+  // The standard IEEE CRC32 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(ckpt::crc32(std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(s), 9)),
+            0xCBF43926u);
+  EXPECT_EQ(ckpt::crc32({}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Section container
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+TEST(CkptFormat, SectionRoundTrip) {
+  const std::string path = scratch_dir("sections") + "/file.fckpt";
+  ckpt::SectionWriter w;
+  w.add("meta", to_bytes("hello"));
+  w.add("client/0", to_bytes("payload zero"));
+  w.add("empty", {});
+  w.write(path);
+
+  ckpt::SectionReader r(path);
+  EXPECT_TRUE(r.has("meta"));
+  EXPECT_TRUE(r.has("empty"));
+  EXPECT_FALSE(r.has("absent"));
+  const auto meta = r.section("meta");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(meta.data()),
+                        meta.size()),
+            "hello");
+  EXPECT_EQ(r.section("empty").size(), 0u);
+  EXPECT_THROW(r.section("absent"), Error);
+}
+
+TEST(CkptFormat, DuplicateSectionNameRejected) {
+  ckpt::SectionWriter w;
+  w.add("meta", {});
+  EXPECT_THROW(w.add("meta", {}), Error);
+}
+
+TEST(CkptFormat, BitFlipInPayloadRejectedByCrc) {
+  const std::string path = scratch_dir("bitflip") + "/file.fckpt";
+  ckpt::SectionWriter w;
+  w.add("data", to_bytes("a payload long enough to land a flip in"));
+  w.write(path);
+  ASSERT_NO_THROW(ckpt::SectionReader{path});
+  flip_byte(path, read_file(path).size() - 3);  // inside the payload
+  EXPECT_THROW(ckpt::SectionReader{path}, Error);
+}
+
+TEST(CkptFormat, TruncationRejected) {
+  const std::string path = scratch_dir("trunc") + "/file.fckpt";
+  ckpt::SectionWriter w;
+  w.add("data", to_bytes("0123456789abcdef"));
+  w.write(path);
+  std::vector<std::byte> bytes = read_file(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size() - 5));
+  out.close();
+  EXPECT_THROW(ckpt::SectionReader{path}, Error);
+}
+
+TEST(CkptFormat, WrongMagicAndVersionRejected) {
+  const std::string dir = scratch_dir("magic");
+  const std::string not_ckpt = dir + "/not.fckpt";
+  atomic_write_file(not_ckpt, std::string_view("definitely not a checkpoint"));
+  EXPECT_THROW(ckpt::SectionReader{not_ckpt}, Error);
+
+  const std::string versioned = dir + "/v.fckpt";
+  ckpt::SectionWriter w;
+  w.add("data", to_bytes("x"));
+  w.write(versioned);
+  flip_byte(versioned, 8);  // first byte of the u32 format version
+  EXPECT_THROW(ckpt::SectionReader{versioned}, Error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end resume determinism
+
+void expect_bit_identical(const fl::RunResult& a, const fl::RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
+    EXPECT_DOUBLE_EQ(a.curve[i].mean_accuracy, b.curve[i].mean_accuracy)
+        << "round " << a.curve[i].round;
+    EXPECT_DOUBLE_EQ(a.curve[i].std_accuracy, b.curve[i].std_accuracy);
+    EXPECT_DOUBLE_EQ(a.curve[i].mean_train_loss, b.curve[i].mean_train_loss);
+    EXPECT_EQ(a.curve[i].round_bytes, b.curve[i].round_bytes);
+    ASSERT_EQ(a.curve[i].client_accuracies.size(),
+              b.curve[i].client_accuracies.size());
+    for (size_t k = 0; k < a.curve[i].client_accuracies.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.curve[i].client_accuracies[k],
+                       b.curve[i].client_accuracies[k]);
+    }
+  }
+  EXPECT_EQ(a.total_traffic.payload_bytes, b.total_traffic.payload_bytes);
+  EXPECT_EQ(a.total_traffic.messages, b.total_traffic.messages);
+  EXPECT_DOUBLE_EQ(a.final_mean_accuracy, b.final_mean_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_std_accuracy, b.final_std_accuracy);
+}
+
+core::ExperimentConfig resume_test_config(int rounds) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = rounds;
+  return cfg;
+}
+
+TEST(CheckpointResume, SplitRunIsBitIdenticalToStraightRun) {
+  const std::string dir = scratch_dir("resume");
+
+  // Uninterrupted reference: 10 rounds, no checkpointing involved.
+  core::Experiment straight_exp(resume_test_config(10));
+  core::FedClassAvg straight(straight_exp.fedclassavg_config());
+  const core::CompletedRun reference = straight_exp.execute(straight);
+
+  // Phase 1: the same experiment, stopped after 5 rounds, checkpointed.
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 5;
+  core::Experiment first_exp(resume_test_config(5));
+  core::FedClassAvg first(first_exp.fedclassavg_config());
+  const core::CompletedRun half = first_exp.execute(first, opts);
+  EXPECT_EQ(half.checkpoint_stats.saves, 1);
+  ASSERT_EQ(ckpt::CheckpointManager::available_rounds(dir),
+            std::vector<int>{5});
+
+  // Phase 2: fresh process state, resume to round 10.
+  core::Experiment second_exp(resume_test_config(10));
+  core::FedClassAvg second(second_exp.fedclassavg_config());
+  const core::CompletedRun resumed = second_exp.resume(second, opts);
+  EXPECT_EQ(resumed.checkpoint_stats.loads, 1);
+
+  expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(CheckpointResume, CorruptNewestFallsBackToPreviousCheckpoint) {
+  const std::string dir = scratch_dir("fallback");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 1;
+  opts.keep_last = 3;
+
+  core::Experiment straight_exp(resume_test_config(7));
+  core::FedClassAvg straight(straight_exp.fedclassavg_config());
+  const core::CompletedRun reference = straight_exp.execute(straight);
+
+  core::Experiment first_exp(resume_test_config(5));
+  core::FedClassAvg first(first_exp.fedclassavg_config());
+  first_exp.execute(first, opts);
+  ASSERT_EQ(ckpt::CheckpointManager::available_rounds(dir),
+            (std::vector<int>{3, 4, 5}));
+
+  // Bit-flip the newest file mid-payload: CRC must reject it and resume
+  // must fall back to round 4, replaying round 5 deterministically.
+  const std::string newest = ckpt::CheckpointManager::checkpoint_path(dir, 5);
+  flip_byte(newest, read_file(newest).size() / 2);
+
+  core::Experiment second_exp(resume_test_config(7));
+  core::FedClassAvg second(second_exp.fedclassavg_config());
+  auto run = std::make_unique<fl::FederatedRun>(second_exp.build_clients(),
+                                                second_exp.fl_config());
+  ckpt::CheckpointManager manager(opts);
+  const fl::ResumeState cursor = manager.resume(*run, second);
+  EXPECT_EQ(cursor.next_round, 5);  // round-4 checkpoint, not the corrupt 5
+  const fl::RunResult resumed = run->execute(second, &manager, &cursor);
+
+  expect_bit_identical(reference.result, resumed);
+}
+
+TEST(CheckpointResume, AllCheckpointsCorruptThrows) {
+  const std::string dir = scratch_dir("allcorrupt");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 1;
+  opts.keep_last = 2;
+
+  core::Experiment exp(resume_test_config(3));
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  exp.execute(strat, opts);
+  for (int round : ckpt::CheckpointManager::available_rounds(dir)) {
+    const std::string path =
+        ckpt::CheckpointManager::checkpoint_path(dir, round);
+    flip_byte(path, read_file(path).size() / 2);
+  }
+
+  core::Experiment exp2(resume_test_config(6));
+  core::FedClassAvg strat2(exp2.fedclassavg_config());
+  EXPECT_THROW(exp2.resume(strat2, opts), Error);
+}
+
+TEST(CheckpointResume, ResumeWithWrongStrategyRejected) {
+  const std::string dir = scratch_dir("wrongstrategy");
+  ckpt::Options opts;
+  opts.dir = dir;
+
+  core::Experiment exp(resume_test_config(2));
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  exp.execute(strat, opts);
+
+  core::Experiment exp2(resume_test_config(4));
+  core::FedClassAvgConfig weight_cfg = exp2.fedclassavg_config();
+  weight_cfg.share_all_weights = true;  // different name() -> must refuse
+  core::FedClassAvg other(weight_cfg);
+  EXPECT_THROW(exp2.resume(other, opts), Error);
+}
+
+TEST(CheckpointResume, RetentionKeepsNewestK) {
+  const std::string dir = scratch_dir("retention");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 1;
+  opts.keep_last = 2;
+
+  core::Experiment exp(resume_test_config(6));
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  const core::CompletedRun done = exp.execute(strat, opts);
+  EXPECT_EQ(done.checkpoint_stats.saves, 6);
+  EXPECT_GT(done.checkpoint_stats.last_file_bytes, 0u);
+  EXPECT_EQ(ckpt::CheckpointManager::available_rounds(dir),
+            (std::vector<int>{5, 6}));
+}
+
+TEST(CheckpointResume, ExecuteOrResumeIsIdempotentEntryPoint) {
+  const std::string dir = scratch_dir("idempotent");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 2;
+
+  core::Experiment reference_exp(resume_test_config(6));
+  core::FedClassAvg reference_strat(reference_exp.fedclassavg_config());
+  const core::CompletedRun reference =
+      reference_exp.execute(reference_strat);
+
+  // First call: no checkpoints -> fresh run of 3 rounds.
+  core::Experiment exp3(resume_test_config(3));
+  core::FedClassAvg strat3(exp3.fedclassavg_config());
+  exp3.execute_or_resume(strat3, opts);
+  // Second call: finds the round-2 checkpoint and continues to 6.
+  core::Experiment exp6(resume_test_config(6));
+  core::FedClassAvg strat6(exp6.fedclassavg_config());
+  const core::CompletedRun resumed = exp6.execute_or_resume(strat6, opts);
+
+  expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(CheckpointResume, RestoreClientRecoversPerturbedState) {
+  const std::string dir = scratch_dir("restoreclient");
+  ckpt::Options opts;
+  opts.dir = dir;
+
+  core::Experiment exp(resume_test_config(2));
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  core::CompletedRun done = exp.execute(strat, opts);
+  fl::FederatedRun& run = *done.run;
+
+  const std::vector<std::byte> before =
+      models::serialize_state(run.client(0).model());
+  // Corrupt client 0 in memory.
+  for (nn::Param* p : run.client(0).model().parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) p->value[i] += 1.0f;
+  }
+  run.client(0).rng().restore(0xDEADBEEFu);
+  EXPECT_NE(models::serialize_state(run.client(0).model()), before);
+
+  ckpt::CheckpointManager manager(opts);
+  manager.restore_client(run, 0);
+  EXPECT_EQ(models::serialize_state(run.client(0).model()), before);
+}
+
+}  // namespace
+}  // namespace fca
