@@ -63,6 +63,10 @@ core::ExperimentConfig make_config(const std::string& dataset,
   cfg.feature_dim = 32;
   cfg.width = 8;
   cfg.eval_every = std::max(1, s.rounds / 10);
+  const char* par = std::getenv("FCA_CLIENT_PARALLELISM");
+  if (par != nullptr && *par != '\0') {
+    cfg.client_parallelism = std::atoi(par);
+  }
   cfg.with_scaled_preset();
   return cfg;
 }

@@ -16,6 +16,10 @@
 // subdirectory per dataset/strategy pair); FCA_CHECKPOINT_EVERY sets the
 // save interval (default 1). When enabled, each progress line reports the
 // checkpoint save overhead and on-disk size.
+// FCA_CLIENT_PARALLELISM=N fans each round's client updates over N lanes
+// (0 = auto). Results are bit-identical at any value (fl/executor.hpp), so
+// this only changes wall-time — the banner's "1 CPU core" disclosure refers
+// to the default setting.
 #pragma once
 
 #include <cstdio>

@@ -77,12 +77,12 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
   const comm::Bytes payload = models::serialize_tensors(global_);
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
                                    fl::kTagModelDown, payload);
-  for (int k : all) {
+  run.executor().for_each(all, [&](int k) {
     models::restore_values(
         models::deserialize_tensors(
             run.client_endpoint(k).recv(0, fl::kTagModelDown)),
         shared_params(run.client(k), config_.share_all_weights));
-  }
+  });
 }
 
 comm::Bytes FedClassAvg::save_state() const {
@@ -165,8 +165,10 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int /*round*/,
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(selected),
                                    fl::kTagModelDown, payload);
 
-  double total_loss = 0.0;
-  for (int k : selected) {
+  // Per-client local updates on the round executor (fl/executor.hpp):
+  // each body touches only its own client's state and rank mailboxes, so
+  // any client_parallelism yields the serial sweep's bits.
+  const double total_loss = run.executor().sum(selected, [&](int k) {
     fl::Client& c = run.client(k);
     const std::vector<Tensor> down = models::deserialize_tensors(
         run.client_endpoint(k).recv(0, fl::kTagModelDown));
@@ -174,14 +176,16 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int /*round*/,
                            shared_params(c, config_.share_all_weights));
     const Tensor& gw = down[down.size() - 2];
     const Tensor& gb = down[down.size() - 1];
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total_loss += train_epoch(c, gw, gb);
+      loss += train_epoch(c, gw, gb);
     }
     run.client_endpoint(k).send(
         0, fl::kTagModelUp,
         models::serialize_tensors(models::snapshot_values(
             shared_params(c, config_.share_all_weights))));
-  }
+    return loss;
+  });
 
   // Classifier averaging (eq. 3) over the participants.
   const std::vector<double> weights = run.data_weights(selected);

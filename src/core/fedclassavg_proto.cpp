@@ -101,12 +101,12 @@ void FedClassAvgProto::initialize(fl::FederatedRun& run) {
   const comm::Bytes payload = models::serialize_tensors(global_);
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
                                    fl::kTagModelDown, payload);
-  for (int k : all) {
+  run.executor().for_each(all, [&run](int k) {
     models::restore_values(
         models::deserialize_tensors(
             run.client_endpoint(k).recv(0, fl::kTagModelDown)),
         run.client(k).model().classifier_parameters());
-  }
+  });
   const int64_t num_classes = run.client(0).model().num_classes();
   const int64_t d = run.client(0).model().feature_dim();
   global_protos_ = Tensor({num_classes, d});
@@ -209,8 +209,7 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(selected),
                                    fl::kTagModelDown, payload);
 
-  double total_loss = 0.0;
-  for (int k : selected) {
+  const double total_loss = run.executor().sum(selected, [&](int k) {
     fl::Client& c = run.client(k);
     const std::vector<Tensor> down = models::deserialize_tensors(
         run.client_endpoint(k).recv(0, fl::kTagModelDown));
@@ -220,9 +219,9 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
     for (int64_t cc = 0; cc < num_classes; ++cc) {
       valid[static_cast<size_t>(cc)] = down[3][cc] > 0.5f;
     }
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total_loss +=
-          train_epoch(c, down[0], down[1], down[2], valid, proto_active);
+      loss += train_epoch(c, down[0], down[1], down[2], valid, proto_active);
     }
     auto [protos, counts] = local_prototypes(c);
     run.client_endpoint(k).send(
@@ -230,7 +229,8 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
         models::serialize_tensors(
             {c.model().classifier().weight().value,
              c.model().classifier().bias().value, protos, counts}));
-  }
+    return loss;
+  });
 
   // Up: classifier averaging (eq. 3) + count-weighted prototype merge.
   const std::vector<double> weights = run.data_weights(selected);

@@ -72,7 +72,9 @@ models::ModelConfig Experiment::model_config(int client_id) const {
 
 std::unique_ptr<models::SplitModel> Experiment::build_model(
     int client_id) const {
-  Rng rng = Rng(config_.seed).fork("model-init/" + std::to_string(client_id));
+  Rng rng = Rng(config_.seed)
+                .fork_indexed("model-init/",
+                              static_cast<uint64_t>(client_id));
   return models::build_model(model_config(client_id), rng);
 }
 
@@ -96,7 +98,7 @@ std::vector<fl::ClientPtr> Experiment::build_clients() const {
         test_.subset(test_split_[static_cast<size_t>(k)]);
     clients.push_back(std::make_unique<fl::Client>(
         k, build_model(k), std::move(local_train), std::move(local_test), cc,
-        root.fork("client-rng/" + std::to_string(k))));
+        root.fork_indexed("client-rng/", static_cast<uint64_t>(k))));
   }
   return clients;
 }
@@ -109,6 +111,7 @@ fl::FLConfig Experiment::fl_config() const {
   fc.eval_every = config_.eval_every;
   fc.cost = config_.cost;
   fc.seed = config_.seed;
+  fc.client_parallelism = config_.client_parallelism;
   return fc;
 }
 

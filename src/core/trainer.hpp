@@ -56,6 +56,9 @@ struct ExperimentConfig {
   double sample_rate = 1.0;
   int eval_every = 1;
   comm::CostModel cost;
+  /// Concurrent client updates per round (FLConfig::client_parallelism):
+  /// 1 serial, N > 1 bounded fan-out, 0 auto. Bit-identical at any value.
+  int client_parallelism = 1;
 
   uint64_t seed = 42;
 

@@ -1,0 +1,110 @@
+#include "fl/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "utils/error.hpp"
+#include "utils/threadpool.hpp"
+
+namespace fca::fl {
+namespace {
+
+/// Shared between the caller and its lanes. Held by shared_ptr: a lane task
+/// that was queued but only runs after the pool frees up (e.g. on a
+/// zero-worker pool, during some later wait_all) finds the claim counter
+/// exhausted and exits without touching the long-gone caller frame.
+struct MapState {
+  std::vector<int> clients;
+  std::function<double(int)> body;
+  std::atomic<size_t> next{0};
+  std::vector<double> results;
+  std::vector<std::exception_ptr> errors;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+};
+
+/// One lane: claim positions until none remain. Which lane runs which client
+/// is scheduling-dependent, but every body is self-contained and lands its
+/// result in its own slot, so the outcome is not.
+void run_lane(const std::shared_ptr<MapState>& st) {
+  ThreadPool::SerialRegion serial;
+  const size_t n = st->clients.size();
+  for (;;) {
+    const size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      st->results[i] = st->body(st->clients[i]);
+    } catch (...) {
+      st->errors[i] = std::current_exception();
+    }
+    std::lock_guard lk(st->mu);
+    if (++st->done == n) st->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+RoundExecutor::RoundExecutor(int parallelism, ThreadPool* pool)
+    : parallelism_(parallelism), pool_(pool) {
+  FCA_CHECK_MSG(parallelism >= 0,
+                "client parallelism must be >= 0, got " << parallelism);
+}
+
+std::vector<double> RoundExecutor::map(
+    const std::vector<int>& clients,
+    const std::function<double(int)>& body) const {
+  const size_t n = clients.size();
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : global_pool();
+  size_t lanes = parallelism_ == 0 ? static_cast<size_t>(pool.size()) + 1
+                                   : static_cast<size_t>(parallelism_);
+  lanes = std::min(lanes, n);
+  if (lanes <= 1 || pool.size() == 0) {
+    // Serial sweep in cohort order on the calling thread. No SerialRegion:
+    // with one client at a time the kernels keep their inner parallelism.
+    std::vector<double> out;
+    out.reserve(n);
+    for (int k : clients) out.push_back(body(k));
+    return out;
+  }
+
+  auto st = std::make_shared<MapState>();
+  st->clients = clients;
+  st->body = body;
+  st->results.assign(n, 0.0);
+  st->errors.assign(n, nullptr);
+  for (size_t l = 1; l < lanes; ++l) {
+    pool.submit([st] { run_lane(st); });
+  }
+  run_lane(st);  // the caller is lane 0
+  {
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&st, n] { return st->done == n; });
+  }
+  // Deterministic failure: the lowest cohort position's exception wins, as
+  // it would in a serial sweep that reached that client.
+  for (size_t i = 0; i < n; ++i) {
+    if (st->errors[i]) std::rethrow_exception(st->errors[i]);
+  }
+  return std::move(st->results);
+}
+
+double RoundExecutor::sum(const std::vector<int>& clients,
+                          const std::function<double(int)>& body) const {
+  double total = 0.0;
+  for (double v : map(clients, body)) total += v;
+  return total;
+}
+
+void RoundExecutor::for_each(const std::vector<int>& clients,
+                             const std::function<void(int)>& body) const {
+  map(clients, [&body](int k) {
+    body(k);
+    return 0.0;
+  });
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,64 @@
+// Deterministic parallel round executor.
+//
+// RoundExecutor fans per-client work — local training, distillation,
+// model restore/upload — out over the process-wide fca::ThreadPool while
+// guaranteeing that the results are bit-identical to a serial sweep in
+// cohort order. The guarantees rest on four properties:
+//
+//   1. Client bodies are self-contained: each touches only its own model,
+//      optimizer, RNG stream and shard, plus the thread-safe comm::Network
+//      whose per-(src, dst, tag) mailboxes keep every channel's FIFO order
+//      regardless of how sends from *different* ranks interleave.
+//   2. Results are written into per-position slots and reduced on the
+//      calling thread in cohort order, so floating-point reduction order
+//      never depends on scheduling.
+//   3. Every lane (including the caller's) runs inside a
+//      ThreadPool::SerialRegion, so nested kernel parallel_for degrades to a
+//      serial loop — no pool oversubscription, and the kernels' outputs are
+//      chunk-invariant, so the numbers do not change.
+//   4. If bodies throw, the exception of the lowest cohort position is
+//      rethrown after all lanes drain — the same error a serial sweep that
+//      got that far would report.
+//
+// parallelism semantics: 1 (default) is a plain serial loop on the calling
+// thread with kernel parallelism left enabled — the historical behavior;
+// N > 1 runs at most N client bodies concurrently; 0 means auto (one lane
+// per available hardware worker plus the caller).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fca {
+class ThreadPool;
+}
+
+namespace fca::fl {
+
+class RoundExecutor {
+ public:
+  /// `pool` defaults to fca::global_pool(); tests inject standalone pools.
+  explicit RoundExecutor(int parallelism = 1, ThreadPool* pool = nullptr);
+
+  int parallelism() const { return parallelism_; }
+
+  /// Runs body(clients[i]) for every position i and returns the results in
+  /// cohort order. Bodies may run concurrently (see class comment); the
+  /// returned vector is always positionally deterministic.
+  std::vector<double> map(const std::vector<int>& clients,
+                          const std::function<double(int)>& body) const;
+
+  /// map() reduced with += in cohort order on the calling thread.
+  double sum(const std::vector<int>& clients,
+             const std::function<double(int)>& body) const;
+
+  /// map() for side-effect-only bodies (restore/upload sweeps).
+  void for_each(const std::vector<int>& clients,
+                const std::function<void(int)>& body) const;
+
+ private:
+  int parallelism_;
+  ThreadPool* pool_;
+};
+
+}  // namespace fca::fl

@@ -14,12 +14,12 @@ void FedAvg::initialize(FederatedRun& run) {
   for (int k = 0; k < run.num_clients(); ++k) all.push_back(k);
   run.server_endpoint().bcast_send(FederatedRun::ranks_of(all), kTagModelDown,
                                    payload);
-  for (int k = 0; k < run.num_clients(); ++k) {
+  run.executor().for_each(all, [&run](int k) {
     const comm::Bytes down = run.client_endpoint(k).recv(0, kTagModelDown);
     models::restore_values(models::deserialize_tensors(down),
                            run.client(k).model().parameters());
     run.client(k).reset_optimizer();
-  }
+  });
 }
 
 comm::Bytes FedAvg::save_state() const {
@@ -38,9 +38,9 @@ float FedAvg::execute_round(FederatedRun& run, int /*round*/,
   run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
                                    kTagModelDown, payload);
 
-  // Clients: load, train E local epochs, upload.
-  double total_loss = 0.0;
-  for (int k : selected) {
+  // Clients: load, train E local epochs, upload — one executor body per
+  // participant, loss reduced in cohort order.
+  const double total_loss = run.executor().sum(selected, [&](int k) {
     Client& c = run.client(k);
     comm::Endpoint& ep = run.client_endpoint(k);
     const std::vector<Tensor> down =
@@ -48,13 +48,15 @@ float FedAvg::execute_round(FederatedRun& run, int /*round*/,
     models::restore_values(down, c.model().parameters());
     c.reset_optimizer();
     const float mu = prox_mu();
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total_loss += c.train_epoch_supervised(mu > 0.0f ? &down : nullptr, mu);
+      loss += c.train_epoch_supervised(mu > 0.0f ? &down : nullptr, mu);
     }
     ep.send(0, kTagModelUp,
             models::serialize_tensors(
                 models::snapshot_values(c.model().parameters())));
-  }
+    return loss;
+  });
 
   // Server: weighted average of participant models (eq. 1 weights restricted
   // to the sampled cohort).

@@ -106,8 +106,7 @@ float FedProto::execute_round(FederatedRun& run, int /*round*/,
   run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
                                    kTagModelDown, down);
 
-  double total_loss = 0.0;
-  for (int k : selected) {
+  const double total_loss = run.executor().sum(selected, [&](int k) {
     Client& c = run.client(k);
     const std::vector<Tensor> msg = models::deserialize_tensors(
         run.client_endpoint(k).recv(0, kTagModelDown));
@@ -115,13 +114,15 @@ float FedProto::execute_round(FederatedRun& run, int /*round*/,
     for (int64_t cc = 0; cc < num_classes; ++cc) {
       valid[static_cast<size_t>(cc)] = msg[1][cc] > 0.5f;
     }
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total_loss += train_epoch(c, msg[0], valid);
+      loss += train_epoch(c, msg[0], valid);
     }
     auto [protos, counts] = local_prototypes(c);
     run.client_endpoint(k).send(
         0, kTagModelUp, models::serialize_tensors({protos, counts}));
-  }
+    return loss;
+  });
 
   // Server: count-weighted prototype aggregation across participants.
   Tensor agg({num_classes, d});

@@ -113,21 +113,21 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
                            const std::vector<int>& selected) {
   const float t = config_.temperature;
 
-  // 1. Local supervised training.
-  double total_loss = 0.0;
-  for (int k : selected) {
+  // 1+2. Local supervised training, then soft predictions on the public
+  // data, per client. Merged into one executor body: prediction reads only
+  // the client's own post-training model, so fusing the phases leaves every
+  // client's compute sequence exactly as the serial two-phase sweep had it.
+  const double total_loss = run.executor().sum(selected, [&](int k) {
     Client& c = run.client(k);
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total_loss += c.train_epoch_supervised();
+      loss += c.train_epoch_supervised();
     }
-  }
-
-  // 2. Clients -> server: soft predictions on the public data.
-  for (int k : selected) {
-    Tensor logits = run.client(k).predict_logits(public_data_);
+    Tensor logits = c.predict_logits(public_data_);
     run.client_endpoint(k).send(0, kTagAuxUp,
                                 models::serialize_tensors({logits}));
-  }
+    return loss;
+  });
   std::vector<Tensor> soft_preds;
   soft_preds.reserve(selected.size());
   for (int k : selected) {
@@ -147,7 +147,7 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
       run.server_endpoint().send(k + 1, kTagAuxDown,
                                  models::serialize_tensors({target}));
     }
-    for (int k : selected) {
+    run.executor().for_each(selected, [&](int k) {
       Client& c = run.client(k);
       const std::vector<Tensor> down = models::deserialize_tensors(
           run.client_endpoint(k).recv(0, kTagAuxDown));
@@ -167,17 +167,17 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
           c.optimizer().step();
         }
       }
-    }
+    });
   } else {
     // 4b. "+weight": clients upload weights; each participant receives the
     // coefficient-weighted personalized model and loads it.
-    for (int k : selected) {
+    run.executor().for_each(selected, [&run](int k) {
       Client& c = run.client(k);
       run.client_endpoint(k).send(
           0, kTagModelUp,
           models::serialize_tensors(
               models::snapshot_values(c.model().parameters())));
-    }
+    });
     std::vector<std::vector<Tensor>> weights;
     weights.reserve(selected.size());
     for (int k : selected) {
@@ -203,13 +203,13 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
       run.server_endpoint().send(k + 1, kTagModelDown,
                                  models::serialize_tensors(personalized));
     }
-    for (int k : selected) {
+    run.executor().for_each(selected, [&run](int k) {
       Client& c = run.client(k);
       models::restore_values(
           models::deserialize_tensors(
               run.client_endpoint(k).recv(0, kTagModelDown)),
           c.model().parameters());
-    }
+    });
   }
 
   return static_cast<float>(total_loss /

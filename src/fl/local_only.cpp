@@ -4,13 +4,14 @@ namespace fca::fl {
 
 float LocalOnly::execute_round(FederatedRun& run, int /*round*/,
                                const std::vector<int>& selected) {
-  double total = 0.0;
-  for (int k : selected) {
+  const double total = run.executor().sum(selected, [&run](int k) {
     Client& c = run.client(k);
+    double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
-      total += c.train_epoch_supervised();
+      loss += c.train_epoch_supervised();
     }
-  }
+    return loss;
+  });
   return static_cast<float>(total / (selected.size() *
                                      static_cast<size_t>(
                                          run.config().local_epochs)));

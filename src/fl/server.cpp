@@ -17,7 +17,17 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
   FCA_CHECK_MSG(!clients_.empty(), "FederatedRun needs at least one client");
   FCA_CHECK(config_.rounds >= 1 && config_.local_epochs >= 1 &&
             config_.sample_rate > 0.0 && config_.sample_rate <= 1.0 &&
-            config_.eval_every >= 1);
+            config_.eval_every >= 1 && config_.client_parallelism >= 0);
+  // On single-core hosts the process-wide kernel pool has zero workers and
+  // the executor would quietly degrade to serial. An explicit
+  // client_parallelism > 1 is a request for real concurrency — back it with
+  // a dedicated lane pool (bit-identity holds under any scheduling, so this
+  // only changes wall-time). Auto (0) stays on the hardware-sized pool.
+  if (config_.client_parallelism > 1 && global_pool().size() == 0) {
+    lane_pool_ = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(config_.client_parallelism - 1));
+  }
+  executor_ = RoundExecutor(config_.client_parallelism, lane_pool_.get());
   network_ =
       std::make_unique<comm::Network>(num_clients() + 1, config_.cost);
   server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
@@ -52,10 +62,13 @@ std::vector<double> FederatedRun::data_weights(
 }
 
 std::vector<double> FederatedRun::evaluate_all() {
-  std::vector<double> acc;
-  acc.reserve(clients_.size());
-  for (auto& c : clients_) acc.push_back(c->evaluate());
-  return acc;
+  // Evaluation is deterministic per client (eval mode, no RNG draws), so it
+  // rides the same executor as training; results land by client index.
+  std::vector<int> all(clients_.size());
+  for (int k = 0; k < num_clients(); ++k) all[static_cast<size_t>(k)] = k;
+  return executor_.map(all, [this](int k) {
+    return static_cast<double>(client(k).evaluate());
+  });
 }
 
 RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,

@@ -19,8 +19,10 @@
 
 #include "comm/endpoint.hpp"
 #include "fl/client.hpp"
+#include "fl/executor.hpp"
 #include "fl/metrics.hpp"
 #include "fl/sampling.hpp"
+#include "utils/threadpool.hpp"
 
 namespace fca::fl {
 
@@ -31,6 +33,11 @@ struct FLConfig {
   int eval_every = 1;         // evaluate accuracies every N rounds
   comm::CostModel cost;       // latency/bandwidth model for the fabric
   uint64_t seed = 42;         // drives sampling and any server randomness
+  /// Client-level fan-out per round: 1 = serial (historical behavior),
+  /// N > 1 = up to N concurrent local updates, 0 = auto (hardware). Any
+  /// value yields bit-identical weights, metrics and traffic (see
+  /// fl/executor.hpp), so this is purely a wall-time knob.
+  int client_parallelism = 1;
 };
 
 /// Message tags on the fabric.
@@ -111,6 +118,10 @@ class FederatedRun {
   std::vector<ClientPtr>& clients() { return clients_; }
   const FLConfig& config() const { return config_; }
 
+  /// Executor strategies use to fan per-client round work out; configured
+  /// from FLConfig::client_parallelism.
+  const RoundExecutor& executor() const { return executor_; }
+
   comm::Network& network() { return *network_; }
   comm::Endpoint& server_endpoint() { return *server_ep_; }
   comm::Endpoint& client_endpoint(int k) {
@@ -128,6 +139,11 @@ class FederatedRun {
  private:
   std::vector<ClientPtr> clients_;
   FLConfig config_;
+  /// Lane pool for client fan-out on hosts whose process-wide kernel pool
+  /// has zero workers (single-core): an explicit client_parallelism > 1
+  /// still gets real lanes. Null when the global pool serves.
+  std::unique_ptr<ThreadPool> lane_pool_;
+  RoundExecutor executor_;
   std::unique_ptr<comm::Network> network_;
   std::unique_ptr<comm::Endpoint> server_ep_;
   std::vector<std::unique_ptr<comm::Endpoint>> client_eps_;

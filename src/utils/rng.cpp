@@ -29,6 +29,23 @@ Rng Rng::fork(std::string_view label) const {
   return Rng(splitmix64(state_ ^ splitmix64(hash_label(label))));
 }
 
+Rng Rng::fork_indexed(std::string_view label, uint64_t index) const {
+  // Continue the FNV-1a hash of `label` over the decimal digits of `index`,
+  // which is exactly hash_label(label + std::to_string(index)).
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + index % 10);
+    index /= 10;
+  } while (index != 0);
+  uint64_t h = hash_label(label);
+  for (int i = n - 1; i >= 0; --i) {
+    h ^= static_cast<unsigned char>(digits[i]);
+    h *= 0x100000001b3ull;
+  }
+  return Rng(splitmix64(state_ ^ splitmix64(h)));
+}
+
 uint64_t Rng::next_u64() {
   state_ += 0x9e3779b97f4a7c15ull;
   uint64_t z = state_;

@@ -28,6 +28,15 @@ class Rng {
   /// Forking does not advance this stream.
   [[nodiscard]] Rng fork(std::string_view label) const;
 
+  /// fork(label + std::to_string(index)) without building the string: the
+  /// per-client stream family ("client-rng/" + k, "model-init/" + k, ...)
+  /// derived allocation-free, bit-identical to the string form. Streams of
+  /// distinct (label, index) pairs are pairwise independent, and derivation
+  /// is a pure function of (parent state, label, index) — the order in which
+  /// clients are scheduled can never change which stream each one gets.
+  [[nodiscard]] Rng fork_indexed(std::string_view label,
+                                 uint64_t index) const;
+
   /// The complete stream state. The counter-based design means a single
   /// 64-bit word captures everything: restore()-ing it reproduces the exact
   /// draw sequence from this point, which is what checkpoint/resume relies

@@ -5,6 +5,27 @@
 #include "utils/error.hpp"
 
 namespace fca {
+namespace {
+
+/// Depth of pool tasks / SerialRegions the current thread is inside. Static
+/// and pool-agnostic: a task of any pool marks the thread, so nested
+/// parallel_for (which always targets the global pool) degrades to serial no
+/// matter which pool scheduled the enclosing task.
+thread_local int t_task_depth = 0;
+
+/// RAII depth bump around a task body; exception-safe so accounting survives
+/// a throwing task (parallel_for wrappers catch, but keep this robust).
+struct TaskDepthScope {
+  TaskDepthScope() { ++t_task_depth; }
+  ~TaskDepthScope() { --t_task_depth; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_task() { return t_task_depth > 0; }
+
+ThreadPool::SerialRegion::SerialRegion() { ++t_task_depth; }
+ThreadPool::SerialRegion::~SerialRegion() { --t_task_depth; }
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -44,7 +65,10 @@ bool ThreadPool::run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  {
+    TaskDepthScope depth;
+    task();
+  }
   {
     std::lock_guard lk(mu_);
     --in_flight_;
@@ -72,7 +96,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      TaskDepthScope depth;
+      task();
+    }
     {
       std::lock_guard lk(mu_);
       --in_flight_;
@@ -92,6 +119,12 @@ void parallel_for_range(int64_t begin, int64_t end,
   if (begin >= end) return;
   FCA_CHECK(grain > 0);
   const int64_t n = end - begin;
+  // Nested invocation (from a pool task or a SerialRegion) runs serially:
+  // re-submitting would let wait_all() block on the enclosing task itself.
+  if (ThreadPool::in_task()) {
+    fn(begin, end);
+    return;
+  }
   ThreadPool& pool = global_pool();
   const int64_t max_tasks = static_cast<int64_t>(pool.size()) + 1;
   if (n <= grain || max_tasks <= 1) {
@@ -100,11 +133,27 @@ void parallel_for_range(int64_t begin, int64_t end,
   }
   const int64_t chunks = std::min(max_tasks * 4, (n + grain - 1) / grain);
   const int64_t step = (n + chunks - 1) / chunks;
+  // The lowest failing chunk's exception is the one rethrown, so a failing
+  // loop reports the same error no matter how chunks are scheduled.
+  std::mutex err_mu;
+  std::exception_ptr first_err;
+  int64_t first_err_lo = end;
   for (int64_t lo = begin; lo < end; lo += step) {
     const int64_t hi = std::min(lo + step, end);
-    pool.submit([&fn, lo, hi] { fn(lo, hi); });
+    pool.submit([&fn, &err_mu, &first_err, &first_err_lo, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_err || lo < first_err_lo) {
+          first_err = std::current_exception();
+          first_err_lo = lo;
+        }
+      }
+    });
   }
   pool.wait_all();
+  if (first_err) std::rethrow_exception(first_err);
 }
 
 void parallel_for(int64_t begin, int64_t end,

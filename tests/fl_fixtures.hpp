@@ -1,6 +1,9 @@
 // Shared fixtures for FL-level tests: tiny experiments sized to run in
-// (fractions of) seconds on one core.
+// (fractions of) seconds on one core, plus the bit-identity assertion the
+// checkpoint and concurrency suites both build on.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include "core/trainer.hpp"
 
@@ -25,6 +28,35 @@ inline core::ExperimentConfig tiny_experiment_config() {
   cfg.local_epochs = 1;
   cfg.seed = 123;
   return cfg;
+}
+
+/// Asserts two finished runs match bit for bit: every curve entry, the
+/// per-round traffic, the totals (including simulated transfer time) and the
+/// final summary statistics. Used to prove checkpoint-resume and parallel
+/// client execution change nothing about the numbers.
+inline void expect_bit_identical(const fl::RunResult& a,
+                                 const fl::RunResult& b) {
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
+    EXPECT_DOUBLE_EQ(a.curve[i].mean_accuracy, b.curve[i].mean_accuracy)
+        << "round " << a.curve[i].round;
+    EXPECT_DOUBLE_EQ(a.curve[i].std_accuracy, b.curve[i].std_accuracy);
+    EXPECT_DOUBLE_EQ(a.curve[i].mean_train_loss, b.curve[i].mean_train_loss)
+        << "round " << a.curve[i].round;
+    EXPECT_EQ(a.curve[i].round_bytes, b.curve[i].round_bytes);
+    ASSERT_EQ(a.curve[i].client_accuracies.size(),
+              b.curve[i].client_accuracies.size());
+    for (size_t k = 0; k < a.curve[i].client_accuracies.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.curve[i].client_accuracies[k],
+                       b.curve[i].client_accuracies[k]);
+    }
+  }
+  EXPECT_EQ(a.total_traffic.payload_bytes, b.total_traffic.payload_bytes);
+  EXPECT_EQ(a.total_traffic.messages, b.total_traffic.messages);
+  EXPECT_DOUBLE_EQ(a.total_traffic.sim_seconds, b.total_traffic.sim_seconds);
+  EXPECT_DOUBLE_EQ(a.final_mean_accuracy, b.final_mean_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_std_accuracy, b.final_std_accuracy);
 }
 
 }  // namespace fca::test

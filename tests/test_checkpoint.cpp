@@ -20,6 +20,7 @@
 namespace fca {
 namespace {
 
+using test::expect_bit_identical;
 using test::tiny_experiment_config;
 
 /// Fresh scratch directory per test.
@@ -158,28 +159,6 @@ TEST(CkptFormat, WrongMagicAndVersionRejected) {
 
 // ---------------------------------------------------------------------------
 // End-to-end resume determinism
-
-void expect_bit_identical(const fl::RunResult& a, const fl::RunResult& b) {
-  ASSERT_EQ(a.curve.size(), b.curve.size());
-  for (size_t i = 0; i < a.curve.size(); ++i) {
-    EXPECT_EQ(a.curve[i].round, b.curve[i].round);
-    EXPECT_DOUBLE_EQ(a.curve[i].mean_accuracy, b.curve[i].mean_accuracy)
-        << "round " << a.curve[i].round;
-    EXPECT_DOUBLE_EQ(a.curve[i].std_accuracy, b.curve[i].std_accuracy);
-    EXPECT_DOUBLE_EQ(a.curve[i].mean_train_loss, b.curve[i].mean_train_loss);
-    EXPECT_EQ(a.curve[i].round_bytes, b.curve[i].round_bytes);
-    ASSERT_EQ(a.curve[i].client_accuracies.size(),
-              b.curve[i].client_accuracies.size());
-    for (size_t k = 0; k < a.curve[i].client_accuracies.size(); ++k) {
-      EXPECT_DOUBLE_EQ(a.curve[i].client_accuracies[k],
-                       b.curve[i].client_accuracies[k]);
-    }
-  }
-  EXPECT_EQ(a.total_traffic.payload_bytes, b.total_traffic.payload_bytes);
-  EXPECT_EQ(a.total_traffic.messages, b.total_traffic.messages);
-  EXPECT_DOUBLE_EQ(a.final_mean_accuracy, b.final_mean_accuracy);
-  EXPECT_DOUBLE_EQ(a.final_std_accuracy, b.final_std_accuracy);
-}
 
 core::ExperimentConfig resume_test_config(int rounds) {
   core::ExperimentConfig cfg = tiny_experiment_config();

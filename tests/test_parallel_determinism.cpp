@@ -1,0 +1,262 @@
+// Concurrency test tier: proves the deterministic parallel round executor
+// (fl/executor.hpp) is a pure wall-time knob. For every strategy, a run with
+// client_parallelism in {2, 4} must be byte-identical to the serial sweep —
+// same learning curve, same traffic totals, same final model weights — and a
+// parallel run split across a checkpoint/resume boundary must match an
+// uninterrupted one bit for bit. Executor-level unit tests (positional
+// results, deterministic error selection, degenerate pools) live here too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fedclassavg.hpp"
+#include "core/fedclassavg_proto.hpp"
+#include "core/trainer.hpp"
+#include "fl/executor.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedproto.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/ktpfl.hpp"
+#include "fl/local_only.hpp"
+#include "fl_fixtures.hpp"
+#include "models/serialize.hpp"
+#include "utils/threadpool.hpp"
+
+namespace fca {
+namespace {
+
+using fl::RoundExecutor;
+using test::expect_bit_identical;
+using test::tiny_experiment_config;
+
+// ---------------------------------------------------------------------------
+// RoundExecutor unit tests
+
+std::vector<int> iota_clients(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+TEST(RoundExecutor, MapReturnsResultsInCohortOrder) {
+  // Inject a 3-worker pool so the parallel path runs real threads even on a
+  // single-core host (where the global pool has zero workers).
+  ThreadPool pool(3);
+  for (int parallelism : {1, 2, 4, 0}) {
+    RoundExecutor exec(parallelism, &pool);
+    const std::vector<int> clients{7, 3, 11, 0, 5};
+    const std::vector<double> got =
+        exec.map(clients, [](int k) { return k * 10.0; });
+    ASSERT_EQ(got.size(), clients.size()) << "parallelism " << parallelism;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      EXPECT_EQ(got[i], clients[i] * 10.0);
+    }
+  }
+}
+
+TEST(RoundExecutor, SumReducesInCohortOrder) {
+  // 1e16 + 1 + (-1e16) + 1 == 2 only under left-to-right reduction; any
+  // scheduling-dependent order would give 0 or 1.
+  const std::vector<double> vals{1e16, 1.0, -1e16, 1.0};
+  ThreadPool pool(3);
+  for (int parallelism : {1, 2, 4}) {
+    RoundExecutor exec(parallelism, &pool);
+    const double got =
+        exec.sum(iota_clients(4),
+                 [&](int k) { return vals[static_cast<size_t>(k)]; });
+    EXPECT_EQ(got, ((1e16 + 1.0) + -1e16) + 1.0)
+        << "parallelism " << parallelism;
+  }
+}
+
+TEST(RoundExecutor, EveryClientRunsExactlyOnce) {
+  ThreadPool pool(3);
+  for (int parallelism : {1, 3, 0}) {
+    RoundExecutor exec(parallelism, &pool);
+    std::vector<std::atomic<int>> hits(64);
+    exec.for_each(iota_clients(64),
+                  [&](int k) { hits[static_cast<size_t>(k)].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RoundExecutor, LowestCohortPositionErrorWins) {
+  // Positions 2 and 5 both throw; the serial sweep would fail at position 2
+  // first, and the parallel executor must report the same error no matter
+  // which lane hit its exception first.
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 5; ++rep) {
+    RoundExecutor exec(4, &pool);
+    try {
+      exec.for_each(iota_clients(8), [](int k) {
+        if (k == 2 || k == 5) throw std::runtime_error(std::to_string(k));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "2");
+    }
+  }
+}
+
+TEST(RoundExecutor, ZeroWorkerPoolFallsBackToSerial) {
+  ThreadPool pool(0);  // explicit zero workers via the injected-pool ctor
+  ASSERT_EQ(pool.size(), 0u);
+  RoundExecutor exec(4, &pool);
+  const std::vector<double> got =
+      exec.map(iota_clients(5), [](int k) { return k + 0.5; });
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<double>(i) + 0.5);
+  }
+}
+
+TEST(RoundExecutor, EmptyCohortIsANoOp) {
+  RoundExecutor exec(4);
+  EXPECT_TRUE(exec.map({}, [](int) { return 1.0; }).empty());
+  EXPECT_EQ(exec.sum({}, [](int) { return 1.0; }), 0.0);
+}
+
+TEST(RoundExecutor, LanesSuppressNestedKernelParallelism) {
+  // Property 3 of the determinism argument: a client body must observe
+  // in_task() so its inner parallel_for degrades to a serial loop.
+  ThreadPool pool(2);
+  RoundExecutor exec(2, &pool);
+  std::vector<std::atomic<int>> inside(4);
+  exec.for_each(iota_clients(4), [&](int k) {
+    inside[static_cast<size_t>(k)] = ThreadPool::in_task() ? 1 : 0;
+  });
+  for (const auto& f : inside) EXPECT_EQ(f.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: parallel == serial, bit for bit, for every strategy
+
+core::ExperimentConfig parallel_test_config(const std::string& strategy,
+                                            int parallelism) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 6;
+  cfg.client_parallelism = parallelism;
+  if (strategy == "fedavg" || strategy == "fedprox") {
+    cfg.models = core::ModelScheme::kHomogeneousResNet;
+  } else if (strategy == "fedproto") {
+    cfg.models = core::ModelScheme::kFedProtoFamily;
+  }
+  return cfg;
+}
+
+std::unique_ptr<fl::RoundStrategy> make_strategy(
+    const std::string& name, const core::Experiment& experiment) {
+  if (name == "local") return std::make_unique<fl::LocalOnly>();
+  if (name == "fedavg") return std::make_unique<fl::FedAvg>();
+  if (name == "fedprox") return std::make_unique<fl::FedProx>(0.1f);
+  if (name == "fedproto") return std::make_unique<fl::FedProto>();
+  if (name == "ktpfl") {
+    return std::make_unique<fl::KTpFL>(experiment.public_data(),
+                                       fl::KTpFLConfig{});
+  }
+  if (name == "fedclassavg") {
+    return std::make_unique<core::FedClassAvg>(
+        experiment.fedclassavg_config());
+  }
+  if (name == "fedclassavg-proto") {
+    core::FedClassAvgProtoConfig cfg;
+    cfg.base = experiment.fedclassavg_config();
+    return std::make_unique<core::FedClassAvgProto>(cfg);
+  }
+  throw std::runtime_error("unknown strategy: " + name);
+}
+
+struct RunArtifacts {
+  fl::RunResult result;
+  /// Full serialized model state per client — the byte-identity witness.
+  std::vector<std::vector<std::byte>> models;
+};
+
+RunArtifacts run_once(const std::string& strategy, int parallelism) {
+  core::Experiment exp(parallel_test_config(strategy, parallelism));
+  auto strat = make_strategy(strategy, exp);
+  core::CompletedRun done = exp.execute(*strat);
+  RunArtifacts a;
+  a.result = std::move(done.result);
+  for (int k = 0; k < done.run->num_clients(); ++k) {
+    a.models.push_back(models::serialize_state(done.run->client(k).model()));
+  }
+  return a;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelDeterminism, ParallelRunMatchesSerialBitForBit) {
+  const std::string strategy = GetParam();
+  const RunArtifacts serial = run_once(strategy, 1);
+  for (int parallelism : {2, 4}) {
+    const RunArtifacts parallel = run_once(strategy, parallelism);
+    expect_bit_identical(serial.result, parallel.result);
+    ASSERT_EQ(parallel.models.size(), serial.models.size());
+    for (size_t k = 0; k < serial.models.size(); ++k) {
+      EXPECT_EQ(parallel.models[k], serial.models[k])
+          << strategy << ": client " << k << " model bytes diverged at "
+          << "client_parallelism=" << parallelism;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ParallelDeterminism,
+                         ::testing::Values("local", "fedavg", "fedprox",
+                                           "fedproto", "ktpfl", "fedclassavg",
+                                           "fedclassavg-proto"));
+
+// ---------------------------------------------------------------------------
+// Parallel run split across a checkpoint/resume boundary
+
+TEST(ParallelDeterminism, CheckpointSplitParallelRunIsBitIdentical) {
+  const std::string dir =
+      testing::TempDir() + "fca_parallel_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Uninterrupted reference at client_parallelism=4.
+  core::Experiment ref_exp(parallel_test_config("fedclassavg", 4));
+  core::FedClassAvg ref_strat(ref_exp.fedclassavg_config());
+  const core::CompletedRun reference = ref_exp.execute(ref_strat);
+
+  // Phase 1: same experiment stopped at round 3, checkpointed.
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 3;
+  core::ExperimentConfig half_cfg = parallel_test_config("fedclassavg", 4);
+  half_cfg.rounds = 3;
+  core::Experiment half_exp(half_cfg);
+  core::FedClassAvg half_strat(half_exp.fedclassavg_config());
+  half_exp.execute(half_strat, opts);
+
+  // Phase 2: fresh process state, resume in parallel to round 6.
+  core::Experiment rest_exp(parallel_test_config("fedclassavg", 4));
+  core::FedClassAvg rest_strat(rest_exp.fedclassavg_config());
+  const core::CompletedRun resumed = rest_exp.resume(rest_strat, opts);
+
+  expect_bit_identical(reference.result, resumed.result);
+
+  // The serial sweep agrees too, closing the triangle
+  // (serial == parallel == parallel-resumed).
+  const RunArtifacts serial = run_once("fedclassavg", 1);
+  expect_bit_identical(serial.result, resumed.result);
+}
+
+// Auto parallelism (0 = one lane per hardware worker + caller) is covered
+// separately: the lane count depends on the host, the bits must not.
+TEST(ParallelDeterminism, AutoParallelismMatchesSerial) {
+  const RunArtifacts serial = run_once("fedclassavg", 1);
+  const RunArtifacts automatic = run_once("fedclassavg", 0);
+  expect_bit_identical(serial.result, automatic.result);
+  for (size_t k = 0; k < serial.models.size(); ++k) {
+    EXPECT_EQ(automatic.models[k], serial.models[k]) << "client " << k;
+  }
+}
+
+}  // namespace
+}  // namespace fca

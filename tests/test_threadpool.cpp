@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace fca {
@@ -80,6 +83,120 @@ TEST(ParallelForRange, RangesPartitionTheInterval) {
     cursor = hi;
   }
   EXPECT_EQ(cursor, 777);
+}
+
+// ---------------------------------------------------------------------------
+// Nesting: a parallel_for issued from inside a pool task must degrade to a
+// serial loop on the calling thread. Without the in_task() guard the nested
+// wait_all() would count the enclosing task in in_flight_ and deadlock.
+
+TEST(ThreadPool, NestedParallelForInsidePoolTaskRunsSerially) {
+  std::atomic<int> covered{0};
+  std::atomic<bool> was_marked{false};
+  std::atomic<bool> stayed_on_caller{true};
+  global_pool().submit([&] {
+    was_marked.store(ThreadPool::in_task());
+    const std::thread::id self = std::this_thread::get_id();
+    parallel_for(
+        0, 100,
+        [&](int64_t) {
+          if (std::this_thread::get_id() != self) stayed_on_caller = false;
+          covered.fetch_add(1);
+        },
+        /*grain=*/1);
+  });
+  global_pool().wait_all();
+  EXPECT_TRUE(was_marked.load());
+  EXPECT_TRUE(stayed_on_caller.load());
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ThreadPool, SerialRegionForcesSerialParallelFor) {
+  EXPECT_FALSE(ThreadPool::in_task());
+  {
+    ThreadPool::SerialRegion region;
+    EXPECT_TRUE(ThreadPool::in_task());
+    const std::thread::id self = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    parallel_for(
+        0, 64,
+        [&](int64_t) {
+          if (std::this_thread::get_id() != self) off_thread.fetch_add(1);
+        },
+        /*grain=*/1);
+    EXPECT_EQ(off_thread.load(), 0);
+  }
+  EXPECT_FALSE(ThreadPool::in_task());
+}
+
+TEST(ThreadPool, DeeplyNestedSubmitsFromWorkersComplete) {
+  // Tasks that submit further tasks (fan-out from inside workers) must all
+  // run; wait_all() observes in-flight work transitively.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 1000, [](int64_t i) { if (i == 500) throw std::runtime_error("boom"); },
+          /*grain=*/8),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, LowestFailingIndexWinsDeterministically) {
+  // Every index >= 137 throws. Whatever the scheduling, the winner must be
+  // the exception a serial sweep would hit first: i == 137 (the lowest
+  // failing chunk runs its indices in order).
+  for (int rep = 0; rep < 5; ++rep) {
+    try {
+      parallel_for(
+          0, 500,
+          [](int64_t i) {
+            if (i >= 137) throw std::runtime_error(std::to_string(i));
+          },
+          /*grain=*/16);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "137");
+    }
+  }
+}
+
+TEST(ParallelForRange, ExceptionLeavesPoolUsable) {
+  EXPECT_THROW(parallel_for_range(
+                   0, 100,
+                   [](int64_t, int64_t) { throw std::runtime_error("x"); },
+                   /*grain=*/10),
+               std::runtime_error);
+  // The pool must have drained cleanly and keep working.
+  std::atomic<int> count{0};
+  parallel_for(0, 50, [&](int64_t) { count.fetch_add(1); }, /*grain=*/5);
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, InsideZeroWorkerPoolTaskStillCoversAllIndices) {
+  // A standalone zero-worker pool exercises the inline-drain path of
+  // wait_all(); parallel_for on the global pool must behave identically when
+  // it degrades to serial inside a task of that pool.
+  ThreadPool pool(0);
+  std::atomic<int> covered{0};
+  pool.submit([&covered] {
+    parallel_for(0, 32, [&](int64_t) { covered.fetch_add(1); }, /*grain=*/1);
+  });
+  pool.wait_all();
+  EXPECT_EQ(covered.load(), 32);
 }
 
 TEST(ParallelFor, ComputesCorrectSum) {
