@@ -67,8 +67,33 @@ core::ExperimentConfig make_config(const std::string& dataset,
   if (par != nullptr && *par != '\0') {
     cfg.client_parallelism = std::atoi(par);
   }
+  apply_fault_env(cfg);
   cfg.with_scaled_preset();
   return cfg;
+}
+
+void apply_fault_env(core::ExperimentConfig& cfg) {
+  const auto env_d = [](const char* name, double* out) {
+    const char* e = std::getenv(name);
+    if (e != nullptr && *e != '\0') *out = std::atof(e);
+  };
+  env_d("FCA_FAULT_DROP_RATE", &cfg.faults.drop_rate);
+  env_d("FCA_FAULT_STRAGGLER_RATE", &cfg.faults.straggler_rate);
+  env_d("FCA_FAULT_STRAGGLER_DELAY", &cfg.faults.straggler_delay_s);
+  env_d("FCA_FAULT_ROUND_DEADLINE", &cfg.faults.round_deadline_s);
+  env_d("FCA_FAULT_CRASH_RATE", &cfg.faults.crash_rate);
+  const char* e = std::getenv("FCA_FAULT_CRASH_ROUNDS");
+  if (e != nullptr && *e != '\0') cfg.faults.crash_rounds = std::atoi(e);
+  e = std::getenv("FCA_FAULT_CRASH_SCHEDULE");
+  if (e != nullptr && *e != '\0') {
+    cfg.faults.crash_schedule = comm::parse_crash_schedule(e);
+  }
+  e = std::getenv("FCA_FAULT_SEED");
+  if (e != nullptr && *e != '\0') {
+    cfg.faults.fault_seed = std::strtoull(e, nullptr, 10);
+  }
+  e = std::getenv("FCA_FAULT_QUORUM");
+  if (e != nullptr && *e != '\0') cfg.quorum = std::atoi(e);
 }
 
 std::vector<std::string> datasets(const std::vector<std::string>& defaults) {
@@ -142,6 +167,18 @@ core::CompletedRun run_and_report(const core::Experiment& exp,
                 cs.saves, cs.save_seconds * 1e3,
                 cs.save_seconds * 1e3 / cs.saves,
                 cs.last_file_bytes / 1024.0);
+  }
+  if (exp.config().faults.enabled()) {
+    const comm::FaultStats& f = done.result.total_faults;
+    std::printf("    faults: %llu dropped, %llu delayed, %llu deadline "
+                "misses, %llu crashed client-rounds, %llu rejoins, %llu "
+                "quorum aborts\n",
+                static_cast<unsigned long long>(f.dropped_messages),
+                static_cast<unsigned long long>(f.delayed_messages),
+                static_cast<unsigned long long>(f.deadline_misses),
+                static_cast<unsigned long long>(f.crashed_client_rounds),
+                static_cast<unsigned long long>(f.rejoins),
+                static_cast<unsigned long long>(f.aborted_rounds));
   }
   std::fflush(stdout);
   return done;

@@ -20,6 +20,12 @@
 // (0 = auto). Results are bit-identical at any value (fl/executor.hpp), so
 // this only changes wall-time — the banner's "1 CPU core" disclosure refers
 // to the default setting.
+// Fault injection (DESIGN.md §7) is driven by FCA_FAULT_DROP_RATE,
+// FCA_FAULT_STRAGGLER_RATE, FCA_FAULT_STRAGGLER_DELAY,
+// FCA_FAULT_ROUND_DEADLINE, FCA_FAULT_CRASH_RATE, FCA_FAULT_CRASH_ROUNDS,
+// FCA_FAULT_CRASH_SCHEDULE (rank@round[xK],... format), FCA_FAULT_SEED and
+// FCA_FAULT_QUORUM; when any is set, each progress line also reports the
+// injected-fault totals.
 #pragma once
 
 #include <cstdio>
@@ -51,6 +57,10 @@ RunShape shape_for(const std::string& dataset, Scale scale);
 /// applies the scaled hyper-parameter preset and the shape above.
 core::ExperimentConfig make_config(const std::string& dataset,
                                    core::PartitionScheme partition);
+
+/// Overlays the FCA_FAULT_* environment (drop/straggler/crash schedule,
+/// fault seed, quorum) onto a config; called by make_config.
+void apply_fault_env(core::ExperimentConfig& cfg);
 
 /// Datasets a bench sweeps: the env override, or `defaults`.
 std::vector<std::string> datasets(const std::vector<std::string>& defaults);

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "comm/fault.hpp"
 #include "core/fedclassavg.hpp"
 #include "core/fedclassavg_proto.hpp"
 #include "core/trainer.hpp"
@@ -58,6 +59,21 @@ void print_help() {
       "  --checkpoint-keep N   retain the newest N checkpoints (default 2)\n"
       "  --resume            continue from the last checkpoint in\n"
       "                      --checkpoint-dir (fresh run if none exists)\n"
+      "\nFault injection (replayable chaos; see DESIGN.md §7):\n"
+      "  --drop-rate X       probability a message is lost in flight\n"
+      "  --straggler-rate X  probability a client's sends are delayed for a\n"
+      "                      round\n"
+      "  --straggler-delay S extra transfer seconds per straggling message\n"
+      "                      (default 1.0)\n"
+      "  --round-deadline S  simulated-time budget per message; slower ones\n"
+      "                      miss the round (default: none)\n"
+      "  --crash-rate X      per-round probability a client goes down\n"
+      "  --crash-rounds K    outage length in rounds (default 1)\n"
+      "  --crash-schedule S  explicit outages, e.g. 2@3x2,5@7 = client rank\n"
+      "                      2 down rounds 3-4, rank 5 down round 7\n"
+      "  --fault-seed N      fault randomness, independent of --seed\n"
+      "                      (default 0)\n"
+      "  --quorum N          min survivors to commit a round (default 1)\n"
       "  --help              this text\n");
 }
 
@@ -140,6 +156,19 @@ int main(int argc, char** argv) {
     config.train_per_class = std::stoi(get("train-per-class", "25"));
     config.seed = std::stoull(get("seed", "42"));
     config.client_parallelism = std::stoi(get("client-parallelism", "1"));
+    config.faults.drop_rate = std::stod(get("drop-rate", "0"));
+    config.faults.straggler_rate = std::stod(get("straggler-rate", "0"));
+    config.faults.straggler_delay_s = std::stod(get("straggler-delay", "1"));
+    const std::string deadline = get("round-deadline", "");
+    if (!deadline.empty()) {
+      config.faults.round_deadline_s = std::stod(deadline);
+    }
+    config.faults.crash_rate = std::stod(get("crash-rate", "0"));
+    config.faults.crash_rounds = std::stoi(get("crash-rounds", "1"));
+    config.faults.crash_schedule =
+        comm::parse_crash_schedule(get("crash-schedule", ""));
+    config.faults.fault_seed = std::stoull(get("fault-seed", "0"));
+    config.quorum = std::stoi(get("quorum", "1"));
     const std::string partition = get("partition", "dirichlet");
     if (partition == "skewed") {
       config.partition = core::PartitionScheme::kSkewed;
@@ -197,11 +226,23 @@ int main(int argc, char** argv) {
       done = experiment.execute(*strategy);
     }
 
-    std::printf("\n%8s %12s %12s %14s\n", "round", "mean acc", "std acc",
-                "KB this round");
-    for (const auto& m : done.result.curve) {
-      std::printf("%8d %12.4f %12.4f %14.1f\n", m.round, m.mean_accuracy,
-                  m.std_accuracy, m.round_bytes / 1024.0);
+    const bool faulty = config.faults.enabled();
+    if (faulty) {
+      std::printf("\n%8s %12s %12s %14s %10s %8s\n", "round", "mean acc",
+                  "std acc", "KB this round", "survivors", "faults");
+      for (const auto& m : done.result.curve) {
+        std::printf("%8d %12.4f %12.4f %14.1f %6d/%-3d %8llu\n", m.round,
+                    m.mean_accuracy, m.std_accuracy, m.round_bytes / 1024.0,
+                    m.survivor_count, m.selected_count,
+                    static_cast<unsigned long long>(m.fault_events));
+      }
+    } else {
+      std::printf("\n%8s %12s %12s %14s\n", "round", "mean acc", "std acc",
+                  "KB this round");
+      for (const auto& m : done.result.curve) {
+        std::printf("%8d %12.4f %12.4f %14.1f\n", m.round, m.mean_accuracy,
+                    m.std_accuracy, m.round_bytes / 1024.0);
+      }
     }
     std::printf("\nfinal %.4f ± %.4f | total traffic %.1f KB | "
                 "%.1f KB/client-round\n",
@@ -209,16 +250,34 @@ int main(int argc, char** argv) {
                 done.result.final_std_accuracy,
                 done.result.total_traffic.payload_bytes / 1024.0,
                 done.result.client_upload_bytes_per_round / 1024.0);
+    if (faulty) {
+      const comm::FaultStats& f = done.result.total_faults;
+      std::printf(
+          "faults: %llu msgs dropped (%.1f KB), %llu delayed, %llu deadline "
+          "misses, %llu crashed client-rounds, %llu rejoins, %llu quorum "
+          "aborts\n",
+          static_cast<unsigned long long>(f.dropped_messages),
+          f.dropped_bytes / 1024.0,
+          static_cast<unsigned long long>(f.delayed_messages),
+          static_cast<unsigned long long>(f.deadline_misses),
+          static_cast<unsigned long long>(f.crashed_client_rounds),
+          static_cast<unsigned long long>(f.rejoins),
+          static_cast<unsigned long long>(f.aborted_rounds));
+    }
 
     const std::string curve_path = get("save-curve", "");
     if (!curve_path.empty()) {
-      CsvWriter csv(curve_path, {"round", "local_epochs", "mean_acc",
-                                 "std_acc", "round_bytes"});
+      CsvWriter csv(curve_path,
+                    {"round", "local_epochs", "mean_acc", "std_acc",
+                     "round_bytes", "selected", "survivors", "fault_events"});
       for (const auto& m : done.result.curve) {
         csv.row(std::vector<double>{
             static_cast<double>(m.round),
             static_cast<double>(m.cumulative_local_epochs), m.mean_accuracy,
-            m.std_accuracy, static_cast<double>(m.round_bytes)});
+            m.std_accuracy, static_cast<double>(m.round_bytes),
+            static_cast<double>(m.selected_count),
+            static_cast<double>(m.survivor_count),
+            static_cast<double>(m.fault_events)});
       }
       std::printf("curve written to %s\n", curve_path.c_str());
     }

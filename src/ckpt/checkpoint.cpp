@@ -70,6 +70,9 @@ std::vector<std::byte> encode_metrics(
     w.f64(m.mean_train_loss);
     w.f64(m.wall_seconds);
     w.u64(m.round_bytes);
+    w.i64(m.selected_count);
+    w.i64(m.survivor_count);
+    w.u64(m.fault_events);
     w.u32(static_cast<uint32_t>(m.client_accuracies.size()));
     for (double a : m.client_accuracies) w.f64(a);
   }
@@ -90,6 +93,9 @@ std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes) {
     m.mean_train_loss = r.f64();
     m.wall_seconds = r.f64();
     m.round_bytes = r.u64();
+    m.selected_count = static_cast<int>(r.i64());
+    m.survivor_count = static_cast<int>(r.i64());
+    m.fault_events = r.u64();
     const uint32_t n = r.u32();
     m.client_accuracies.resize(n);
     for (uint32_t j = 0; j < n; ++j) m.client_accuracies[j] = r.f64();
@@ -163,6 +169,7 @@ void CheckpointManager::save(fl::FederatedRun& run,
   meta.u64(cursor.sampler_state);
   meta.u64(cursor.bytes_marker);
   meta.i64(cursor.participating_rounds_total);
+  meta.u64(cursor.fault_marker);
   w.add("meta", meta.take());
   w.add("strategy", strategy.save_state());
   for (int k = 0; k < run.num_clients(); ++k) {
@@ -177,6 +184,17 @@ void CheckpointManager::save(fl::FederatedRun& run,
     net.u64(s.payload_bytes);
     net.f64(s.sim_seconds);
   }
+  // Fault counters: injection decisions themselves are stateless (pure
+  // functions of the fault seed and the restored send counts above), so the
+  // counters are the only fault state a resume must carry.
+  const comm::FaultStats f = run.network().fault_stats();
+  net.u64(f.dropped_messages);
+  net.u64(f.dropped_bytes);
+  net.u64(f.delayed_messages);
+  net.u64(f.deadline_misses);
+  net.u64(f.crashed_client_rounds);
+  net.u64(f.rejoins);
+  net.u64(f.aborted_rounds);
   w.add("network", net.take());
   w.add("metrics", encode_metrics(cursor.curve));
 
@@ -230,6 +248,7 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
       cursor.sampler_state = meta.u64();
       cursor.bytes_marker = meta.u64();
       cursor.participating_rounds_total = static_cast<int>(meta.i64());
+      cursor.fault_marker = meta.u64();
       meta.expect_done();
 
       strategy.load_state(reader.section("strategy"));
@@ -248,9 +267,18 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
         sent[r].payload_bytes = net.u64();
         sent[r].sim_seconds = net.f64();
       }
+      comm::FaultStats faults;
+      faults.dropped_messages = net.u64();
+      faults.dropped_bytes = net.u64();
+      faults.delayed_messages = net.u64();
+      faults.deadline_misses = net.u64();
+      faults.crashed_client_rounds = net.u64();
+      faults.rejoins = net.u64();
+      faults.aborted_rounds = net.u64();
       net.expect_done();
       run.network().clear_pending();
       run.network().restore_stats(sent);
+      run.network().restore_fault_stats(faults);
 
       cursor.curve = decode_metrics(reader.section("metrics"));
 

@@ -31,7 +31,10 @@
 
 namespace fca::ckpt {
 
-inline constexpr uint32_t kFormatVersion = 1;
+// v2: meta gained the fault-event marker, the network section gained
+// FaultStats, and metrics rows gained selected/survivor counts and
+// per-round fault events.
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `data`.
 uint32_t crc32(std::span<const std::byte> data);

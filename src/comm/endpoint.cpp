@@ -1,5 +1,6 @@
 #include "comm/endpoint.hpp"
 
+#include <cmath>
 #include <cstring>
 
 #include "utils/error.hpp"
@@ -15,6 +16,18 @@ void Endpoint::send(int dst, int tag, std::span<const std::byte> payload) {
 }
 
 Bytes Endpoint::recv(int src, int tag) { return net_->recv(rank_, src, tag); }
+
+std::optional<Bytes> Endpoint::try_recv(int src, int tag) {
+  if (!net_->fault_plan().enabled()) return net_->recv(rank_, src, tag);
+  return net_->try_recv(rank_, src, tag);
+}
+
+std::optional<Bytes> Endpoint::recv_with_deadline(int src, int tag,
+                                                  double deadline_s) {
+  if (!net_->fault_plan().enabled()) return net_->recv(rank_, src, tag);
+  if (!std::isfinite(deadline_s)) return net_->try_recv(rank_, src, tag);
+  return net_->recv_within(rank_, src, tag, deadline_s);
+}
 
 bool Endpoint::has_message(int src, int tag) const {
   return net_->has_message(rank_, src, tag);

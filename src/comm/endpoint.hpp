@@ -6,6 +6,7 @@
 // would behave.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "comm/network.hpp"
@@ -22,6 +23,21 @@ class Endpoint {
   void send(int dst, int tag, std::span<const std::byte> payload);
   Bytes recv(int src, int tag);
   bool has_message(int src, int tag) const;
+
+  /// Fault-tolerant receive: on a fabric with an active fault plan a missing
+  /// message becomes std::nullopt (a reported loss); on a reliable fabric it
+  /// stays a thrown protocol bug, preserving the strict historical check.
+  /// No retry loop is needed: strategies call this at quiescent points
+  /// (after the sender's phase completed), so one mailbox check is
+  /// definitive — the "bounded retry" degenerates to a single attempt.
+  std::optional<Bytes> try_recv(int src, int tag);
+
+  /// try_recv() that additionally enforces a simulated-time round deadline:
+  /// a message slower than `deadline_s` (e.g. from a straggler) is consumed,
+  /// counted as a FaultStats deadline miss, and reported as std::nullopt.
+  /// Non-finite deadlines mean "no deadline".
+  std::optional<Bytes> recv_with_deadline(int src, int tag,
+                                          double deadline_s);
 
   /// Root-side broadcast: sends the payload to each destination rank.
   void bcast_send(const std::vector<int>& dsts, int tag,

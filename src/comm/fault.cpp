@@ -1,0 +1,140 @@
+#include "comm/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/error.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::comm {
+
+std::vector<CrashWindow> parse_crash_schedule(const std::string& spec) {
+  std::vector<CrashWindow> windows;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    FCA_CHECK_MSG(at != std::string::npos && at > 0 && at + 1 < entry.size(),
+                  "crash schedule entry '" << entry
+                                           << "' is not rank@round[xK]");
+    CrashWindow w;
+    try {
+      w.rank = std::stoi(entry.substr(0, at));
+      const std::string rest = entry.substr(at + 1);
+      const size_t x = rest.find('x');
+      if (x == std::string::npos) {
+        w.first_round = std::stoi(rest);
+      } else {
+        w.first_round = std::stoi(rest.substr(0, x));
+        w.rounds = std::stoi(rest.substr(x + 1));
+      }
+    } catch (const std::exception&) {
+      throw Error("crash schedule entry '" + entry +
+                  "' has a non-numeric field (want rank@round[xK])");
+    }
+    FCA_CHECK_MSG(w.first_round >= 1 && w.rounds >= 1,
+                  "crash schedule entry '"
+                      << entry << "' needs round >= 1 and duration >= 1");
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+bool FaultConfig::enabled() const {
+  return drop_rate > 0.0 || straggler_rate > 0.0 || crash_rate > 0.0 ||
+         !crash_schedule.empty() || std::isfinite(round_deadline_s);
+}
+
+FaultPlan::FaultPlan(FaultConfig config, int ranks)
+    : config_(std::move(config)) {
+  FCA_CHECK_MSG(config_.drop_rate >= 0.0 && config_.drop_rate <= 1.0,
+                "drop_rate " << config_.drop_rate << " outside [0, 1]");
+  FCA_CHECK_MSG(
+      config_.straggler_rate >= 0.0 && config_.straggler_rate <= 1.0,
+      "straggler_rate " << config_.straggler_rate << " outside [0, 1]");
+  FCA_CHECK_MSG(config_.crash_rate >= 0.0 && config_.crash_rate <= 1.0,
+                "crash_rate " << config_.crash_rate << " outside [0, 1]");
+  FCA_CHECK_MSG(config_.straggler_delay_s >= 0.0,
+                "straggler_delay_s must be non-negative");
+  FCA_CHECK_MSG(config_.round_deadline_s > 0.0,
+                "round_deadline_s must be positive");
+  FCA_CHECK_MSG(config_.crash_rounds >= 1, "crash_rounds must be >= 1");
+  for (const CrashWindow& w : config_.crash_schedule) {
+    FCA_CHECK_MSG(w.rank >= 1 && w.rank < ranks,
+                  "crash schedule rank " << w.rank << " outside [1, " << ranks
+                                         << ") — rank 0 (server) cannot "
+                                            "crash, client k is rank k + 1");
+    FCA_CHECK_MSG(w.first_round >= 1 && w.rounds >= 1,
+                  "crash window for rank " << w.rank << " is degenerate");
+  }
+  enabled_ = config_.enabled();
+}
+
+void FaultPlan::begin_round(int round) {
+  FCA_CHECK_MSG(round >= 1, "fault rounds are 1-based, got " << round);
+  round_ = round;
+}
+
+double FaultPlan::draw(std::string_view kind, uint64_t a, uint64_t b,
+                       uint64_t c) const {
+  // A fresh stream per (kind, a, b, c): decisions are order-independent and
+  // never consume from — or perturb — any training RNG stream.
+  return Rng(config_.fault_seed)
+      .fork(kind)
+      .fork_indexed("a/", a)
+      .fork_indexed("b/", b)
+      .fork_indexed("c/", c)
+      .uniform();
+}
+
+bool FaultPlan::crashed(int round, int rank) const {
+  if (!enabled_ || rank == 0 || round < 1) return false;
+  for (const CrashWindow& w : config_.crash_schedule) {
+    if (w.rank == rank && round >= w.first_round &&
+        round < w.first_round + w.rounds) {
+      return true;
+    }
+  }
+  if (config_.crash_rate > 0.0) {
+    // Down in `round` if a crash fired in any of the last crash_rounds
+    // rounds — a K-round outage expressed statelessly.
+    const int first = std::max(1, round - config_.crash_rounds + 1);
+    for (int r = first; r <= round; ++r) {
+      if (draw("crash", static_cast<uint64_t>(r), static_cast<uint64_t>(rank),
+               0) < config_.crash_rate) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::rejoined(int round, int rank) const {
+  return round >= 2 && !crashed(round, rank) && crashed(round - 1, rank);
+}
+
+bool FaultPlan::straggling(int round, int rank) const {
+  if (!enabled_ || rank == 0 || round < 1 || config_.straggler_rate <= 0.0) {
+    return false;
+  }
+  return draw("straggle", static_cast<uint64_t>(round),
+              static_cast<uint64_t>(rank), 0) < config_.straggler_rate;
+}
+
+bool FaultPlan::drop_message(int src, int dst, int tag, uint64_t seq) const {
+  if (config_.drop_rate <= 0.0) return false;
+  // seq is src's running send count, so the decision is stable under any
+  // client_parallelism (each rank's sends are ordered by its own lane) and
+  // across checkpoint resume (the count rides the restored TrafficStats).
+  const uint64_t channel = (static_cast<uint64_t>(static_cast<uint32_t>(dst))
+                            << 32) |
+                           static_cast<uint32_t>(tag);
+  return draw("drop", static_cast<uint64_t>(src), channel, seq) <
+         config_.drop_rate;
+}
+
+}  // namespace fca::comm

@@ -1,0 +1,136 @@
+// Deterministic fault injection for the in-process fabric.
+//
+// A FaultPlan turns the perfect mailbox Network into a lossy, laggy,
+// churn-prone one — the conditions a real federated deployment faces — while
+// keeping every injected event replayable. All decisions are *pure functions*
+// of the fault seed and stable coordinates (round, rank, per-source message
+// sequence number), never of wall time or thread scheduling, so:
+//
+//   * the same fault seed reproduces the same fault schedule bit for bit,
+//   * fault schedules are independent of training randomness (separate seed),
+//   * client_parallelism does not change which messages are dropped, and
+//   * a checkpoint/resume split replays the identical schedule, because the
+//     per-source sequence numbers ride the checkpointed TrafficStats.
+//
+// Three fault classes are modeled (cf. FedML's simulation parameters):
+//   dropouts   — a rank crashes for K rounds (random per-round draws and/or
+//                an explicit outage schedule) and is excluded from cohorts,
+//   stragglers — a rank's sends this round incur extra simulated latency, so
+//                they miss a recv_within() round deadline,
+//   loss       — individual messages vanish in flight with probability
+//                drop_rate.
+// Injection is scoped to communication rounds (between begin_round and
+// end_round); initialization traffic is delivered reliably, matching the
+// paper's one-time synchronized start.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fca::comm {
+
+/// One planned outage: `rank` is unreachable for rounds
+/// [first_round, first_round + rounds).
+struct CrashWindow {
+  int rank = 0;
+  int first_round = 1;
+  int rounds = 1;
+};
+
+/// Parses a crash schedule spec: comma-separated `rank@round` or
+/// `rank@roundxK` entries, e.g. "2@3x2,5@7" — rank 2 down for rounds 3-4,
+/// rank 5 down for round 7. Ranks are fabric ranks (client k = rank k + 1).
+std::vector<CrashWindow> parse_crash_schedule(const std::string& spec);
+
+struct FaultConfig {
+  /// Per-message loss probability on the wire.
+  double drop_rate = 0.0;
+  /// Per-(round, rank) probability that a rank straggles this round.
+  double straggler_rate = 0.0;
+  /// Extra simulated latency a straggling rank's sends incur (seconds).
+  double straggler_delay_s = 1.0;
+  /// Simulated-time budget for recv_within(); messages whose transfer time
+  /// exceeds it count as deadline misses. Infinite = no deadline.
+  double round_deadline_s = std::numeric_limits<double>::infinity();
+  /// Per-(round, rank) probability that a rank crashes (goes dark).
+  double crash_rate = 0.0;
+  /// Rounds a randomly crashed rank stays down before rejoining.
+  int crash_rounds = 1;
+  /// Explicit outage windows, layered on top of random crashes.
+  std::vector<CrashWindow> crash_schedule;
+  /// Seed of the fault stream — deliberately separate from the experiment
+  /// seed so fault schedules can vary while training randomness stays fixed
+  /// (and vice versa).
+  uint64_t fault_seed = 0;
+
+  /// True when any fault mechanism can fire (a finite round deadline counts:
+  /// it can expire messages even without stragglers under a slow CostModel).
+  bool enabled() const;
+};
+
+/// Counters for every injected fault and its round-level consequences.
+/// Checkpointed alongside TrafficStats so a resumed faulty run reports the
+/// same totals as an uninterrupted one.
+struct FaultStats {
+  uint64_t dropped_messages = 0;  // lost in flight (includes dropped_bytes)
+  uint64_t dropped_bytes = 0;
+  uint64_t delayed_messages = 0;  // straggler-delayed sends
+  uint64_t deadline_misses = 0;   // consumed past a recv_within deadline
+  uint64_t crashed_client_rounds = 0;  // (round, client) pairs skipped
+  uint64_t rejoins = 0;                // clients back after an outage
+  uint64_t aborted_rounds = 0;         // survivor set fell below quorum
+
+  /// Total injected events (the per-round metrics column).
+  uint64_t injected_total() const {
+    return dropped_messages + delayed_messages + deadline_misses +
+           crashed_client_rounds;
+  }
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// The deterministic fault schedule. Stateless apart from the active round
+/// (set via Network::begin_round under the network lock): every query is a
+/// pure function of (fault_seed, coordinates), so no decision history needs
+/// to be stored or checkpointed.
+class FaultPlan {
+ public:
+  /// A no-fault plan: every query answers "deliver perfectly".
+  FaultPlan() = default;
+  /// Validates and adopts `config`; `ranks` bounds the crash schedule.
+  FaultPlan(FaultConfig config, int ranks);
+
+  const FaultConfig& config() const { return config_; }
+  /// Any fault mechanism configured at all?
+  bool enabled() const { return enabled_; }
+  /// Faults only fire inside a round (round >= 1); initialization and
+  /// post-round traffic is reliable.
+  bool injecting() const { return enabled_ && round_ >= 1; }
+
+  void begin_round(int round);
+  void end_round() { round_ = 0; }
+  int round() const { return round_; }
+
+  /// Rank is dark in `round` (random draw within the last crash_rounds
+  /// rounds, or an explicit schedule window). Rank 0 (the server) never
+  /// crashes — a parameter-server outage ends the simulation, not a round.
+  bool crashed(int round, int rank) const;
+  /// Rank is up in `round` after being crashed in `round - 1`.
+  bool rejoined(int round, int rank) const;
+  /// Rank's sends in `round` incur the straggler delay.
+  bool straggling(int round, int rank) const;
+  /// Message number `seq` from `src` (its running send count) is lost.
+  bool drop_message(int src, int dst, int tag, uint64_t seq) const;
+
+ private:
+  double draw(std::string_view kind, uint64_t a, uint64_t b, uint64_t c) const;
+
+  FaultConfig config_;
+  bool enabled_ = false;
+  int round_ = 0;
+};
+
+}  // namespace fca::comm

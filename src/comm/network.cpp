@@ -1,5 +1,8 @@
 #include "comm/network.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "utils/error.hpp"
 
 namespace fca::comm {
@@ -11,9 +14,26 @@ TrafficStats& TrafficStats::operator+=(const TrafficStats& other) {
   return *this;
 }
 
-Network::Network(int ranks, CostModel cost)
-    : ranks_(ranks), cost_(cost), sent_(static_cast<size_t>(ranks)) {
+CostModel::CostModel(double latency, double bandwidth)
+    : latency_s(latency), bandwidth_bps(bandwidth) {
+  validate();
+}
+
+void CostModel::validate() const {
+  FCA_CHECK_MSG(latency_s >= 0.0,
+                "cost model latency must be non-negative, got " << latency_s);
+  FCA_CHECK_MSG(bandwidth_bps > 0.0,
+                "cost model bandwidth must be positive, got "
+                    << bandwidth_bps);
+}
+
+Network::Network(int ranks, CostModel cost, FaultConfig faults)
+    : ranks_(ranks),
+      cost_(cost),
+      plan_(std::move(faults), ranks),
+      sent_(static_cast<size_t>(std::max(ranks, 0))) {
   FCA_CHECK_MSG(ranks > 0, "Network needs at least one rank");
+  cost_.validate();
 }
 
 void Network::check_rank(int rank) const {
@@ -28,23 +48,104 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
   TrafficStats& s = sent_[static_cast<size_t>(src)];
   ++s.messages;
   s.payload_bytes += payload.size();
-  s.sim_seconds += cost_.transfer_seconds(payload.size());
-  mailboxes_[Key{src, dst, tag}].push_back(std::move(payload));
+  double transfer = cost_.transfer_seconds(payload.size());
+  s.sim_seconds += transfer;
+  if (plan_.injecting()) {
+    // seq = this rank's running send count (just incremented): stable under
+    // any lane scheduling and restored with TrafficStats on resume, so the
+    // drop pattern replays identically.
+    const uint64_t seq = s.messages;
+    const int round = plan_.round();
+    if (plan_.crashed(round, src) || plan_.crashed(round, dst) ||
+        plan_.drop_message(src, dst, tag, seq)) {
+      ++faults_.dropped_messages;
+      faults_.dropped_bytes += payload.size();
+      return;  // lost in flight; the sender still paid for the bytes
+    }
+    if (plan_.straggling(round, src)) {
+      const double extra = plan_.config().straggler_delay_s;
+      transfer += extra;
+      s.sim_seconds += extra;
+      ++faults_.delayed_messages;
+    }
+  }
+  mailboxes_[Key{src, dst, tag}].push_back(
+      Message{std::move(payload), transfer});
   ++pending_;
+}
+
+std::optional<Network::Message> Network::pop_locked(int dst, int src,
+                                                    int tag) {
+  auto it = mailboxes_.find(Key{src, dst, tag});
+  if (it == mailboxes_.end() || it->second.empty()) return std::nullopt;
+  Message out = std::move(it->second.front());
+  it->second.pop_front();
+  --pending_;
+  return out;
 }
 
 Bytes Network::recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
-  auto it = mailboxes_.find(Key{src, dst, tag});
-  FCA_CHECK_MSG(it != mailboxes_.end() && !it->second.empty(),
-                "recv with no matching send: src=" << src << " dst=" << dst
-                                                   << " tag=" << tag);
-  Bytes out = std::move(it->second.front());
-  it->second.pop_front();
-  --pending_;
-  return out;
+  std::optional<Message> msg = pop_locked(dst, src, tag);
+  if (!msg.has_value()) {
+    // Diagnose the protocol bug precisely: what was asked for, how much is
+    // in flight overall, and the nearest non-empty mailbox for this (src,
+    // dst) pair — usually a tag mix-up or a swapped direction.
+    std::ostringstream os;
+    os << "recv with no matching send: src=" << src << " dst=" << dst
+       << " tag=" << tag << "; " << pending_
+       << " message(s) pending fabric-wide";
+    bool found = false;
+    for (const auto& [key, box] : mailboxes_) {
+      if (box.empty()) continue;
+      if (key.src == src && key.dst == dst) {
+        os << "; nearest non-empty mailbox for this pair: tag=" << key.tag
+           << " (" << box.size() << " message(s))";
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (const auto& [key, box] : mailboxes_) {
+        if (box.empty()) continue;
+        if (key.src == dst && key.dst == src) {
+          os << "; reverse direction dst->src has tag=" << key.tag << " ("
+             << box.size() << " message(s)) pending — swapped src/dst?";
+          break;
+        }
+      }
+    }
+    throw Error(os.str());
+  }
+  return std::move(msg->payload);
+}
+
+std::optional<Bytes> Network::try_recv(int dst, int src, int tag) {
+  check_rank(src);
+  check_rank(dst);
+  std::lock_guard lk(mu_);
+  std::optional<Message> msg = pop_locked(dst, src, tag);
+  if (!msg.has_value()) return std::nullopt;
+  return std::move(msg->payload);
+}
+
+std::optional<Bytes> Network::recv_within(int dst, int src, int tag,
+                                          double deadline_s) {
+  check_rank(src);
+  check_rank(dst);
+  FCA_CHECK_MSG(deadline_s > 0.0, "recv deadline must be positive");
+  std::lock_guard lk(mu_);
+  std::optional<Message> msg = pop_locked(dst, src, tag);
+  if (!msg.has_value()) return std::nullopt;
+  if (msg->transfer_s > deadline_s) {
+    // The message exists but arrives too late for this round: consume it
+    // (the mailbox must not leak into the next round) and report a miss.
+    ++faults_.deadline_misses;
+    return std::nullopt;
+  }
+  return std::move(msg->payload);
 }
 
 bool Network::has_message(int dst, int src, int tag) const {
@@ -80,6 +181,7 @@ void Network::clear_pending() {
 void Network::reset_stats() {
   std::lock_guard lk(mu_);
   for (auto& s : sent_) s = TrafficStats{};
+  faults_ = FaultStats{};
 }
 
 void Network::restore_stats(const std::vector<TrafficStats>& sent) {
@@ -88,6 +190,34 @@ void Network::restore_stats(const std::vector<TrafficStats>& sent) {
                              << ranks_);
   std::lock_guard lk(mu_);
   sent_ = sent;
+}
+
+void Network::begin_round(int round) {
+  std::lock_guard lk(mu_);
+  plan_.begin_round(round);
+}
+
+void Network::end_round() {
+  std::lock_guard lk(mu_);
+  plan_.end_round();
+}
+
+FaultStats Network::fault_stats() const {
+  std::lock_guard lk(mu_);
+  return faults_;
+}
+
+void Network::restore_fault_stats(const FaultStats& stats) {
+  std::lock_guard lk(mu_);
+  faults_ = stats;
+}
+
+void Network::record_round_faults(uint64_t crashed_clients, uint64_t rejoins,
+                                  bool aborted) {
+  std::lock_guard lk(mu_);
+  faults_.crashed_client_rounds += crashed_clients;
+  faults_.rejoins += rejoins;
+  if (aborted) ++faults_.aborted_rounds;
 }
 
 }  // namespace fca::comm

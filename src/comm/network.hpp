@@ -5,6 +5,13 @@
 // traffic accounting and a configurable latency/bandwidth cost model. The
 // API mirrors MPI point-to-point semantics; collectives are composed on top
 // in Endpoint. Thread-safe, so ranks may also be driven from worker threads.
+//
+// A Network may carry a FaultPlan (comm/fault.hpp): inside a round
+// (begin_round/end_round) it drops messages, delays a straggler's sends past
+// recv_within() deadlines, and blackholes traffic of crashed ranks — all
+// deterministically from the fault seed, with every event counted in
+// FaultStats. Without a plan (or outside rounds) delivery is perfect and the
+// behavior is exactly the historical one.
 #pragma once
 
 #include <cstddef>
@@ -13,7 +20,10 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
+
+#include "comm/fault.hpp"
 
 namespace fca::comm {
 
@@ -22,7 +32,8 @@ using Bytes = std::vector<std::byte>;
 struct TrafficStats {
   uint64_t messages = 0;
   uint64_t payload_bytes = 0;
-  /// Simulated transfer time under the latency + size/bandwidth model.
+  /// Simulated transfer time under the latency + size/bandwidth model
+  /// (plus any injected straggler delay).
   double sim_seconds = 0.0;
 
   TrafficStats& operator+=(const TrafficStats& other);
@@ -34,6 +45,16 @@ struct CostModel {
   /// Link bandwidth (bytes/second); infinite by default.
   double bandwidth_bps = std::numeric_limits<double>::infinity();
 
+  CostModel() = default;
+  /// Validating constructor: rejects negative latency and non-positive
+  /// bandwidth at the point of construction.
+  CostModel(double latency, double bandwidth);
+
+  /// Throws fca::Error on a physically meaningless model (negative latency
+  /// or non-positive bandwidth). Network re-checks this on construction so
+  /// field-assigned models are validated too.
+  void validate() const;
+
   double transfer_seconds(size_t bytes) const {
     return latency_s + static_cast<double>(bytes) / bandwidth_bps;
   }
@@ -41,17 +62,31 @@ struct CostModel {
 
 class Network {
  public:
-  explicit Network(int ranks, CostModel cost = {});
+  explicit Network(int ranks, CostModel cost = {}, FaultConfig faults = {});
 
   int size() const { return ranks_; }
 
-  /// Enqueues a message from `src` to `dst` under `tag`.
+  /// Enqueues a message from `src` to `dst` under `tag`. Traffic is always
+  /// metered (the sender paid for the bytes); an active fault plan may then
+  /// lose the message in flight or delay its arrival.
   void send(int src, int dst, int tag, Bytes payload);
 
   /// Dequeues the oldest message from `src` to `dst` under `tag`.
   /// Throws if none is pending — in a deterministically scheduled
   /// simulation a blocking receive with no matching send is a protocol bug.
+  /// Fault-tolerant code paths use try_recv/recv_within instead.
   Bytes recv(int dst, int src, int tag);
+
+  /// Like recv(), but a missing message is a reported loss
+  /// (std::nullopt), not a protocol bug.
+  std::optional<Bytes> try_recv(int dst, int src, int tag);
+
+  /// try_recv() with a simulated-time deadline: a pending message whose
+  /// transfer time exceeds `deadline_s` is consumed, counted as a
+  /// FaultStats deadline miss, and reported as std::nullopt — the straggler
+  /// model's server-side half.
+  std::optional<Bytes> recv_within(int dst, int src, int tag,
+                                   double deadline_s);
 
   /// True when a matching message is pending.
   bool has_message(int dst, int src, int tag) const;
@@ -74,6 +109,24 @@ class Network {
   /// interrupted-and-resumed run match the uninterrupted run's bit for bit.
   void restore_stats(const std::vector<TrafficStats>& sent);
 
+  // -- fault injection -------------------------------------------------------
+  /// The (possibly no-op) fault schedule. Decision queries (crashed,
+  /// straggling, ...) are pure functions and safe from any thread.
+  const FaultPlan& fault_plan() const { return plan_; }
+  /// Scopes injection to a communication round; traffic outside a round
+  /// (initialization, teardown) is delivered reliably.
+  void begin_round(int round);
+  void end_round();
+
+  /// Injected-fault counters so far.
+  FaultStats fault_stats() const;
+  /// Replaces the fault counters with checkpointed values (resume).
+  void restore_fault_stats(const FaultStats& stats);
+  /// Records round-level fault consequences decided above the fabric
+  /// (crashed cohort members, rejoins, a below-quorum abort).
+  void record_round_faults(uint64_t crashed_clients, uint64_t rejoins,
+                           bool aborted);
+
  private:
   struct Key {
     int src, dst, tag;
@@ -84,13 +137,23 @@ class Network {
     }
   };
 
+  /// A queued message plus its simulated transfer time (cost model + any
+  /// injected straggler delay), checked by recv_within().
+  struct Message {
+    Bytes payload;
+    double transfer_s = 0.0;
+  };
+
   void check_rank(int rank) const;
+  std::optional<Message> pop_locked(int dst, int src, int tag);
 
   int ranks_;
   CostModel cost_;
+  FaultPlan plan_;
   mutable std::mutex mu_;
-  std::map<Key, std::deque<Bytes>> mailboxes_;
+  std::map<Key, std::deque<Message>> mailboxes_;
   std::vector<TrafficStats> sent_;
+  FaultStats faults_;
   size_t pending_ = 0;
 };
 

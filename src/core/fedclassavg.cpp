@@ -1,5 +1,8 @@
 #include "core/fedclassavg.hpp"
 
+#include <limits>
+#include <optional>
+
 #include "autograd/ops.hpp"
 #include "models/serialize.hpp"
 #include "tensor/ops.hpp"
@@ -157,21 +160,30 @@ float FedClassAvg::train_epoch(fl::Client& client, const Tensor& global_weight,
   return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
 }
 
-float FedClassAvg::execute_round(fl::FederatedRun& run, int /*round*/,
+float FedClassAvg::execute_round(fl::FederatedRun& run, int round,
                                  const std::vector<int>& selected) {
   FCA_CHECK_MSG(!global_.empty(), "initialize() was not called");
-  // Server -> selected clients: C^t (or the full global model in +weight).
+  // Server -> live cohort members: C^t (or the full global model in
+  // +weight). A crashed client neither receives nor trains this round; on
+  // rejoin its next downlink re-syncs it with the current global state.
+  const std::vector<int> live = run.live_clients(round, selected);
   const comm::Bytes payload = models::serialize_tensors(global_);
-  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(selected),
+  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
                                    fl::kTagModelDown, payload);
 
   // Per-client local updates on the round executor (fl/executor.hpp):
   // each body touches only its own client's state and rank mailboxes, so
-  // any client_parallelism yields the serial sweep's bits.
-  const double total_loss = run.executor().sum(selected, [&](int k) {
+  // any client_parallelism yields the serial sweep's bits. A lost downlink
+  // means the client sits the round out (NaN, excluded from the mean).
+  const std::vector<double> losses = run.executor().map(live, [&](int k) {
     fl::Client& c = run.client(k);
-    const std::vector<Tensor> down = models::deserialize_tensors(
-        run.client_endpoint(k).recv(0, fl::kTagModelDown));
+    const std::optional<comm::Bytes> down_bytes =
+        run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
+    if (!down_bytes.has_value()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::vector<Tensor> down =
+        models::deserialize_tensors(*down_bytes);
     models::restore_values(down,
                            shared_params(c, config_.share_all_weights));
     const Tensor& gw = down[down.size() - 2];
@@ -187,23 +199,27 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int /*round*/,
     return loss;
   });
 
-  // Classifier averaging (eq. 3) over the participants.
-  const std::vector<double> weights = run.data_weights(selected);
-  std::vector<Tensor> agg;
-  agg.reserve(global_.size());
-  for (const Tensor& g : global_) agg.emplace_back(g.shape());
-  for (size_t i = 0; i < selected.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(selected[i] + 1, fl::kTagModelUp));
-    FCA_CHECK(up.size() == agg.size());
-    for (size_t t = 0; t < agg.size(); ++t) {
-      axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+  // Classifier averaging (eq. 3) over the survivors, with eq. 1 weights
+  // renormalized to the clients that actually reported. Below quorum the
+  // round aborts and C^t carries over unchanged.
+  const fl::FederatedRun::SurvivorGather g =
+      run.gather_survivors(live, fl::kTagModelUp);
+  if (g.quorum_met && !g.survivors.empty()) {
+    const std::vector<double> weights = run.data_weights(g.survivors);
+    std::vector<Tensor> agg;
+    agg.reserve(global_.size());
+    for (const Tensor& t : global_) agg.emplace_back(t.shape());
+    for (size_t i = 0; i < g.survivors.size(); ++i) {
+      const std::vector<Tensor> up =
+          models::deserialize_tensors(g.payloads[i]);
+      FCA_CHECK(up.size() == agg.size());
+      for (size_t t = 0; t < agg.size(); ++t) {
+        axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+      }
     }
+    global_ = std::move(agg);
   }
-  global_ = std::move(agg);
-  return static_cast<float>(total_loss /
-                            (selected.size() *
-                             static_cast<size_t>(run.config().local_epochs)));
+  return fl::FederatedRun::mean_finite(losses, run.config().local_epochs);
 }
 
 }  // namespace fca::core

@@ -1,5 +1,8 @@
 #include "core/fedclassavg_proto.hpp"
 
+#include <limits>
+#include <optional>
+
 #include "autograd/ops.hpp"
 #include "models/serialize.hpp"
 #include "tensor/ops.hpp"
@@ -206,13 +209,19 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
   }
   const comm::Bytes payload = models::serialize_tensors(
       {global_[0], global_[1], global_protos_, valid_t});
-  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(selected),
+  const std::vector<int> live = run.live_clients(round, selected);
+  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
                                    fl::kTagModelDown, payload);
 
-  const double total_loss = run.executor().sum(selected, [&](int k) {
+  const std::vector<double> losses = run.executor().map(live, [&](int k) {
     fl::Client& c = run.client(k);
-    const std::vector<Tensor> down = models::deserialize_tensors(
-        run.client_endpoint(k).recv(0, fl::kTagModelDown));
+    const std::optional<comm::Bytes> down_bytes =
+        run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
+    if (!down_bytes.has_value()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::vector<Tensor> down =
+        models::deserialize_tensors(*down_bytes);
     models::restore_values({down[0], down[1]},
                            c.model().classifier_parameters());
     std::vector<bool> valid(static_cast<size_t>(num_classes));
@@ -232,40 +241,43 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
     return loss;
   });
 
-  // Up: classifier averaging (eq. 3) + count-weighted prototype merge.
-  const std::vector<double> weights = run.data_weights(selected);
-  std::vector<Tensor> clf_agg{Tensor(global_[0].shape()),
-                              Tensor(global_[1].shape())};
-  Tensor proto_agg({num_classes, d});
-  Tensor count_agg({num_classes});
-  for (size_t i = 0; i < selected.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(selected[i] + 1, fl::kTagModelUp));
-    axpy_(clf_agg[0], static_cast<float>(weights[i]), up[0]);
-    axpy_(clf_agg[1], static_cast<float>(weights[i]), up[1]);
-    const Tensor& protos = up[2];
-    const Tensor& counts = up[3];
+  // Up: classifier averaging (eq. 3) + count-weighted prototype merge over
+  // the survivors; below quorum both carry over unchanged.
+  const fl::FederatedRun::SurvivorGather g =
+      run.gather_survivors(live, fl::kTagModelUp);
+  if (g.quorum_met && !g.survivors.empty()) {
+    const std::vector<double> weights = run.data_weights(g.survivors);
+    std::vector<Tensor> clf_agg{Tensor(global_[0].shape()),
+                                Tensor(global_[1].shape())};
+    Tensor proto_agg({num_classes, d});
+    Tensor count_agg({num_classes});
+    for (size_t i = 0; i < g.survivors.size(); ++i) {
+      const std::vector<Tensor> up =
+          models::deserialize_tensors(g.payloads[i]);
+      axpy_(clf_agg[0], static_cast<float>(weights[i]), up[0]);
+      axpy_(clf_agg[1], static_cast<float>(weights[i]), up[1]);
+      const Tensor& protos = up[2];
+      const Tensor& counts = up[3];
+      for (int64_t cc = 0; cc < num_classes; ++cc) {
+        if (counts[cc] <= 0.0f) continue;
+        for (int64_t j = 0; j < d; ++j) {
+          proto_agg[cc * d + j] += counts[cc] * protos[cc * d + j];
+        }
+        count_agg[cc] += counts[cc];
+      }
+    }
+    global_ = std::move(clf_agg);
     for (int64_t cc = 0; cc < num_classes; ++cc) {
-      if (counts[cc] <= 0.0f) continue;
-      for (int64_t j = 0; j < d; ++j) {
-        proto_agg[cc * d + j] += counts[cc] * protos[cc * d + j];
+      if (count_agg[cc] > 0.0f) {
+        const float inv = 1.0f / count_agg[cc];
+        for (int64_t j = 0; j < d; ++j) {
+          global_protos_[cc * d + j] = proto_agg[cc * d + j] * inv;
+        }
+        valid_[static_cast<size_t>(cc)] = true;
       }
-      count_agg[cc] += counts[cc];
     }
   }
-  global_ = std::move(clf_agg);
-  for (int64_t cc = 0; cc < num_classes; ++cc) {
-    if (count_agg[cc] > 0.0f) {
-      const float inv = 1.0f / count_agg[cc];
-      for (int64_t j = 0; j < d; ++j) {
-        global_protos_[cc * d + j] = proto_agg[cc * d + j] * inv;
-      }
-      valid_[static_cast<size_t>(cc)] = true;
-    }
-  }
-  return static_cast<float>(total_loss /
-                            (selected.size() *
-                             static_cast<size_t>(run.config().local_epochs)));
+  return fl::FederatedRun::mean_finite(losses, run.config().local_epochs);
 }
 
 }  // namespace fca::core

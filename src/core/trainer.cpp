@@ -112,6 +112,8 @@ fl::FLConfig Experiment::fl_config() const {
   fc.cost = config_.cost;
   fc.seed = config_.seed;
   fc.client_parallelism = config_.client_parallelism;
+  fc.faults = config_.faults;
+  fc.quorum = config_.quorum;
   return fc;
 }
 

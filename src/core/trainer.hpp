@@ -59,6 +59,11 @@ struct ExperimentConfig {
   /// Concurrent client updates per round (FLConfig::client_parallelism):
   /// 1 serial, N > 1 bounded fan-out, 0 auto. Bit-identical at any value.
   int client_parallelism = 1;
+  /// Fault-injection schedule for the fabric (FLConfig::faults); defaults
+  /// to a perfect network.
+  comm::FaultConfig faults;
+  /// Minimum surviving cohort size to commit a round (FLConfig::quorum).
+  int quorum = 1;
 
   uint64_t seed = 42;
 

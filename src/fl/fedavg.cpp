@@ -1,5 +1,8 @@
 #include "fl/fedavg.hpp"
 
+#include <limits>
+#include <optional>
+
 #include "models/serialize.hpp"
 #include "utils/error.hpp"
 #include "tensor/ops.hpp"
@@ -31,20 +34,26 @@ void FedAvg::load_state(std::span<const std::byte> state) {
   FCA_CHECK_MSG(!global_.empty(), "FedAvg state is empty");
 }
 
-float FedAvg::execute_round(FederatedRun& run, int /*round*/,
+float FedAvg::execute_round(FederatedRun& run, int round,
                             const std::vector<int>& selected) {
-  // Server -> selected clients: current global model.
+  // Server -> live cohort members: current global model. Crashed clients
+  // are filtered out up front — they neither receive nor train this round.
+  const std::vector<int> live = run.live_clients(round, selected);
   const comm::Bytes payload = models::serialize_tensors(global_);
-  run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
                                    kTagModelDown, payload);
 
   // Clients: load, train E local epochs, upload — one executor body per
-  // participant, loss reduced in cohort order.
-  const double total_loss = run.executor().sum(selected, [&](int k) {
+  // participant. A client whose downlink was lost skips the round and
+  // reports NaN (excluded from the loss mean).
+  const std::vector<double> losses = run.executor().map(live, [&](int k) {
     Client& c = run.client(k);
     comm::Endpoint& ep = run.client_endpoint(k);
-    const std::vector<Tensor> down =
-        models::deserialize_tensors(ep.recv(0, kTagModelDown));
+    const std::optional<comm::Bytes> down_bytes = ep.try_recv(0, kTagModelDown);
+    if (!down_bytes.has_value()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::vector<Tensor> down = models::deserialize_tensors(*down_bytes);
     models::restore_values(down, c.model().parameters());
     c.reset_optimizer();
     const float mu = prox_mu();
@@ -58,24 +67,27 @@ float FedAvg::execute_round(FederatedRun& run, int /*round*/,
     return loss;
   });
 
-  // Server: weighted average of participant models (eq. 1 weights restricted
-  // to the sampled cohort).
-  const std::vector<double> weights = run.data_weights(selected);
-  std::vector<Tensor> agg;
-  agg.reserve(global_.size());
-  for (const Tensor& g : global_) agg.emplace_back(g.shape());
-  for (size_t i = 0; i < selected.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(selected[i] + 1, kTagModelUp));
-    FCA_CHECK(up.size() == agg.size());
-    for (size_t t = 0; t < agg.size(); ++t) {
-      axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+  // Server: weighted average over the survivors (eq. 1 weights renormalized
+  // to the clients that actually reported); below quorum the round aborts
+  // and the previous global model is kept.
+  const FederatedRun::SurvivorGather g =
+      run.gather_survivors(live, kTagModelUp);
+  if (g.quorum_met && !g.survivors.empty()) {
+    const std::vector<double> weights = run.data_weights(g.survivors);
+    std::vector<Tensor> agg;
+    agg.reserve(global_.size());
+    for (const Tensor& t : global_) agg.emplace_back(t.shape());
+    for (size_t i = 0; i < g.survivors.size(); ++i) {
+      const std::vector<Tensor> up =
+          models::deserialize_tensors(g.payloads[i]);
+      FCA_CHECK(up.size() == agg.size());
+      for (size_t t = 0; t < agg.size(); ++t) {
+        axpy_(agg[t], static_cast<float>(weights[i]), up[t]);
+      }
     }
+    global_ = std::move(agg);
   }
-  global_ = std::move(agg);
-  return static_cast<float>(total_loss /
-                            (selected.size() *
-                             static_cast<size_t>(run.config().local_epochs)));
+  return FederatedRun::mean_finite(losses, run.config().local_epochs);
 }
 
 }  // namespace fca::fl

@@ -1,5 +1,8 @@
 #include "fl/fedproto.hpp"
 
+#include <limits>
+#include <optional>
+
 #include "models/serialize.hpp"
 #include "utils/error.hpp"
 #include "tensor/ops.hpp"
@@ -87,7 +90,7 @@ float FedProto::train_epoch(Client& c, const Tensor& protos,
   return batches > 0 ? static_cast<float>(total / batches) : 0.0f;
 }
 
-float FedProto::execute_round(FederatedRun& run, int /*round*/,
+float FedProto::execute_round(FederatedRun& run, int round,
                               const std::vector<int>& selected) {
   const int64_t num_classes = run.client(0).model().num_classes();
   const int64_t d = run.client(0).model().feature_dim();
@@ -96,20 +99,26 @@ float FedProto::execute_round(FederatedRun& run, int /*round*/,
     global_protos_ = Tensor({num_classes, d});
   }
 
-  // Server -> clients: current global prototypes (+ validity as floats).
+  // Server -> live clients: current global prototypes (+ validity as
+  // floats); crashed cohort members sit the round out.
+  const std::vector<int> live = run.live_clients(round, selected);
   Tensor valid_t({num_classes});
   for (int64_t cc = 0; cc < num_classes; ++cc) {
     valid_t[cc] = valid_[static_cast<size_t>(cc)] ? 1.0f : 0.0f;
   }
   const comm::Bytes down =
       models::serialize_tensors({global_protos_, valid_t});
-  run.server_endpoint().bcast_send(FederatedRun::ranks_of(selected),
+  run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
                                    kTagModelDown, down);
 
-  const double total_loss = run.executor().sum(selected, [&](int k) {
+  const std::vector<double> losses = run.executor().map(live, [&](int k) {
     Client& c = run.client(k);
-    const std::vector<Tensor> msg = models::deserialize_tensors(
-        run.client_endpoint(k).recv(0, kTagModelDown));
+    const std::optional<comm::Bytes> msg_bytes =
+        run.client_endpoint(k).try_recv(0, kTagModelDown);
+    if (!msg_bytes.has_value()) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::vector<Tensor> msg = models::deserialize_tensors(*msg_bytes);
     std::vector<bool> valid(static_cast<size_t>(num_classes));
     for (int64_t cc = 0; cc < num_classes; ++cc) {
       valid[static_cast<size_t>(cc)] = msg[1][cc] > 0.5f;
@@ -124,34 +133,36 @@ float FedProto::execute_round(FederatedRun& run, int /*round*/,
     return loss;
   });
 
-  // Server: count-weighted prototype aggregation across participants.
-  Tensor agg({num_classes, d});
-  Tensor agg_counts({num_classes});
-  for (int k : selected) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(k + 1, kTagModelUp));
-    const Tensor& protos = up[0];
-    const Tensor& counts = up[1];
+  // Server: count-weighted prototype aggregation across survivors; below
+  // quorum the previous global prototypes carry over unchanged.
+  const FederatedRun::SurvivorGather g =
+      run.gather_survivors(live, kTagModelUp);
+  if (g.quorum_met && !g.survivors.empty()) {
+    Tensor agg({num_classes, d});
+    Tensor agg_counts({num_classes});
+    for (const comm::Bytes& payload : g.payloads) {
+      const std::vector<Tensor> up = models::deserialize_tensors(payload);
+      const Tensor& protos = up[0];
+      const Tensor& counts = up[1];
+      for (int64_t cc = 0; cc < num_classes; ++cc) {
+        if (counts[cc] <= 0.0f) continue;
+        for (int64_t j = 0; j < d; ++j) {
+          agg[cc * d + j] += counts[cc] * protos[cc * d + j];
+        }
+        agg_counts[cc] += counts[cc];
+      }
+    }
     for (int64_t cc = 0; cc < num_classes; ++cc) {
-      if (counts[cc] <= 0.0f) continue;
-      for (int64_t j = 0; j < d; ++j) {
-        agg[cc * d + j] += counts[cc] * protos[cc * d + j];
+      if (agg_counts[cc] > 0.0f) {
+        const float inv = 1.0f / agg_counts[cc];
+        for (int64_t j = 0; j < d; ++j) {
+          global_protos_[cc * d + j] = agg[cc * d + j] * inv;
+        }
+        valid_[static_cast<size_t>(cc)] = true;
       }
-      agg_counts[cc] += counts[cc];
     }
   }
-  for (int64_t cc = 0; cc < num_classes; ++cc) {
-    if (agg_counts[cc] > 0.0f) {
-      const float inv = 1.0f / agg_counts[cc];
-      for (int64_t j = 0; j < d; ++j) {
-        global_protos_[cc * d + j] = agg[cc * d + j] * inv;
-      }
-      valid_[static_cast<size_t>(cc)] = true;
-    }
-  }
-  return static_cast<float>(total_loss /
-                            (selected.size() *
-                             static_cast<size_t>(run.config().local_epochs)));
+  return FederatedRun::mean_finite(losses, run.config().local_epochs);
 }
 
 }  // namespace fca::fl

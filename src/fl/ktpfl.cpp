@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "models/serialize.hpp"
 #include "utils/error.hpp"
@@ -109,15 +111,18 @@ void KTpFL::update_coefficients(const std::vector<int>& selected,
   }
 }
 
-float KTpFL::execute_round(FederatedRun& run, int /*round*/,
+float KTpFL::execute_round(FederatedRun& run, int round,
                            const std::vector<int>& selected) {
   const float t = config_.temperature;
+  const std::vector<int> live = run.live_clients(round, selected);
 
   // 1+2. Local supervised training, then soft predictions on the public
   // data, per client. Merged into one executor body: prediction reads only
   // the client's own post-training model, so fusing the phases leaves every
   // client's compute sequence exactly as the serial two-phase sweep had it.
-  const double total_loss = run.executor().sum(selected, [&](int k) {
+  // Training needs no downlink, so every live client trains; only its
+  // logits upload can be lost.
+  const std::vector<double> losses = run.executor().map(live, [&](int k) {
     Client& c = run.client(k);
     double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
@@ -128,29 +133,42 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
                                 models::serialize_tensors({logits}));
     return loss;
   });
+  const FederatedRun::SurvivorGather g =
+      run.gather_survivors(live, kTagAuxUp);
+  const float mean_loss =
+      FederatedRun::mean_finite(losses, run.config().local_epochs);
+  if (!g.quorum_met || g.survivors.empty()) {
+    // Below quorum the knowledge-transfer phase aborts: coefficients and
+    // client models carry over; the local-training progress above stands.
+    return mean_loss;
+  }
+  const std::vector<int>& survivors = g.survivors;
   std::vector<Tensor> soft_preds;
-  soft_preds.reserve(selected.size());
-  for (int k : selected) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(k + 1, kTagAuxUp));
+  soft_preds.reserve(survivors.size());
+  for (const comm::Bytes& payload : g.payloads) {
+    const std::vector<Tensor> up = models::deserialize_tensors(payload);
     soft_preds.push_back(softmax_rows(mul_scalar(up[0], 1.0f / t)));
   }
 
-  // 3. Knowledge-coefficient update.
-  update_coefficients(selected, soft_preds);
+  // 3. Knowledge-coefficient update over the surviving cohort.
+  update_coefficients(survivors, soft_preds);
 
   if (!config_.share_weights) {
-    // 4a. Server -> clients: personalized soft targets; clients distill.
-    for (size_t a = 0; a < selected.size(); ++a) {
-      const int k = selected[a];
-      Tensor target = personalized_target(k, selected, soft_preds);
+    // 4a. Server -> survivors: personalized soft targets; clients distill.
+    // A lost target downlink means that client skips distillation.
+    for (size_t a = 0; a < survivors.size(); ++a) {
+      const int k = survivors[a];
+      Tensor target = personalized_target(k, survivors, soft_preds);
       run.server_endpoint().send(k + 1, kTagAuxDown,
                                  models::serialize_tensors({target}));
     }
-    run.executor().for_each(selected, [&](int k) {
+    run.executor().for_each(survivors, [&](int k) {
       Client& c = run.client(k);
-      const std::vector<Tensor> down = models::deserialize_tensors(
-          run.client_endpoint(k).recv(0, kTagAuxDown));
+      const std::optional<comm::Bytes> down_bytes =
+          run.client_endpoint(k).try_recv(0, kTagAuxDown);
+      if (!down_bytes.has_value()) return;
+      const std::vector<Tensor> down =
+          models::deserialize_tensors(*down_bytes);
       const Tensor& target = down[0];
       for (int e = 0; e < config_.distill_epochs; ++e) {
         data::BatchLoader loader(public_data_, {}, c.config().batch_size);
@@ -169,52 +187,57 @@ float KTpFL::execute_round(FederatedRun& run, int /*round*/,
       }
     });
   } else {
-    // 4b. "+weight": clients upload weights; each participant receives the
-    // coefficient-weighted personalized model and loads it.
-    run.executor().for_each(selected, [&run](int k) {
+    // 4b. "+weight": survivors upload weights; each one that still reports
+    // in time receives the coefficient-weighted personalized model. A
+    // client whose upload or downlink is lost keeps its local model.
+    run.executor().for_each(survivors, [&run](int k) {
       Client& c = run.client(k);
       run.client_endpoint(k).send(
           0, kTagModelUp,
           models::serialize_tensors(
               models::snapshot_values(c.model().parameters())));
     });
-    std::vector<std::vector<Tensor>> weights;
-    weights.reserve(selected.size());
-    for (int k : selected) {
-      weights.push_back(models::deserialize_tensors(
-          run.server_endpoint().recv(k + 1, kTagModelUp)));
-    }
-    const int64_t kk = coef_.dim(0);
-    for (size_t a = 0; a < selected.size(); ++a) {
-      const int k = selected[a];
-      double wt = 0.0;
-      for (size_t b = 0; b < selected.size(); ++b) {
-        wt += coef_[k * kk + selected[b]];
+    const FederatedRun::SurvivorGather gw =
+        run.gather_survivors(survivors, kTagModelUp);
+    if (gw.quorum_met && !gw.survivors.empty()) {
+      std::vector<std::vector<Tensor>> weights;
+      weights.reserve(gw.survivors.size());
+      for (const comm::Bytes& payload : gw.payloads) {
+        weights.push_back(models::deserialize_tensors(payload));
       }
-      std::vector<Tensor> personalized;
-      for (const Tensor& t0 : weights.front()) personalized.emplace_back(t0.shape());
-      for (size_t b = 0; b < selected.size(); ++b) {
-        const auto w =
-            static_cast<float>(coef_[k * kk + selected[b]] / wt);
-        for (size_t i = 0; i < personalized.size(); ++i) {
-          axpy_(personalized[i], w, weights[b][i]);
+      const int64_t kk = coef_.dim(0);
+      for (size_t a = 0; a < gw.survivors.size(); ++a) {
+        const int k = gw.survivors[a];
+        double wt = 0.0;
+        for (size_t b = 0; b < gw.survivors.size(); ++b) {
+          wt += coef_[k * kk + gw.survivors[b]];
         }
+        std::vector<Tensor> personalized;
+        for (const Tensor& t0 : weights.front()) {
+          personalized.emplace_back(t0.shape());
+        }
+        for (size_t b = 0; b < gw.survivors.size(); ++b) {
+          const auto w =
+              static_cast<float>(coef_[k * kk + gw.survivors[b]] / wt);
+          for (size_t i = 0; i < personalized.size(); ++i) {
+            axpy_(personalized[i], w, weights[b][i]);
+          }
+        }
+        run.server_endpoint().send(k + 1, kTagModelDown,
+                                   models::serialize_tensors(personalized));
       }
-      run.server_endpoint().send(k + 1, kTagModelDown,
-                                 models::serialize_tensors(personalized));
+      run.executor().for_each(gw.survivors, [&run](int k) {
+        Client& c = run.client(k);
+        const std::optional<comm::Bytes> down =
+            run.client_endpoint(k).try_recv(0, kTagModelDown);
+        if (!down.has_value()) return;
+        models::restore_values(models::deserialize_tensors(*down),
+                               c.model().parameters());
+      });
     }
-    run.executor().for_each(selected, [&run](int k) {
-      Client& c = run.client(k);
-      models::restore_values(
-          models::deserialize_tensors(
-              run.client_endpoint(k).recv(0, kTagModelDown)),
-          c.model().parameters());
-    });
   }
 
-  return static_cast<float>(total_loss /
-                            (selected.size() *
-                             static_cast<size_t>(run.config().local_epochs)));
+  return mean_loss;
 }
 
 }  // namespace fca::fl

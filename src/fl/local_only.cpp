@@ -2,9 +2,12 @@
 
 namespace fca::fl {
 
-float LocalOnly::execute_round(FederatedRun& run, int /*round*/,
+float LocalOnly::execute_round(FederatedRun& run, int round,
                                const std::vector<int>& selected) {
-  const double total = run.executor().sum(selected, [&run](int k) {
+  // No communication, but the crash model still applies: a crashed client
+  // performs no local work this round.
+  const std::vector<int> live = run.live_clients(round, selected);
+  const std::vector<double> losses = run.executor().map(live, [&run](int k) {
     Client& c = run.client(k);
     double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
@@ -12,9 +15,7 @@ float LocalOnly::execute_round(FederatedRun& run, int /*round*/,
     }
     return loss;
   });
-  return static_cast<float>(total / (selected.size() *
-                                     static_cast<size_t>(
-                                         run.config().local_epochs)));
+  return FederatedRun::mean_finite(losses, run.config().local_epochs);
 }
 
 }  // namespace fca::fl

@@ -19,6 +19,15 @@ struct RoundMetrics {
   double wall_seconds = 0.0;
   /// Traffic accumulated during this round (all ranks).
   uint64_t round_bytes = 0;
+  /// Cohort size sampled for this round.
+  int selected_count = 0;
+  /// Clients whose round-trip actually completed (== selected_count on a
+  /// fault-free fabric; smaller under injected dropouts/loss/stragglers).
+  int survivor_count = 0;
+  /// Injected fault events (drops, delays, deadline misses, crashed client
+  /// rounds) since the previous metrics row — same delta semantics as
+  /// round_bytes.
+  uint64_t fault_events = 0;
   /// Raw per-client test accuracies behind mean/std (index = client id).
   std::vector<double> client_accuracies;
 };
@@ -29,6 +38,9 @@ struct RunResult {
   double final_mean_accuracy = 0.0;
   double final_std_accuracy = 0.0;
   comm::TrafficStats total_traffic;
+  /// Injected-fault totals over the whole run (all-zero on a perfect
+  /// fabric).
+  comm::FaultStats total_faults;
   /// Mean payload bytes a single client uploads per participating round
   /// (the Table 5 quantity).
   double client_upload_bytes_per_round = 0.0;

@@ -1,5 +1,8 @@
 #include "fl/server.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 #include "utils/timer.hpp"
@@ -18,6 +21,10 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
   FCA_CHECK(config_.rounds >= 1 && config_.local_epochs >= 1 &&
             config_.sample_rate > 0.0 && config_.sample_rate <= 1.0 &&
             config_.eval_every >= 1 && config_.client_parallelism >= 0);
+  FCA_CHECK_MSG(config_.quorum >= 1 &&
+                    config_.quorum <= static_cast<int>(clients_.size()),
+                "quorum " << config_.quorum << " outside [1, "
+                          << clients_.size() << "]");
   // On single-core hosts the process-wide kernel pool has zero workers and
   // the executor would quietly degrade to serial. An explicit
   // client_parallelism > 1 is a request for real concurrency — back it with
@@ -28,8 +35,8 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
         static_cast<unsigned>(config_.client_parallelism - 1));
   }
   executor_ = RoundExecutor(config_.client_parallelism, lane_pool_.get());
-  network_ =
-      std::make_unique<comm::Network>(num_clients() + 1, config_.cost);
+  network_ = std::make_unique<comm::Network>(num_clients() + 1, config_.cost,
+                                             config_.faults);
   server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
   client_eps_.reserve(clients_.size());
   for (int k = 0; k < num_clients(); ++k) {
@@ -61,6 +68,78 @@ std::vector<double> FederatedRun::data_weights(
   return w;
 }
 
+std::vector<int> FederatedRun::live_clients(int round,
+                                            const std::vector<int>& selected) {
+  const comm::FaultPlan& plan = network_->fault_plan();
+  if (!plan.enabled()) return selected;
+  std::vector<int> live;
+  live.reserve(selected.size());
+  uint64_t crashed = 0;
+  uint64_t rejoins = 0;
+  for (int k : selected) {
+    if (plan.crashed(round, k + 1)) {
+      ++crashed;
+    } else {
+      live.push_back(k);
+      // A rejoin is a sampled client that was down last round and is back:
+      // its next downlink re-syncs it with the current global state.
+      if (plan.rejoined(round, k + 1)) ++rejoins;
+    }
+  }
+  if (crashed > 0 || rejoins > 0) {
+    network_->record_round_faults(crashed, rejoins, false);
+  }
+  report_.survivors =
+      std::min(report_.survivors, static_cast<int>(live.size()));
+  return live;
+}
+
+FederatedRun::SurvivorGather FederatedRun::gather_survivors(
+    const std::vector<int>& expected, int tag) {
+  SurvivorGather g;
+  g.survivors.reserve(expected.size());
+  g.payloads.reserve(expected.size());
+  const bool faulty = network_->fault_plan().enabled();
+  for (int k : expected) {
+    std::optional<comm::Bytes> payload =
+        faulty ? server_ep_->recv_with_deadline(k + 1, tag, round_deadline())
+               : std::optional<comm::Bytes>(server_ep_->recv(k + 1, tag));
+    if (payload.has_value()) {
+      g.survivors.push_back(k);
+      g.payloads.push_back(std::move(*payload));
+    }
+  }
+  report_.survivors =
+      std::min(report_.survivors, static_cast<int>(g.survivors.size()));
+  // A fault-free round can never abort: the effective quorum is capped at
+  // the sampled cohort size (report_.selected, set by execute(); strategies
+  // driven outside execute() fall back to the expected set's size).
+  const int cohort =
+      report_.selected > 0 ? report_.selected : static_cast<int>(expected.size());
+  const int need = std::min(config_.quorum, cohort);
+  g.quorum_met = static_cast<int>(g.survivors.size()) >= need;
+  if (!g.quorum_met && !report_.aborted) {
+    report_.aborted = true;
+    network_->record_round_faults(0, 0, true);
+  }
+  return g;
+}
+
+float FederatedRun::mean_finite(const std::vector<double>& values,
+                                int scale) {
+  FCA_CHECK(scale >= 1);
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n > 0 ? static_cast<float>(sum / (n * static_cast<size_t>(scale)))
+               : 0.0f;
+}
+
 std::vector<double> FederatedRun::evaluate_all() {
   // Evaluation is deterministic per client (eval mode, no RNG draws), so it
   // rides the same executor as training; results land by client index.
@@ -80,6 +159,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
   int start_round = 1;
   int participating_rounds_total = 0;
   uint64_t bytes_before = 0;
+  uint64_t faults_before = 0;
   if (resume != nullptr) {
     FCA_CHECK_MSG(resume->next_round >= 1 &&
                       resume->next_round <= config_.rounds + 1,
@@ -92,10 +172,12 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     start_round = resume->next_round;
     participating_rounds_total = resume->participating_rounds_total;
     bytes_before = resume->bytes_marker;
+    faults_before = resume->fault_marker;
     result.curve = resume->curve;
   } else {
     strategy.initialize(*this);
     bytes_before = network_->total_stats().payload_bytes;
+    faults_before = network_->fault_stats().injected_total();
   }
 
   // Consecutive failed attempts at the current round; recovery replays from
@@ -109,11 +191,16 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     const std::vector<int> selected =
         sample_clients(num_clients(), config_.sample_rate, sampler);
     participating_rounds_total += static_cast<int>(selected.size());
+    report_ = RoundReport{static_cast<int>(selected.size()),
+                          static_cast<int>(selected.size()), false};
     float train_loss = 0.0f;
+    network_->begin_round(round);
     try {
       train_loss = strategy.execute_round(*this, round, selected);
       failed_attempts = 0;
+      network_->end_round();
     } catch (const std::exception& e) {
+      network_->end_round();
       std::optional<ResumeState> recovered;
       if (hook != nullptr && ++failed_attempts < kMaxFailedAttempts) {
         recovered = hook->recover(*this, strategy);
@@ -125,6 +212,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       sampler.restore(recovered->sampler_state);
       participating_rounds_total = recovered->participating_rounds_total;
       bytes_before = recovered->bytes_marker;
+      faults_before = recovered->fault_marker;
       result.curve = recovered->curve;
       round = recovered->next_round - 1;  // loop increment lands on it
       continue;
@@ -143,10 +231,18 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       const uint64_t bytes_now = network_->total_stats().payload_bytes;
       m.round_bytes = bytes_now - bytes_before;
       bytes_before = bytes_now;
+      m.selected_count = report_.selected;
+      m.survivor_count = report_.survivors;
+      const uint64_t faults_now = network_->fault_stats().injected_total();
+      m.fault_events = faults_now - faults_before;
+      faults_before = faults_now;
       result.curve.push_back(m);
       FCA_LOG_INFO << strategy.name() << " round " << round << "/"
                    << config_.rounds << ": acc " << m.mean_accuracy << " ± "
-                   << m.std_accuracy << ", loss " << m.mean_train_loss;
+                   << m.std_accuracy << ", loss " << m.mean_train_loss
+                   << (network_->fault_plan().enabled()
+                           ? (report_.aborted ? " [quorum abort]" : "")
+                           : "");
     }
 
     if (hook != nullptr) {
@@ -155,6 +251,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       cursor.sampler_state = sampler.state();
       cursor.participating_rounds_total = participating_rounds_total;
       cursor.bytes_marker = bytes_before;
+      cursor.fault_marker = faults_before;
       cursor.curve = result.curve;
       hook->after_round(*this, strategy, cursor);
     }
@@ -163,6 +260,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
   FCA_CHECK_MSG(network_->pending_messages() == 0,
                 "undelivered messages at end of run (protocol bug)");
   result.total_traffic = network_->total_stats();
+  result.total_faults = network_->fault_stats();
   if (!result.curve.empty()) {
     result.final_mean_accuracy = result.curve.back().mean_accuracy;
     result.final_std_accuracy = result.curve.back().std_accuracy;

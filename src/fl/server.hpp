@@ -38,6 +38,16 @@ struct FLConfig {
   /// value yields bit-identical weights, metrics and traffic (see
   /// fl/executor.hpp), so this is purely a wall-time knob.
   int client_parallelism = 1;
+  /// Fault-injection schedule for the fabric (comm/fault.hpp). Defaults to
+  /// a perfect network; when any rate/schedule is set the round loop runs in
+  /// fault-tolerant (survivor-set) mode.
+  comm::FaultConfig faults;
+  /// Minimum number of surviving cohort members required to commit a
+  /// round's aggregation. A gather that falls below quorum aborts the
+  /// round: the server keeps its previous global state and no update is
+  /// applied. Clamped per round to the sampled cohort size so a fault-free
+  /// round can never abort.
+  int quorum = 1;
 };
 
 /// Message tags on the fabric.
@@ -80,6 +90,7 @@ struct ResumeState {
   uint64_t sampler_state = 0;          // fca::Rng state of the client sampler
   int participating_rounds_total = 0;  // sum of cohort sizes so far
   uint64_t bytes_marker = 0;           // traffic watermark of the last eval
+  uint64_t fault_marker = 0;           // fault-event watermark of last eval
   std::vector<RoundMetrics> curve;     // metrics recorded so far
 };
 
@@ -136,9 +147,53 @@ class FederatedRun {
   /// Mean test accuracy across all clients (and per-client values).
   std::vector<double> evaluate_all();
 
+  // -- fault-tolerant round primitives (used by every RoundStrategy) --------
+
+  /// Result of a fault-tolerant gather: which expected clients reported in
+  /// time, their payloads (parallel to `survivors`), and whether the
+  /// surviving set meets FLConfig::quorum.
+  struct SurvivorGather {
+    std::vector<int> survivors;
+    std::vector<comm::Bytes> payloads;
+    bool quorum_met = true;
+  };
+
+  /// Filters the sampled cohort down to clients whose rank is up this round
+  /// under the fault plan, recording crashed-client rounds and rejoins in
+  /// FaultStats. Identity on a reliable fabric. Strategies must broadcast
+  /// to (and run round bodies over) this set, not the raw sample — a
+  /// crashed client neither receives nor trains.
+  std::vector<int> live_clients(int round, const std::vector<int>& selected);
+
+  /// Server-side fault-tolerant gather over `expected` clients on `tag`.
+  /// Strict (throwing) on a reliable fabric; under an active fault plan a
+  /// client whose upload was lost or missed the round deadline is silently
+  /// excluded from the survivor set. Updates the round report (survivor
+  /// count = min across a round's gathers; quorum aborts counted once).
+  SurvivorGather gather_survivors(const std::vector<int>& expected, int tag);
+
+  /// Mean over finite entries of per-client losses, additionally divided by
+  /// `scale` (the local-epoch count); NaN entries mark clients whose
+  /// downlink was lost mid-round (they did not train). Matches the
+  /// historical sum/(n*E) arithmetic bit for bit when every entry is
+  /// finite. Returns 0 when nothing is finite.
+  static float mean_finite(const std::vector<double>& values, int scale = 1);
+
+  /// The round deadline strategies pass to Endpoint::recv_with_deadline.
+  double round_deadline() const { return config_.faults.round_deadline_s; }
+
  private:
+  /// Per-round fault consequences, reset at each round start by execute()
+  /// and filled in by live_clients()/gather_survivors().
+  struct RoundReport {
+    int selected = 0;    // sampled cohort size
+    int survivors = 0;   // min surviving set across the round's gathers
+    bool aborted = false;  // quorum abort already recorded this round
+  };
+
   std::vector<ClientPtr> clients_;
   FLConfig config_;
+  RoundReport report_;
   /// Lane pool for client fan-out on hosts whose process-wide kernel pool
   /// has zero workers (single-core): an explicit client_parallelism > 1
   /// still gets real lanes. Null when the global pool serves.

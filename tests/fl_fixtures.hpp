@@ -45,6 +45,11 @@ inline void expect_bit_identical(const fl::RunResult& a,
     EXPECT_DOUBLE_EQ(a.curve[i].mean_train_loss, b.curve[i].mean_train_loss)
         << "round " << a.curve[i].round;
     EXPECT_EQ(a.curve[i].round_bytes, b.curve[i].round_bytes);
+    EXPECT_EQ(a.curve[i].selected_count, b.curve[i].selected_count);
+    EXPECT_EQ(a.curve[i].survivor_count, b.curve[i].survivor_count)
+        << "round " << a.curve[i].round;
+    EXPECT_EQ(a.curve[i].fault_events, b.curve[i].fault_events)
+        << "round " << a.curve[i].round;
     ASSERT_EQ(a.curve[i].client_accuracies.size(),
               b.curve[i].client_accuracies.size());
     for (size_t k = 0; k < a.curve[i].client_accuracies.size(); ++k) {
@@ -55,6 +60,15 @@ inline void expect_bit_identical(const fl::RunResult& a,
   EXPECT_EQ(a.total_traffic.payload_bytes, b.total_traffic.payload_bytes);
   EXPECT_EQ(a.total_traffic.messages, b.total_traffic.messages);
   EXPECT_DOUBLE_EQ(a.total_traffic.sim_seconds, b.total_traffic.sim_seconds);
+  EXPECT_TRUE(a.total_faults == b.total_faults)
+      << "FaultStats diverged: dropped " << a.total_faults.dropped_messages
+      << " vs " << b.total_faults.dropped_messages << ", delayed "
+      << a.total_faults.delayed_messages << " vs "
+      << b.total_faults.delayed_messages << ", misses "
+      << a.total_faults.deadline_misses << " vs "
+      << b.total_faults.deadline_misses << ", crashed "
+      << a.total_faults.crashed_client_rounds << " vs "
+      << b.total_faults.crashed_client_rounds;
   EXPECT_DOUBLE_EQ(a.final_mean_accuracy, b.final_mean_accuracy);
   EXPECT_DOUBLE_EQ(a.final_std_accuracy, b.final_std_accuracy);
 }

@@ -200,6 +200,244 @@ TEST(Network, ConcurrentTrafficAccountingIsExact) {
             static_cast<uint64_t>(kSendersCount * kPerSender) * 100u);
 }
 
+TEST(CostModel, ValidatingConstructorRejectsNonsense) {
+  EXPECT_THROW(CostModel(-0.1, 1000.0), Error);
+  EXPECT_THROW(CostModel(0.0, 0.0), Error);
+  EXPECT_THROW(CostModel(0.0, -5.0), Error);
+  EXPECT_NO_THROW(CostModel(0.0, 1.0));
+}
+
+TEST(CostModel, NetworkRevalidatesFieldAssignedModels) {
+  CostModel cost;
+  cost.latency_s = -1.0;  // bypasses the validating constructor
+  EXPECT_THROW(Network(2, cost), Error);
+  cost.latency_s = 0.0;
+  cost.bandwidth_bps = 0.0;
+  EXPECT_THROW(Network(2, cost), Error);
+}
+
+TEST(Network, RestoreStatsRejectsSizeMismatch) {
+  Network net(3);
+  EXPECT_THROW(net.restore_stats(std::vector<TrafficStats>(2)), Error);
+  EXPECT_THROW(net.restore_stats(std::vector<TrafficStats>(4)), Error);
+  EXPECT_NO_THROW(net.restore_stats(std::vector<TrafficStats>(3)));
+}
+
+TEST(Network, RecvErrorNamesEndpointsAndNearestMailbox) {
+  Network net(3);
+  net.send(0, 1, 7, make_payload(3));   // same pair, different tag
+  net.send(1, 0, 9, make_payload(3));   // reverse direction
+  try {
+    net.recv(1, 0, 2);
+    FAIL() << "recv of a missing message must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("src=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("dst=1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=2"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 message(s) pending"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=7"), std::string::npos) << what;  // nearest box
+  }
+  net.recv(1, 0, 7);
+  try {
+    net.recv(1, 0, 2);
+    FAIL() << "recv of a missing message must throw";
+  } catch (const Error& e) {
+    // With nothing pending for (0 -> 1), the reverse direction is hinted.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("reverse direction"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag=9"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultPlan, CrashScheduleParsing) {
+  const std::vector<CrashWindow> w = parse_crash_schedule("2@3x2,5@7");
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].rank, 2);
+  EXPECT_EQ(w[0].first_round, 3);
+  EXPECT_EQ(w[0].rounds, 2);
+  EXPECT_EQ(w[1].rank, 5);
+  EXPECT_EQ(w[1].first_round, 7);
+  EXPECT_EQ(w[1].rounds, 1);
+  EXPECT_TRUE(parse_crash_schedule("").empty());
+  EXPECT_THROW(parse_crash_schedule("2"), Error);
+  EXPECT_THROW(parse_crash_schedule("2@"), Error);
+  EXPECT_THROW(parse_crash_schedule("@3"), Error);
+  EXPECT_THROW(parse_crash_schedule("a@b"), Error);
+  EXPECT_THROW(parse_crash_schedule("2@0"), Error);   // rounds are 1-based
+  EXPECT_THROW(parse_crash_schedule("2@3x0"), Error);  // empty window
+}
+
+TEST(FaultPlan, ConfigValidation) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.5;
+  EXPECT_THROW(FaultPlan(cfg, 4), Error);
+  cfg = {};
+  cfg.round_deadline_s = 0.0;
+  EXPECT_THROW(FaultPlan(cfg, 4), Error);
+  cfg = {};
+  cfg.crash_schedule = parse_crash_schedule("4@1");  // rank out of range
+  EXPECT_THROW(FaultPlan(cfg, 4), Error);
+  cfg.crash_schedule = parse_crash_schedule("0@1");  // server cannot crash
+  EXPECT_THROW(FaultPlan(cfg, 4), Error);
+}
+
+TEST(FaultPlan, ScheduledCrashWindowsApply) {
+  FaultConfig cfg;
+  cfg.crash_schedule = parse_crash_schedule("2@3x2");
+  FaultPlan plan(cfg, 4);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(plan.crashed(2, 2));
+  EXPECT_TRUE(plan.crashed(3, 2));
+  EXPECT_TRUE(plan.crashed(4, 2));
+  EXPECT_FALSE(plan.crashed(5, 2));
+  EXPECT_TRUE(plan.rejoined(5, 2));
+  EXPECT_FALSE(plan.rejoined(6, 2));
+  EXPECT_FALSE(plan.crashed(3, 1));  // other ranks unaffected
+  EXPECT_FALSE(plan.crashed(3, 0));  // the server never crashes
+}
+
+TEST(FaultPlan, DecisionsAreDeterministicPerSeed) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.3;
+  cfg.straggler_rate = 0.3;
+  cfg.crash_rate = 0.2;
+  FaultPlan a(cfg, 8);
+  FaultPlan b(cfg, 8);  // fresh instance, same seed
+  cfg.fault_seed = 99;
+  FaultPlan c(cfg, 8);
+  int differs = 0;
+  for (int round = 1; round <= 6; ++round) {
+    for (int rank = 1; rank < 8; ++rank) {
+      EXPECT_EQ(a.crashed(round, rank), b.crashed(round, rank));
+      EXPECT_EQ(a.straggling(round, rank), b.straggling(round, rank));
+      for (uint64_t seq = 0; seq < 10; ++seq) {
+        EXPECT_EQ(a.drop_message(rank, 0, 2, seq),
+                  b.drop_message(rank, 0, 2, seq));
+        if (a.drop_message(rank, 0, 2, seq) !=
+            c.drop_message(rank, 0, 2, seq)) {
+          ++differs;
+        }
+      }
+    }
+  }
+  EXPECT_GT(differs, 0) << "different fault seeds must differ somewhere";
+}
+
+TEST(FaultPlan, RandomCrashLastsCrashRounds) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.3;
+  cfg.crash_rounds = 3;
+  FaultPlan plan(cfg, 6);
+  // An outage onset (up in round-1, down in round) means the crash draw
+  // fired exactly at `round`, so the rank must stay dark for the full
+  // crash_rounds window.
+  int onsets = 0;
+  for (int rank = 1; rank < 6; ++rank) {
+    for (int round = 2; round <= 20; ++round) {
+      if (plan.crashed(round, rank) && !plan.crashed(round - 1, rank)) {
+        ++onsets;
+        EXPECT_TRUE(plan.crashed(round + 1, rank))
+            << "rank " << rank << " onset at round " << round;
+        EXPECT_TRUE(plan.crashed(round + 2, rank))
+            << "rank " << rank << " onset at round " << round;
+        EXPECT_TRUE(plan.rejoined(round + cfg.crash_rounds, rank) ||
+                    plan.crashed(round + cfg.crash_rounds, rank));
+      }
+    }
+  }
+  EXPECT_GT(onsets, 0) << "rate 0.3 over 5 ranks x 19 rounds must crash";
+}
+
+TEST(Network, DropRateOneLosesEveryInRoundMessage) {
+  FaultConfig cfg;
+  cfg.drop_rate = 1.0;
+  Network net(3, CostModel{}, cfg);
+  // Outside a round the fabric stays reliable (initialization traffic).
+  net.send(0, 1, 1, make_payload(4));
+  EXPECT_EQ(net.recv(1, 0, 1).size(), 4u);
+  net.begin_round(1);
+  net.send(0, 1, 1, make_payload(8));
+  EXPECT_FALSE(net.try_recv(1, 0, 1).has_value());
+  net.end_round();
+  const FaultStats f = net.fault_stats();
+  EXPECT_EQ(f.dropped_messages, 1u);
+  EXPECT_EQ(f.dropped_bytes, 8u);
+  // The sender still paid for the dropped bytes.
+  EXPECT_EQ(net.rank_stats(0).payload_bytes, 12u);
+  EXPECT_EQ(net.pending_messages(), 0u);
+}
+
+TEST(Network, CrashedRankTrafficIsBlackholed) {
+  FaultConfig cfg;
+  cfg.crash_schedule = parse_crash_schedule("2@1");
+  Network net(3, CostModel{}, cfg);
+  net.begin_round(1);
+  net.send(0, 2, 1, make_payload(4));  // to the crashed rank
+  net.send(2, 0, 1, make_payload(4));  // from the crashed rank
+  net.send(0, 1, 1, make_payload(4));  // unaffected pair
+  EXPECT_FALSE(net.try_recv(2, 0, 1).has_value());
+  EXPECT_FALSE(net.try_recv(0, 2, 1).has_value());
+  EXPECT_TRUE(net.try_recv(1, 0, 1).has_value());
+  net.end_round();
+  EXPECT_EQ(net.fault_stats().dropped_messages, 2u);
+}
+
+TEST(Network, StragglerMissesDeadlineAndIsConsumed) {
+  FaultConfig cfg;
+  cfg.straggler_rate = 1.0;
+  cfg.straggler_delay_s = 5.0;
+  cfg.round_deadline_s = 1.0;
+  Network net(3, CostModel{}, cfg);
+  net.begin_round(1);
+  net.send(1, 0, 2, make_payload(4));
+  // The message exists but is 5 s late against a 1 s deadline: consumed,
+  // counted, reported missing — and the mailbox is clean afterwards.
+  EXPECT_FALSE(net.recv_within(0, 1, 2, cfg.round_deadline_s).has_value());
+  net.end_round();
+  EXPECT_EQ(net.pending_messages(), 0u);
+  const FaultStats f = net.fault_stats();
+  EXPECT_EQ(f.delayed_messages, 1u);
+  EXPECT_EQ(f.deadline_misses, 1u);
+  // Straggler delay shows up in the sender's simulated time.
+  EXPECT_NEAR(net.rank_stats(1).sim_seconds, 5.0, 1e-9);
+}
+
+TEST(Network, FaultStatsRoundTripThroughRestore) {
+  Network net(2, CostModel{}, FaultConfig{});
+  FaultStats f;
+  f.dropped_messages = 3;
+  f.dropped_bytes = 300;
+  f.delayed_messages = 2;
+  f.deadline_misses = 1;
+  f.crashed_client_rounds = 4;
+  f.rejoins = 2;
+  f.aborted_rounds = 1;
+  net.restore_fault_stats(f);
+  EXPECT_TRUE(net.fault_stats() == f);
+  EXPECT_EQ(net.fault_stats().injected_total(), 3u + 2u + 1u + 4u);
+  net.reset_stats();
+  EXPECT_TRUE(net.fault_stats() == FaultStats{});
+}
+
+TEST(Endpoint, TryRecvStaysStrictOnReliableFabric) {
+  Network net(2);  // no fault plan
+  Endpoint client(net, 1);
+  // try_recv of a missing message on a perfect fabric is still a protocol
+  // bug and throws, preserving the historical strict check.
+  EXPECT_THROW(client.try_recv(0, 1), Error);
+  EXPECT_THROW(client.recv_with_deadline(0, 1, 1.0), Error);
+}
+
+TEST(Endpoint, TryRecvIsTolerantUnderActiveFaultPlan) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.5;
+  Network net(2, CostModel{}, cfg);
+  Endpoint client(net, 1);
+  EXPECT_FALSE(client.try_recv(0, 1).has_value());
+  EXPECT_FALSE(client.recv_with_deadline(0, 1, 1.0).has_value());
+}
+
 TEST(Network, RestoreStatsRacesWithSendersWithoutTearing) {
   // restore_stats() (checkpoint resume) and concurrent sends must serialize:
   // every observed snapshot is either pre- or post-restore plus whole sends,

@@ -6,11 +6,18 @@
 
 #include <cmath>
 #include <filesystem>
+#include <memory>
+#include <string>
 
 #include "ckpt/checkpoint.hpp"
+#include "comm/fault.hpp"
 #include "core/fedclassavg.hpp"
+#include "core/fedclassavg_proto.hpp"
 #include "fl_fixtures.hpp"
 #include "fl/fedavg.hpp"
+#include "fl/fedproto.hpp"
+#include "fl/ktpfl.hpp"
+#include "fl/local_only.hpp"
 #include "models/serialize.hpp"
 #include "nn/conv.hpp"
 #include "nn/norm.hpp"
@@ -267,6 +274,143 @@ TEST(FailureInjection, PersistentCrashEventuallySurfaces) {
   CrashingStrategy crashing(inner, /*crash_round=*/3, /*max_crashes=*/-1);
   EXPECT_THROW(exp.execute(crashing, opts), Error);
   EXPECT_GE(crashing.crashes(), 2);  // recovery was attempted, then gave up
+}
+
+// ---------------------------------------------------------------------------
+// Injected network faults: rounds degrade gracefully instead of failing
+
+TEST(FailureInjection, FaultyRunCompletesAndCountsEvents) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 4;
+  cfg.faults.drop_rate = 0.3;
+  cfg.faults.straggler_rate = 0.3;
+  cfg.faults.straggler_delay_s = 10.0;
+  cfg.faults.round_deadline_s = 1.0;
+  cfg.faults.fault_seed = 7;
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  const auto done = exp.execute(strat);
+  EXPECT_TRUE(std::isfinite(done.result.final_mean_accuracy));
+  const comm::FaultStats& f = done.result.total_faults;
+  EXPECT_GT(f.dropped_messages, 0u);
+  EXPECT_GT(f.delayed_messages, 0u);
+  EXPECT_GT(f.deadline_misses, 0u);
+  // Per-round metrics expose the survivor sets and the injected events.
+  uint64_t events = 0;
+  for (const auto& m : done.result.curve) {
+    EXPECT_EQ(m.selected_count, cfg.num_clients);
+    EXPECT_GE(m.survivor_count, 0);
+    EXPECT_LE(m.survivor_count, m.selected_count);
+    events += m.fault_events;
+  }
+  EXPECT_EQ(events, f.injected_total());
+  // Dropped and expired messages were consumed, not leaked.
+  EXPECT_EQ(done.run->network().pending_messages(), 0u);
+}
+
+TEST(FailureInjection, QuorumAbortKeepsPreviousGlobalState) {
+  // Round 2 takes down every client: below any quorum, so the round aborts
+  // and the run continues on the round-1 state instead of dying.
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 3;
+  cfg.quorum = 2;
+  cfg.faults.crash_schedule = comm::parse_crash_schedule("1@2,2@2,3@2,4@2");
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  const auto done = exp.execute(strat);
+  const comm::FaultStats& f = done.result.total_faults;
+  EXPECT_EQ(f.aborted_rounds, 1u);
+  EXPECT_EQ(f.crashed_client_rounds, 4u);
+  EXPECT_EQ(f.rejoins, 4u);
+  ASSERT_EQ(done.result.curve.size(), 3u);
+  EXPECT_EQ(done.result.curve[1].survivor_count, 0);
+  // The aborted round changed nothing: round-2 eval == round-1 eval.
+  for (size_t k = 0; k < done.result.curve[0].client_accuracies.size(); ++k) {
+    EXPECT_DOUBLE_EQ(done.result.curve[1].client_accuracies[k],
+                     done.result.curve[0].client_accuracies[k])
+        << "client " << k << " trained during an aborted round";
+  }
+  // Round 3 resumes training on the full cohort.
+  EXPECT_EQ(done.result.curve[2].survivor_count, cfg.num_clients);
+  EXPECT_TRUE(std::isfinite(done.result.final_mean_accuracy));
+}
+
+TEST(FailureInjection, ScheduledCrashSkipsClientThenRejoins) {
+  // Client 1 (fabric rank 2) is down exactly in round 2.
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 3;
+  cfg.faults.crash_schedule = comm::parse_crash_schedule("2@2");
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  const auto done = exp.execute(strat);
+  const comm::FaultStats& f = done.result.total_faults;
+  EXPECT_EQ(f.crashed_client_rounds, 1u);
+  EXPECT_EQ(f.rejoins, 1u);
+  EXPECT_EQ(f.aborted_rounds, 0u);
+  ASSERT_EQ(done.result.curve.size(), 3u);
+  EXPECT_EQ(done.result.curve[0].survivor_count, cfg.num_clients);
+  EXPECT_EQ(done.result.curve[1].survivor_count, cfg.num_clients - 1);
+  EXPECT_EQ(done.result.curve[2].survivor_count, cfg.num_clients);
+}
+
+TEST(FailureInjection, EveryStrategySurvivesLossyFabric) {
+  // Each strategy's fault-tolerant round must complete under combined drop +
+  // crash churn. FedAvg/FedProx need a homogeneous cohort; FedProto needs
+  // its model family.
+  struct Case {
+    const char* name;
+    core::ModelScheme models;
+  };
+  const Case cases[] = {
+      {"local", core::ModelScheme::kHeterogeneous},
+      {"fedavg", core::ModelScheme::kHomogeneousResNet},
+      {"fedproto", core::ModelScheme::kFedProtoFamily},
+      {"ktpfl", core::ModelScheme::kHeterogeneous},
+      {"fedclassavg", core::ModelScheme::kHeterogeneous},
+      {"fedclassavg-proto", core::ModelScheme::kHeterogeneous},
+  };
+  for (const Case& c : cases) {
+    core::ExperimentConfig cfg = tiny_experiment_config();
+    cfg.rounds = 3;
+    cfg.models = c.models;
+    cfg.faults.drop_rate = 0.25;
+    cfg.faults.crash_rate = 0.15;
+    cfg.faults.fault_seed = 11;
+    core::Experiment exp(cfg);
+    std::unique_ptr<fl::RoundStrategy> strat;
+    if (std::string(c.name) == "local") {
+      strat = std::make_unique<fl::LocalOnly>();
+    } else if (std::string(c.name) == "fedavg") {
+      strat = std::make_unique<fl::FedAvg>();
+    } else if (std::string(c.name) == "fedproto") {
+      strat = std::make_unique<fl::FedProto>();
+    } else if (std::string(c.name) == "ktpfl") {
+      strat = std::make_unique<fl::KTpFL>(exp.public_data(),
+                                          fl::KTpFLConfig{});
+    } else if (std::string(c.name) == "fedclassavg") {
+      strat = std::make_unique<core::FedClassAvg>(exp.fedclassavg_config());
+    } else {
+      core::FedClassAvgProtoConfig pc;
+      pc.base = exp.fedclassavg_config();
+      strat = std::make_unique<core::FedClassAvgProto>(pc);
+    }
+    const auto done = exp.execute(*strat);
+    EXPECT_TRUE(std::isfinite(done.result.final_mean_accuracy)) << c.name;
+    EXPECT_EQ(done.run->network().pending_messages(), 0u)
+        << c.name << ": a faulty round leaked undelivered messages";
+  }
+}
+
+TEST(FailureInjection, InvalidFaultConfigRejectedAtExperimentStart) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.faults.drop_rate = 2.0;
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat;
+  EXPECT_THROW(exp.execute(strat), Error);
+  cfg = tiny_experiment_config();
+  cfg.quorum = cfg.num_clients + 1;  // can never be met
+  core::Experiment exp2(cfg);
+  EXPECT_THROW(exp2.execute(strat), Error);
 }
 
 TEST(FailureInjection, ExtremeInputsStayFinite) {

@@ -1,0 +1,159 @@
+// Fault-determinism tier: proves the fault fabric (comm/fault.hpp) is as
+// replayable as the rest of the simulation. The same fault seed must
+// reproduce the same faulty run bit for bit — across repeated runs, across a
+// checkpoint/resume split, and at any client_parallelism — and moderate
+// injected loss must degrade accuracy gracefully rather than break training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "ckpt/checkpoint.hpp"
+#include "comm/fault.hpp"
+#include "core/fedclassavg.hpp"
+#include "core/trainer.hpp"
+#include "fl_fixtures.hpp"
+#include "models/serialize.hpp"
+
+namespace fca {
+namespace {
+
+using test::expect_bit_identical;
+using test::tiny_experiment_config;
+
+/// A run exercising every fault class at once: message loss, a straggler
+/// whose delayed uploads miss the round deadline, and a scheduled one-round
+/// outage with a rejoin.
+core::ExperimentConfig faulty_config(uint64_t fault_seed,
+                                     int parallelism = 1) {
+  core::ExperimentConfig cfg = tiny_experiment_config();
+  cfg.rounds = 6;
+  cfg.client_parallelism = parallelism;
+  cfg.faults.drop_rate = 0.2;
+  cfg.faults.straggler_rate = 0.2;
+  cfg.faults.straggler_delay_s = 10.0;
+  cfg.faults.round_deadline_s = 1.0;
+  cfg.faults.crash_schedule = comm::parse_crash_schedule("2@2");
+  cfg.faults.fault_seed = fault_seed;
+  return cfg;
+}
+
+struct FaultyRun {
+  fl::RunResult result;
+  std::vector<std::vector<std::byte>> models;
+};
+
+FaultyRun run_faulty(const core::ExperimentConfig& cfg) {
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  core::CompletedRun done = exp.execute(strat);
+  FaultyRun out;
+  out.result = std::move(done.result);
+  for (int k = 0; k < done.run->num_clients(); ++k) {
+    out.models.push_back(models::serialize_state(done.run->client(k).model()));
+  }
+  return out;
+}
+
+TEST(FaultDeterminism, SameFaultSeedIsBitIdenticalAcrossRuns) {
+  const FaultyRun a = run_faulty(faulty_config(7));
+  const FaultyRun b = run_faulty(faulty_config(7));
+  // The schedule actually injected something; determinism over a no-op
+  // schedule would prove nothing.
+  EXPECT_GT(a.result.total_faults.injected_total(), 0u);
+  expect_bit_identical(a.result, b.result);
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (size_t k = 0; k < a.models.size(); ++k) {
+    EXPECT_EQ(a.models[k], b.models[k]) << "client " << k;
+  }
+}
+
+TEST(FaultDeterminism, DifferentFaultSeedChangesTheRun) {
+  const FaultyRun a = run_faulty(faulty_config(7));
+  const FaultyRun b = run_faulty(faulty_config(8));
+  bool differs = !(a.result.total_faults == b.result.total_faults);
+  for (size_t i = 0; !differs && i < a.result.curve.size(); ++i) {
+    differs = a.result.curve[i].fault_events != b.result.curve[i].fault_events ||
+              a.result.curve[i].mean_accuracy != b.result.curve[i].mean_accuracy;
+  }
+  EXPECT_TRUE(differs) << "fault seeds 7 and 8 produced identical runs";
+}
+
+TEST(FaultDeterminism, FaultScheduleIndependentOfTrainingSeed) {
+  // Changing the experiment seed reshuffles training but must not move a
+  // single injected fault: the streams are separate by construction.
+  core::ExperimentConfig cfg = faulty_config(7);
+  const FaultyRun a = run_faulty(cfg);
+  cfg.seed = 999;
+  const FaultyRun b = run_faulty(cfg);
+  EXPECT_TRUE(a.result.total_faults == b.result.total_faults);
+  ASSERT_EQ(a.result.curve.size(), b.result.curve.size());
+  for (size_t i = 0; i < a.result.curve.size(); ++i) {
+    EXPECT_EQ(a.result.curve[i].survivor_count,
+              b.result.curve[i].survivor_count)
+        << "round " << a.result.curve[i].round;
+  }
+}
+
+TEST(FaultDeterminism, ParallelFaultyRunMatchesSerialBitForBit) {
+  const FaultyRun serial = run_faulty(faulty_config(7, /*parallelism=*/1));
+  const FaultyRun parallel = run_faulty(faulty_config(7, /*parallelism=*/4));
+  expect_bit_identical(serial.result, parallel.result);
+  ASSERT_EQ(serial.models.size(), parallel.models.size());
+  for (size_t k = 0; k < serial.models.size(); ++k) {
+    EXPECT_EQ(serial.models[k], parallel.models[k]) << "client " << k;
+  }
+}
+
+TEST(FaultDeterminism, CheckpointSplitFaultyRunIsBitIdentical) {
+  const std::string dir = testing::TempDir() + "fca_fault_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Uninterrupted faulty reference.
+  const FaultyRun reference = run_faulty(faulty_config(7));
+  EXPECT_GT(reference.result.total_faults.injected_total(), 0u);
+
+  // Phase 1: same faulty run stopped after round 3, checkpointed.
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 3;
+  core::ExperimentConfig half_cfg = faulty_config(7);
+  half_cfg.rounds = 3;
+  core::Experiment half_exp(half_cfg);
+  core::FedClassAvg half_strat(half_exp.fedclassavg_config());
+  half_exp.execute(half_strat, opts);
+
+  // Phase 2: fresh process state, resume to round 6. The restored traffic
+  // counters (per-source send sequence numbers) and fault counters must
+  // replay the identical drop/straggler schedule.
+  core::Experiment rest_exp(faulty_config(7));
+  core::FedClassAvg rest_strat(rest_exp.fedclassavg_config());
+  const core::CompletedRun resumed = rest_exp.resume(rest_strat, opts);
+
+  expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(FaultDeterminism, ModerateLossDegradesGracefully) {
+  // Acceptance bar from the fault-model design: 20% message loss must not
+  // cost more than 20% of the fault-free final accuracy — lost clients skip
+  // a round and rejoin at the next download, they do not poison the average.
+  core::ExperimentConfig clean_cfg = tiny_experiment_config();
+  clean_cfg.rounds = 12;
+  const FaultyRun clean = run_faulty(clean_cfg);
+
+  core::ExperimentConfig lossy_cfg = clean_cfg;
+  lossy_cfg.faults.drop_rate = 0.2;
+  lossy_cfg.faults.fault_seed = 7;
+  const FaultyRun lossy = run_faulty(lossy_cfg);
+
+  EXPECT_GT(lossy.result.total_faults.dropped_messages, 0u);
+  EXPECT_TRUE(std::isfinite(lossy.result.final_mean_accuracy));
+  EXPECT_GE(lossy.result.final_mean_accuracy,
+            0.8 * clean.result.final_mean_accuracy)
+      << "fault-free " << clean.result.final_mean_accuracy << " vs lossy "
+      << lossy.result.final_mean_accuracy;
+}
+
+}  // namespace
+}  // namespace fca

@@ -42,6 +42,26 @@ TEST(Sampling, AtLeastOneClient) {
   EXPECT_EQ(sample_clients(10, 0.01, rng).size(), 1u);
 }
 
+TEST(Sampling, TruncatingRateStillYieldsOneClient) {
+  // Regression: rate * total rounding to zero used to produce an empty
+  // cohort, which deadlocks the round (the server gathers from nobody).
+  Rng rng(4);
+  for (int total : {1, 3, 1000}) {
+    const auto s = sample_clients(total, 1e-9, rng);
+    ASSERT_EQ(s.size(), 1u) << "total " << total;
+    EXPECT_GE(s[0], 0);
+    EXPECT_LT(s[0], total);
+  }
+}
+
+TEST(Sampling, CountNeverExceedsTotal) {
+  Rng rng(5);
+  // Rates within floating-point rounding error of 1 must clamp at total.
+  for (double rate : {1.0, 1.0 - 1e-16, 0.99999999999}) {
+    EXPECT_EQ(sample_clients(7, rate, rng).size(), 7u) << "rate " << rate;
+  }
+}
+
 TEST(LocalOnly, NoTrafficAndLearning) {
   core::ExperimentConfig cfg = tiny_experiment_config();
   cfg.rounds = 4;
