@@ -15,9 +15,7 @@ int main() {
   bench::banner("bench_fig6_curves_homogeneous",
                 "Figure 6 (homogeneous learning curves, Dir(0.5))");
   const auto ds = bench::datasets({"synth-fmnist"});
-  CsvWriter curves(bench::out_dir() + "/fig6_curves_homogeneous.csv",
-                   {"dataset", "method", "round", "local_epochs", "mean_acc",
-                    "std_acc"});
+  CsvWriter curves = bench::open_curve_csv("fig6_curves_homogeneous.csv");
   for (const std::string& dataset : ds) {
     std::printf("\n--- %s ---\n", dataset.c_str());
     core::ExperimentConfig cfg =

@@ -16,9 +16,7 @@ int main() {
   bench::banner("bench_fig7_curves_100clients",
                 "Figure 7 (large sampled cohort, Dir(0.5))");
   const auto ds = bench::datasets({"synth-fmnist"});
-  CsvWriter curves(bench::out_dir() + "/fig7_curves_100clients.csv",
-                   {"dataset", "method", "round", "local_epochs", "mean_acc",
-                    "std_acc"});
+  CsvWriter curves = bench::open_curve_csv("fig7_curves_100clients.csv");
   for (const std::string& dataset : ds) {
     core::ExperimentConfig cfg =
         bench::make_config(dataset, core::PartitionScheme::kDirichlet);

@@ -24,9 +24,8 @@ int main() {
                 "Table 2 (heterogeneous personalized FL)");
   const auto datasets = bench::datasets(
       {"synth-cifar10", "synth-fmnist", "synth-emnist"});
-  CsvWriter curves(bench::out_dir() + "/table2_curves.csv",
-                   {"dataset", "scheme+method", "round", "local_epochs",
-                    "mean_acc", "std_acc"});
+  CsvWriter curves = bench::open_curve_csv("table2_curves.csv",
+                                           {"dataset", "scheme+method"});
 
   TextTable table({"Method", "CIFAR Dir(0.5)", "CIFAR Skewed",
                    "FMNIST Dir(0.5)", "FMNIST Skewed", "EMNIST Dir(0.5)",

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/timer.hpp"
 
@@ -115,6 +116,7 @@ std::string out_dir() {
 }
 
 void banner(const std::string& bench, const std::string& paper_anchor) {
+  obs::configure_from_env();
   std::printf("==============================================================\n");
   std::printf("%s — reproduces %s\n", bench.c_str(), paper_anchor.c_str());
   std::printf("scale: %s (set FCA_BENCH_SCALE=smoke|default|full)\n",
@@ -184,13 +186,21 @@ core::CompletedRun run_and_report(const core::Experiment& exp,
   return done;
 }
 
+CsvWriter open_curve_csv(const std::string& csv_name,
+                         std::vector<std::string> key_columns) {
+  std::vector<std::string> header = std::move(key_columns);
+  const std::vector<std::string> cols = fl::curve_csv_columns();
+  header.insert(header.end(), cols.begin(), cols.end());
+  return CsvWriter(out_dir() + "/" + csv_name, header);
+}
+
 void write_curve(CsvWriter& csv, const std::string& dataset,
                  const std::string& method, const fl::RunResult& result) {
   for (const auto& m : result.curve) {
-    csv.row(std::vector<std::string>{
-        dataset, method, std::to_string(m.round),
-        std::to_string(m.cumulative_local_epochs),
-        format_fixed(m.mean_accuracy, 6), format_fixed(m.std_accuracy, 6)});
+    std::vector<std::string> row{dataset, method};
+    const std::vector<std::string> cells = fl::curve_csv_row(m);
+    row.insert(row.end(), cells.begin(), cells.end());
+    csv.row(row);
   }
 }
 

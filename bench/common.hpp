@@ -26,6 +26,10 @@
 // FCA_FAULT_CRASH_SCHEDULE (rank@round[xK],... format), FCA_FAULT_SEED and
 // FCA_FAULT_QUORUM; when any is set, each progress line also reports the
 // injected-fault totals.
+// Observability (DESIGN.md §8): FCA_TRACE_OUT=path records the round/phase
+// trace and exports it at exit (.json = Chrome trace_event, else JSONL);
+// FCA_TRACE_KERNELS=1 additionally records kernel-level spans;
+// FCA_METRICS_OUT=path exports the metrics registry as JSONL at exit.
 #pragma once
 
 #include <cstdio>
@@ -76,7 +80,15 @@ void banner(const std::string& bench, const std::string& paper_anchor);
 core::CompletedRun run_and_report(const core::Experiment& exp,
                                   fl::RoundStrategy& strategy);
 
-/// Appends a learning-curve series to a CSV (round, epochs, mean, std).
+/// Opens out_dir()/csv_name with the shared curve header: the key columns
+/// (default dataset, method — table2 uses scheme+method), then
+/// fl::curve_csv_columns(). All figure benches write this one schema.
+CsvWriter open_curve_csv(const std::string& csv_name,
+                         std::vector<std::string> key_columns = {"dataset",
+                                                                 "method"});
+
+/// Appends a learning-curve series (one fl::curve_csv_row per round,
+/// prefixed with dataset and method) to a CSV from open_curve_csv.
 void write_curve(CsvWriter& csv, const std::string& dataset,
                  const std::string& method, const fl::RunResult& result);
 

@@ -12,9 +12,7 @@ void run_curves_bench(const std::string& bench_name,
                       const std::string& csv_name) {
   banner(bench_name, anchor);
   const auto ds = datasets({"synth-fmnist"});
-  CsvWriter curves(out_dir() + "/" + csv_name,
-                   {"dataset", "method", "round", "local_epochs", "mean_acc",
-                    "std_acc"});
+  CsvWriter curves = open_curve_csv(csv_name);
   for (const std::string& dataset : ds) {
     std::printf("\n--- %s ---\n", dataset.c_str());
     core::ExperimentConfig cfg = make_config(dataset, scheme);

@@ -8,6 +8,8 @@
 //         --checkpoint-every 5          # checkpoint as the run progresses
 //   $ ./examples/fca_cli --rounds 20 --checkpoint-dir ckpts --resume
 //                                       # continue from the last checkpoint
+//   $ ./examples/fca_cli --trace-out trace.json --metrics-out metrics.jsonl
+//                                       # deterministic trace + metrics dump
 //   $ ./examples/fca_cli --help
 //
 // Algorithms: local | fedavg | fedprox | fedproto | ktpfl | ktpfl-weight |
@@ -28,6 +30,9 @@
 #include "fl/fedproto.hpp"
 #include "fl/ktpfl.hpp"
 #include "fl/local_only.hpp"
+#include "fl/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "utils/csv.hpp"
 #include "utils/error.hpp"
 
@@ -74,6 +79,15 @@ void print_help() {
       "  --fault-seed N      fault randomness, independent of --seed\n"
       "                      (default 0)\n"
       "  --quorum N          min survivors to commit a round (default 1)\n"
+      "\nObservability (DESIGN.md §8):\n"
+      "  --trace-out PATH    write the round/phase trace after the run\n"
+      "                      (.json = Chrome trace_event, else JSONL). The\n"
+      "                      logical fields are deterministic: same seed =>\n"
+      "                      same trace at any --client-parallelism\n"
+      "  --metrics-out PATH  write the metrics registry (counters, gauges,\n"
+      "                      histograms) as JSONL after the run\n"
+      "  --profile           also record kernel-level spans (gemm, conv,\n"
+      "                      SupCon, optimizer steps); implies tracing\n"
       "  --help              this text\n");
 }
 
@@ -85,7 +99,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
       throw Error("unexpected argument: " + key + " (see --help)");
     }
     key = key.substr(2);
-    if (key == "help" || key == "resume") {  // value-less flags
+    if (key == "help" || key == "resume" || key == "profile") {
+      // value-less flags
       flags[key] = "1";
       continue;
     }
@@ -198,6 +213,13 @@ int main(int argc, char** argv) {
     }
     config.with_scaled_preset();
 
+    const std::string trace_path = get("trace-out", "");
+    const std::string metrics_path = get("metrics-out", "");
+    const bool profile = flags.count("profile") != 0;
+    if (!trace_path.empty() || profile) obs::set_tracing(true);
+    if (profile) obs::set_kernel_tracing(true);
+    if (!metrics_path.empty()) obs::set_metrics(true);
+
     core::Experiment experiment(config);
     auto strategy = make_strategy(algorithm, experiment);
     std::printf("running %s on %s (%d clients, %d rounds, %s, models=%s)\n",
@@ -267,19 +289,26 @@ int main(int argc, char** argv) {
 
     const std::string curve_path = get("save-curve", "");
     if (!curve_path.empty()) {
-      CsvWriter csv(curve_path,
-                    {"round", "local_epochs", "mean_acc", "std_acc",
-                     "round_bytes", "selected", "survivors", "fault_events"});
+      CsvWriter csv(curve_path, fl::curve_csv_columns());
       for (const auto& m : done.result.curve) {
-        csv.row(std::vector<double>{
-            static_cast<double>(m.round),
-            static_cast<double>(m.cumulative_local_epochs), m.mean_accuracy,
-            m.std_accuracy, static_cast<double>(m.round_bytes),
-            static_cast<double>(m.selected_count),
-            static_cast<double>(m.survivor_count),
-            static_cast<double>(m.fault_events)});
+        csv.row(fl::curve_csv_row(m));
       }
       std::printf("curve written to %s\n", curve_path.c_str());
+    }
+
+    if (!trace_path.empty()) {
+      obs::export_trace(trace_path, obs::Tracer::instance().drain());
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else if (profile) {
+      // --profile without --trace-out: summarize to stdout via the digest.
+      const auto events = obs::Tracer::instance().drain();
+      std::printf("trace: %zu spans, logical digest %016llx\n", events.size(),
+                  static_cast<unsigned long long>(
+                      obs::logical_digest(events)));
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::instance().write_jsonl(metrics_path);
+      std::printf("metrics written to %s\n", metrics_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

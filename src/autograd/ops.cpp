@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
 
@@ -352,6 +353,7 @@ Variable soft_cross_entropy(const Variable& logits,
 Variable supervised_contrastive(const Variable& embeddings,
                                 const std::vector<int>& labels,
                                 float temperature) {
+  obs::ProfileSpan span("kernel", "supcon", embeddings.value().dim(0));
   FCA_CHECK(embeddings.value().ndim() == 2);
   FCA_CHECK(temperature > 0.0f);
   const int64_t n = embeddings.value().dim(0);

@@ -6,6 +6,8 @@
 
 #include "ckpt/format.hpp"
 #include "models/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 #include "utils/timer.hpp"
@@ -79,7 +81,8 @@ std::vector<std::byte> encode_metrics(
   return w.take();
 }
 
-std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes) {
+std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes,
+                                             uint32_t version) {
   ByteReader r(bytes);
   const uint32_t count = r.u32();
   std::vector<fl::RoundMetrics> curve;
@@ -93,9 +96,13 @@ std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes) {
     m.mean_train_loss = r.f64();
     m.wall_seconds = r.f64();
     m.round_bytes = r.u64();
-    m.selected_count = static_cast<int>(r.i64());
-    m.survivor_count = static_cast<int>(r.i64());
-    m.fault_events = r.u64();
+    if (version >= 2) {
+      // v1 rows predate the fault-tolerance columns; their defaults
+      // (selected = survivors = 0, no fault events) stand in.
+      m.selected_count = static_cast<int>(r.i64());
+      m.survivor_count = static_cast<int>(r.i64());
+      m.fault_events = r.u64();
+    }
     const uint32_t n = r.u32();
     m.client_accuracies.resize(n);
     for (uint32_t j = 0; j < n; ++j) m.client_accuracies[j] = r.f64();
@@ -159,6 +166,11 @@ void CheckpointManager::save(fl::FederatedRun& run,
                              const fl::ResumeState& cursor) {
   Timer timer;
   const int round = cursor.next_round - 1;
+  obs::TraceSpan save_span("ckpt", "save", round);
+  obs::ScopedTimer save_timer(
+      obs::metrics_enabled()
+          ? &obs::MetricsRegistry::instance().histogram("ckpt.save_seconds")
+          : nullptr);
   std::filesystem::create_directories(options_.dir);
 
   SectionWriter w;
@@ -208,6 +220,9 @@ void CheckpointManager::save(fl::FederatedRun& run,
   if (!ec) {
     stats_.bytes_written += size;
     stats_.last_file_bytes = size;
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::instance().counter("ckpt.bytes_written").add(size);
+    }
   }
   FCA_LOG_DEBUG << "checkpointed round " << round << " to " << path << " ("
                 << size << " bytes)";
@@ -248,7 +263,10 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
       cursor.sampler_state = meta.u64();
       cursor.bytes_marker = meta.u64();
       cursor.participating_rounds_total = static_cast<int>(meta.i64());
-      cursor.fault_marker = meta.u64();
+      // v1 predates fault injection: no fault marker in meta, no FaultStats
+      // in the network section. Zeroed fault state is exact for such runs —
+      // a v1 file can only come from a fault-free build.
+      cursor.fault_marker = reader.version() >= 2 ? meta.u64() : 0;
       meta.expect_done();
 
       strategy.load_state(reader.section("strategy"));
@@ -268,19 +286,22 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
         sent[r].sim_seconds = net.f64();
       }
       comm::FaultStats faults;
-      faults.dropped_messages = net.u64();
-      faults.dropped_bytes = net.u64();
-      faults.delayed_messages = net.u64();
-      faults.deadline_misses = net.u64();
-      faults.crashed_client_rounds = net.u64();
-      faults.rejoins = net.u64();
-      faults.aborted_rounds = net.u64();
+      if (reader.version() >= 2) {
+        faults.dropped_messages = net.u64();
+        faults.dropped_bytes = net.u64();
+        faults.delayed_messages = net.u64();
+        faults.deadline_misses = net.u64();
+        faults.crashed_client_rounds = net.u64();
+        faults.rejoins = net.u64();
+        faults.aborted_rounds = net.u64();
+      }
       net.expect_done();
       run.network().clear_pending();
       run.network().restore_stats(sent);
       run.network().restore_fault_stats(faults);
 
-      cursor.curve = decode_metrics(reader.section("metrics"));
+      cursor.curve = decode_metrics(reader.section("metrics"),
+                                    reader.version());
 
       ++stats_.loads;
       stats_.load_seconds += timer.seconds();

@@ -113,12 +113,12 @@ void SectionWriter::add(const std::string& name,
   sections_.emplace_back(name, std::move(payload));
 }
 
-void SectionWriter::write(const std::string& path) const {
+void SectionWriter::write(const std::string& path, uint32_t version) const {
   std::vector<std::byte> file(
       reinterpret_cast<const std::byte*>(kMagic),
       reinterpret_cast<const std::byte*>(kMagic) + sizeof(kMagic));
   ByteWriter header;
-  header.u32(kFormatVersion);
+  header.u32(version);
   header.u32(static_cast<uint32_t>(sections_.size()));
   for (const auto& [name, payload] : sections_) {
     header.str(name);
@@ -150,10 +150,10 @@ SectionReader::SectionReader(const std::string& path) {
                     std::memcmp(file_.data(), kMagic, sizeof(kMagic)) == 0,
                 path << " is not an FCA checkpoint file");
   ByteReader r(std::span<const std::byte>(file_).subspan(sizeof(kMagic)));
-  const uint32_t version = r.u32();
-  FCA_CHECK_MSG(version == kFormatVersion,
-                path << " has checkpoint format version " << version
-                     << ", this build reads " << kFormatVersion);
+  version_ = r.u32();
+  FCA_CHECK_MSG(version_ >= 1 && version_ <= kFormatVersion,
+                path << " has checkpoint format version " << version_
+                     << ", this build reads versions 1.." << kFormatVersion);
   const uint32_t count = r.u32();
   size_t offset = sizeof(kMagic) + 2 * sizeof(uint32_t);
   for (uint32_t i = 0; i < count; ++i) {

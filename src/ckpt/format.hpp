@@ -17,8 +17,10 @@
 // All integers are little-endian (the library already assumes a
 // little-endian host for tensor serialization). Versioning rule: any change
 // to the section layout or to a section's internal encoding bumps
-// kFormatVersion; readers reject other versions outright rather than
-// guessing. Files are written atomically (temp file + rename), so a crash
+// kFormatVersion; readers accept versions 1..kFormatVersion (decoders
+// branch on SectionReader::version() to default fields a version predates)
+// and reject newer ones outright rather than guessing. Files are written
+// atomically (temp file + rename), so a crash
 // mid-save can never leave a truncated file under the final name — and if
 // anything else corrupts one, the per-section CRC catches it on load.
 #pragma once
@@ -84,8 +86,11 @@ class SectionWriter {
  public:
   /// Adds a section; names must be unique within one file.
   void add(const std::string& name, std::vector<std::byte> payload);
-  /// Serializes header + sections and atomically replaces `path`.
-  void write(const std::string& path) const;
+  /// Serializes header + sections and atomically replaces `path`. The
+  /// version override exists for tests that fabricate older-format files;
+  /// production saves always stamp kFormatVersion.
+  void write(const std::string& path,
+             uint32_t version = kFormatVersion) const;
 
  private:
   std::vector<std::pair<std::string, std::vector<std::byte>>> sections_;
@@ -102,9 +107,12 @@ class SectionReader {
   /// Payload of a section; throws if absent.
   std::span<const std::byte> section(const std::string& name) const;
   size_t file_size() const { return file_.size(); }
+  /// Format version the file was written with (1..kFormatVersion).
+  uint32_t version() const { return version_; }
 
  private:
   std::vector<std::byte> file_;
+  uint32_t version_ = kFormatVersion;
   std::vector<std::pair<std::string, std::span<const std::byte>>> sections_;
 };
 

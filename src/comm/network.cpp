@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "utils/error.hpp"
 
@@ -41,6 +43,20 @@ void Network::check_rank(int rank) const {
                 "rank " << rank << " out of range [0, " << ranks_ << ")");
 }
 
+Network::EdgeCounters& Network::edge_counters_locked(int src, int dst) {
+  auto it = edges_.find({src, dst});
+  if (it == edges_.end()) {
+    const std::string edge =
+        "comm.edge." + std::to_string(src) + "-" + std::to_string(dst);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    EdgeCounters c;
+    c.messages = &reg.counter(edge + ".messages");
+    c.bytes = &reg.counter(edge + ".bytes");
+    it = edges_.emplace(std::make_pair(src, dst), c).first;
+  }
+  return it->second;
+}
+
 void Network::send(int src, int dst, int tag, Bytes payload) {
   check_rank(src);
   check_rank(dst);
@@ -48,6 +64,18 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
   TrafficStats& s = sent_[static_cast<size_t>(src)];
   ++s.messages;
   s.payload_bytes += payload.size();
+  if (obs::metrics_enabled()) {
+    // Sent-side accounting, mirroring TrafficStats: a message pays its bytes
+    // even when the fault plan later loses it in flight.
+    EdgeCounters& edge = edge_counters_locked(src, dst);
+    edge.messages->add();
+    edge.bytes->add(payload.size());
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    static obs::Counter* total_msgs = &reg.counter("comm.sent.messages");
+    static obs::Counter* total_bytes = &reg.counter("comm.sent.bytes");
+    total_msgs->add();
+    total_bytes->add(payload.size());
+  }
   double transfer = cost_.transfer_seconds(payload.size());
   s.sim_seconds += transfer;
   if (plan_.injecting()) {

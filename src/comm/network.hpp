@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace fca::comm {
 
@@ -147,6 +148,14 @@ class Network {
   void check_rank(int rank) const;
   std::optional<Message> pop_locked(int dst, int src, int tag);
 
+  /// Registry counters for one (src, dst) link, resolved once per edge
+  /// under mu_ and cached (registry lookups are by-name map walks).
+  struct EdgeCounters {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  EdgeCounters& edge_counters_locked(int src, int dst);
+
   int ranks_;
   CostModel cost_;
   FaultPlan plan_;
@@ -155,6 +164,7 @@ class Network {
   std::vector<TrafficStats> sent_;
   FaultStats faults_;
   size_t pending_ = 0;
+  std::map<std::pair<int, int>, EdgeCounters> edges_;
 };
 
 }  // namespace fca::comm

@@ -5,6 +5,7 @@
 
 #include "autograd/ops.hpp"
 #include "models/serialize.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
 
@@ -167,9 +168,18 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int round,
   // +weight). A crashed client neither receives nor trains this round; on
   // rejoin its next downlink re-syncs it with the current global state.
   const std::vector<int> live = run.live_clients(round, selected);
-  const comm::Bytes payload = models::serialize_tensors(global_);
-  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
-                                   fl::kTagModelDown, payload);
+  comm::Bytes payload;
+  {
+    obs::TraceSpan ser_span("fl", "serialize");
+    payload = models::serialize_tensors(global_);
+    ser_span.set_value(static_cast<int64_t>(payload.size()));
+  }
+  {
+    obs::TraceSpan bcast_span("fl", "broadcast",
+                              static_cast<int64_t>(live.size()));
+    run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
+                                     fl::kTagModelDown, payload);
+  }
 
   // Per-client local updates on the round executor (fl/executor.hpp):
   // each body touches only its own client's state and rank mailboxes, so
@@ -189,8 +199,12 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int round,
     const Tensor& gw = down[down.size() - 2];
     const Tensor& gb = down[down.size() - 1];
     double loss = 0.0;
-    for (int e = 0; e < run.config().local_epochs; ++e) {
-      loss += train_epoch(c, gw, gb);
+    {
+      obs::TraceSpan train_span("fl", "local-train",
+                                run.config().local_epochs);
+      for (int e = 0; e < run.config().local_epochs; ++e) {
+        loss += train_epoch(c, gw, gb);
+      }
     }
     run.client_endpoint(k).send(
         0, fl::kTagModelUp,
@@ -202,8 +216,10 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int round,
   // Classifier averaging (eq. 3) over the survivors, with eq. 1 weights
   // renormalized to the clients that actually reported. Below quorum the
   // round aborts and C^t carries over unchanged.
+  obs::TraceSpan agg_span("fl", "aggregate");
   const fl::FederatedRun::SurvivorGather g =
       run.gather_survivors(live, fl::kTagModelUp);
+  agg_span.set_value(static_cast<int64_t>(g.survivors.size()));
   if (g.quorum_met && !g.survivors.empty()) {
     const std::vector<double> weights = run.data_weights(g.survivors);
     std::vector<Tensor> agg;

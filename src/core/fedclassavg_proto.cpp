@@ -5,6 +5,7 @@
 
 #include "autograd/ops.hpp"
 #include "models/serialize.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
 
@@ -207,11 +208,20 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
   for (int64_t c = 0; c < num_classes; ++c) {
     valid_t[c] = valid_[static_cast<size_t>(c)] ? 1.0f : 0.0f;
   }
-  const comm::Bytes payload = models::serialize_tensors(
-      {global_[0], global_[1], global_protos_, valid_t});
   const std::vector<int> live = run.live_clients(round, selected);
-  run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
-                                   fl::kTagModelDown, payload);
+  comm::Bytes payload;
+  {
+    obs::TraceSpan ser_span("fl", "serialize");
+    payload = models::serialize_tensors(
+        {global_[0], global_[1], global_protos_, valid_t});
+    ser_span.set_value(static_cast<int64_t>(payload.size()));
+  }
+  {
+    obs::TraceSpan bcast_span("fl", "broadcast",
+                              static_cast<int64_t>(live.size()));
+    run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(live),
+                                     fl::kTagModelDown, payload);
+  }
 
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
     fl::Client& c = run.client(k);
@@ -229,8 +239,13 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
       valid[static_cast<size_t>(cc)] = down[3][cc] > 0.5f;
     }
     double loss = 0.0;
-    for (int e = 0; e < run.config().local_epochs; ++e) {
-      loss += train_epoch(c, down[0], down[1], down[2], valid, proto_active);
+    {
+      obs::TraceSpan train_span("fl", "local-train",
+                                run.config().local_epochs);
+      for (int e = 0; e < run.config().local_epochs; ++e) {
+        loss += train_epoch(c, down[0], down[1], down[2], valid,
+                            proto_active);
+      }
     }
     auto [protos, counts] = local_prototypes(c);
     run.client_endpoint(k).send(
@@ -243,8 +258,10 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
 
   // Up: classifier averaging (eq. 3) + count-weighted prototype merge over
   // the survivors; below quorum both carry over unchanged.
+  obs::TraceSpan agg_span("fl", "aggregate");
   const fl::FederatedRun::SurvivorGather g =
       run.gather_survivors(live, fl::kTagModelUp);
+  agg_span.set_value(static_cast<int64_t>(g.survivors.size()));
   if (g.quorum_met && !g.survivors.empty()) {
     const std::vector<double> weights = run.data_weights(g.survivors);
     std::vector<Tensor> clf_agg{Tensor(global_[0].shape()),

@@ -1,5 +1,7 @@
 #include "core/trainer.hpp"
 
+#include "fl/obs_hook.hpp"
+#include "obs/metrics.hpp"
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 
@@ -122,7 +124,11 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy) const {
                << strategy.name() << " (" << config_.num_clients
                << " clients, " << config_.rounds << " rounds)";
   auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
-  fl::RunResult result = run->execute(strategy);
+  // Keep the no-hook fast path when metrics are off: a non-null hook makes
+  // the driver assemble a full resume cursor every round.
+  fl::MetricsRoundHook metrics_hook;
+  fl::RunResult result = run->execute(
+      strategy, obs::metrics_enabled() ? &metrics_hook : nullptr);
   return {std::move(result), std::move(run), {}};
 }
 
@@ -134,7 +140,11 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy,
                << options.dir << " every " << options.every << ")";
   auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
   ckpt::CheckpointManager manager(options);
-  fl::RunResult result = run->execute(strategy, &manager);
+  fl::MetricsRoundHook metrics_hook;
+  fl::RoundHookChain hooks;
+  hooks.add(&manager);
+  hooks.add(&metrics_hook);
+  fl::RunResult result = run->execute(strategy, &hooks);
   return {std::move(result), std::move(run), manager.stats()};
 }
 
@@ -145,7 +155,11 @@ CompletedRun Experiment::resume(fl::RoundStrategy& strategy,
   auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
   ckpt::CheckpointManager manager(options);
   const fl::ResumeState cursor = manager.resume(*run, strategy);
-  fl::RunResult result = run->execute(strategy, &manager, &cursor);
+  fl::MetricsRoundHook metrics_hook;
+  fl::RoundHookChain hooks;
+  hooks.add(&manager);
+  hooks.add(&metrics_hook);
+  fl::RunResult result = run->execute(strategy, &hooks, &cursor);
   return {std::move(result), std::move(run), manager.stats()};
 }
 

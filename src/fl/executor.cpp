@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/threadpool.hpp"
 
@@ -37,6 +38,9 @@ void run_lane(const std::shared_ptr<MapState>& st) {
     const size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     try {
+      // The body traces as its client's rank no matter which lane claimed
+      // it — the coordinates come from here, not the thread.
+      obs::ContextScope ctx(st->clients[i] + 1);
       st->results[i] = st->body(st->clients[i]);
     } catch (...) {
       st->errors[i] = std::current_exception();
@@ -67,7 +71,10 @@ std::vector<double> RoundExecutor::map(
     // with one client at a time the kernels keep their inner parallelism.
     std::vector<double> out;
     out.reserve(n);
-    for (int k : clients) out.push_back(body(k));
+    for (int k : clients) {
+      obs::ContextScope ctx(k + 1);  // same coordinates as the lane path
+      out.push_back(body(k));
+    }
     return out;
   }
 

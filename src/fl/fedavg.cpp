@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "models/serialize.hpp"
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -39,9 +40,18 @@ float FedAvg::execute_round(FederatedRun& run, int round,
   // Server -> live cohort members: current global model. Crashed clients
   // are filtered out up front — they neither receive nor train this round.
   const std::vector<int> live = run.live_clients(round, selected);
-  const comm::Bytes payload = models::serialize_tensors(global_);
-  run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
-                                   kTagModelDown, payload);
+  comm::Bytes payload;
+  {
+    obs::TraceSpan ser_span("fl", "serialize");
+    payload = models::serialize_tensors(global_);
+    ser_span.set_value(static_cast<int64_t>(payload.size()));
+  }
+  {
+    obs::TraceSpan bcast_span("fl", "broadcast",
+                              static_cast<int64_t>(live.size()));
+    run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
+                                     kTagModelDown, payload);
+  }
 
   // Clients: load, train E local epochs, upload — one executor body per
   // participant. A client whose downlink was lost skips the round and
@@ -58,8 +68,12 @@ float FedAvg::execute_round(FederatedRun& run, int round,
     c.reset_optimizer();
     const float mu = prox_mu();
     double loss = 0.0;
-    for (int e = 0; e < run.config().local_epochs; ++e) {
-      loss += c.train_epoch_supervised(mu > 0.0f ? &down : nullptr, mu);
+    {
+      obs::TraceSpan train_span("fl", "local-train",
+                                run.config().local_epochs);
+      for (int e = 0; e < run.config().local_epochs; ++e) {
+        loss += c.train_epoch_supervised(mu > 0.0f ? &down : nullptr, mu);
+      }
     }
     ep.send(0, kTagModelUp,
             models::serialize_tensors(
@@ -70,8 +84,10 @@ float FedAvg::execute_round(FederatedRun& run, int round,
   // Server: weighted average over the survivors (eq. 1 weights renormalized
   // to the clients that actually reported); below quorum the round aborts
   // and the previous global model is kept.
+  obs::TraceSpan agg_span("fl", "aggregate");
   const FederatedRun::SurvivorGather g =
       run.gather_survivors(live, kTagModelUp);
+  agg_span.set_value(static_cast<int64_t>(g.survivors.size()));
   if (g.quorum_met && !g.survivors.empty()) {
     const std::vector<double> weights = run.data_weights(g.survivors);
     std::vector<Tensor> agg;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "models/serialize.hpp"
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -106,10 +107,18 @@ float FedProto::execute_round(FederatedRun& run, int round,
   for (int64_t cc = 0; cc < num_classes; ++cc) {
     valid_t[cc] = valid_[static_cast<size_t>(cc)] ? 1.0f : 0.0f;
   }
-  const comm::Bytes down =
-      models::serialize_tensors({global_protos_, valid_t});
-  run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
-                                   kTagModelDown, down);
+  comm::Bytes down;
+  {
+    obs::TraceSpan ser_span("fl", "serialize");
+    down = models::serialize_tensors({global_protos_, valid_t});
+    ser_span.set_value(static_cast<int64_t>(down.size()));
+  }
+  {
+    obs::TraceSpan bcast_span("fl", "broadcast",
+                              static_cast<int64_t>(live.size()));
+    run.server_endpoint().bcast_send(FederatedRun::ranks_of(live),
+                                     kTagModelDown, down);
+  }
 
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
     Client& c = run.client(k);
@@ -124,8 +133,12 @@ float FedProto::execute_round(FederatedRun& run, int round,
       valid[static_cast<size_t>(cc)] = msg[1][cc] > 0.5f;
     }
     double loss = 0.0;
-    for (int e = 0; e < run.config().local_epochs; ++e) {
-      loss += train_epoch(c, msg[0], valid);
+    {
+      obs::TraceSpan train_span("fl", "local-train",
+                                run.config().local_epochs);
+      for (int e = 0; e < run.config().local_epochs; ++e) {
+        loss += train_epoch(c, msg[0], valid);
+      }
     }
     auto [protos, counts] = local_prototypes(c);
     run.client_endpoint(k).send(
@@ -135,8 +148,10 @@ float FedProto::execute_round(FederatedRun& run, int round,
 
   // Server: count-weighted prototype aggregation across survivors; below
   // quorum the previous global prototypes carry over unchanged.
+  obs::TraceSpan agg_span("fl", "aggregate");
   const FederatedRun::SurvivorGather g =
       run.gather_survivors(live, kTagModelUp);
+  agg_span.set_value(static_cast<int64_t>(g.survivors.size()));
   if (g.quorum_met && !g.survivors.empty()) {
     Tensor agg({num_classes, d});
     Tensor agg_counts({num_classes});

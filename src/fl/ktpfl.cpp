@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "models/serialize.hpp"
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -125,16 +126,22 @@ float KTpFL::execute_round(FederatedRun& run, int round,
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
     Client& c = run.client(k);
     double loss = 0.0;
-    for (int e = 0; e < run.config().local_epochs; ++e) {
-      loss += c.train_epoch_supervised();
+    {
+      obs::TraceSpan train_span("fl", "local-train",
+                                run.config().local_epochs);
+      for (int e = 0; e < run.config().local_epochs; ++e) {
+        loss += c.train_epoch_supervised();
+      }
     }
     Tensor logits = c.predict_logits(public_data_);
     run.client_endpoint(k).send(0, kTagAuxUp,
                                 models::serialize_tensors({logits}));
     return loss;
   });
+  obs::TraceSpan agg_span("fl", "aggregate");
   const FederatedRun::SurvivorGather g =
       run.gather_survivors(live, kTagAuxUp);
+  agg_span.set_value(static_cast<int64_t>(g.survivors.size()));
   const float mean_loss =
       FederatedRun::mean_finite(losses, run.config().local_epochs);
   if (!g.quorum_met || g.survivors.empty()) {
@@ -156,17 +163,22 @@ float KTpFL::execute_round(FederatedRun& run, int round,
   if (!config_.share_weights) {
     // 4a. Server -> survivors: personalized soft targets; clients distill.
     // A lost target downlink means that client skips distillation.
-    for (size_t a = 0; a < survivors.size(); ++a) {
-      const int k = survivors[a];
-      Tensor target = personalized_target(k, survivors, soft_preds);
-      run.server_endpoint().send(k + 1, kTagAuxDown,
-                                 models::serialize_tensors({target}));
+    {
+      obs::TraceSpan bcast_span("fl", "broadcast",
+                                static_cast<int64_t>(survivors.size()));
+      for (size_t a = 0; a < survivors.size(); ++a) {
+        const int k = survivors[a];
+        Tensor target = personalized_target(k, survivors, soft_preds);
+        run.server_endpoint().send(k + 1, kTagAuxDown,
+                                   models::serialize_tensors({target}));
+      }
     }
     run.executor().for_each(survivors, [&](int k) {
       Client& c = run.client(k);
       const std::optional<comm::Bytes> down_bytes =
           run.client_endpoint(k).try_recv(0, kTagAuxDown);
       if (!down_bytes.has_value()) return;
+      obs::TraceSpan distill_span("fl", "distill", config_.distill_epochs);
       const std::vector<Tensor> down =
           models::deserialize_tensors(*down_bytes);
       const Tensor& target = down[0];
@@ -197,8 +209,10 @@ float KTpFL::execute_round(FederatedRun& run, int round,
           models::serialize_tensors(
               models::snapshot_values(c.model().parameters())));
     });
+    obs::TraceSpan exch_span("fl", "exchange");
     const FederatedRun::SurvivorGather gw =
         run.gather_survivors(survivors, kTagModelUp);
+    exch_span.set_value(static_cast<int64_t>(gw.survivors.size()));
     if (gw.quorum_met && !gw.survivors.empty()) {
       std::vector<std::vector<Tensor>> weights;
       weights.reserve(gw.survivors.size());

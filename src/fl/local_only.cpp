@@ -1,5 +1,7 @@
 #include "fl/local_only.hpp"
 
+#include "obs/trace.hpp"
+
 namespace fca::fl {
 
 float LocalOnly::execute_round(FederatedRun& run, int round,
@@ -9,6 +11,7 @@ float LocalOnly::execute_round(FederatedRun& run, int round,
   const std::vector<int> live = run.live_clients(round, selected);
   const std::vector<double> losses = run.executor().map(live, [&run](int k) {
     Client& c = run.client(k);
+    obs::TraceSpan train_span("fl", "local-train", run.config().local_epochs);
     double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {
       loss += c.train_epoch_supervised();

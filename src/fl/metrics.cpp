@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "utils/csv.hpp"
 #include "utils/error.hpp"
 
 namespace fca::fl {
@@ -19,6 +20,22 @@ double std_of(const std::vector<double>& values) {
   double ss = 0.0;
   for (double v : values) ss += (v - m) * (v - m);
   return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+std::vector<std::string> curve_csv_columns() {
+  return {"round",       "local_epochs", "mean_acc",  "std_acc",
+          "round_bytes", "selected",     "survivors", "fault_events"};
+}
+
+std::vector<std::string> curve_csv_row(const RoundMetrics& m) {
+  return {std::to_string(m.round),
+          std::to_string(m.cumulative_local_epochs),
+          format_fixed(m.mean_accuracy, 6),
+          format_fixed(m.std_accuracy, 6),
+          std::to_string(m.round_bytes),
+          std::to_string(m.selected_count),
+          std::to_string(m.survivor_count),
+          std::to_string(m.fault_events)};
 }
 
 }  // namespace fca::fl

@@ -51,4 +51,13 @@ double mean_of(const std::vector<double>& values);
 /// spread).
 double std_of(const std::vector<double>& values);
 
+/// Canonical learning-curve CSV schema shared by the figure benches and
+/// fca_cli --save-curve: round, local_epochs, mean_acc, std_acc,
+/// round_bytes, selected, survivors, fault_events. Callers prefix their own
+/// key columns (the benches add dataset and method).
+std::vector<std::string> curve_csv_columns();
+/// One CSV row for `m`, cells in curve_csv_columns() order (accuracies at
+/// 6 decimals).
+std::vector<std::string> curve_csv_row(const RoundMetrics& m);
+
 }  // namespace fca::fl

@@ -1,0 +1,34 @@
+#include "fl/obs_hook.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace fca::fl {
+
+void MetricsRoundHook::after_round(FederatedRun& run, RoundStrategy& strategy,
+                                   const ResumeState& cursor) {
+  (void)strategy;
+  (void)cursor;
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.counter("fl.rounds").add();
+  reg.counter("fl.selected.total")
+      .add(static_cast<uint64_t>(run.last_selected()));
+  reg.counter("fl.survivors.total")
+      .add(static_cast<uint64_t>(run.last_survivors()));
+  // Gauges rather than counters: FaultStats is already cumulative, so each
+  // round overwrites with the latest absolute snapshot.
+  const comm::FaultStats f = run.network().fault_stats();
+  reg.gauge("fl.faults.dropped_messages")
+      .set(static_cast<double>(f.dropped_messages));
+  reg.gauge("fl.faults.delayed_messages")
+      .set(static_cast<double>(f.delayed_messages));
+  reg.gauge("fl.faults.deadline_misses")
+      .set(static_cast<double>(f.deadline_misses));
+  reg.gauge("fl.faults.crashed_client_rounds")
+      .set(static_cast<double>(f.crashed_client_rounds));
+  reg.gauge("fl.faults.rejoins").set(static_cast<double>(f.rejoins));
+  reg.gauge("fl.faults.aborted_rounds")
+      .set(static_cast<double>(f.aborted_rounds));
+}
+
+}  // namespace fca::fl

@@ -1,0 +1,19 @@
+// RoundHook that mirrors the driver's per-round accounting into the
+// obs::MetricsRegistry: counters fl.rounds / fl.selected.total /
+// fl.survivors.total accumulate cohort sizes, and fl.faults.* gauges
+// snapshot the cumulative FaultStats after every committed round. A pure
+// observer — recover() declines — so it chains freely with the checkpoint
+// manager through RoundHookChain. No-op while metrics are disabled.
+#pragma once
+
+#include "fl/server.hpp"
+
+namespace fca::fl {
+
+class MetricsRoundHook : public RoundHook {
+ public:
+  void after_round(FederatedRun& run, RoundStrategy& strategy,
+                   const ResumeState& cursor) override;
+};
+
+}  // namespace fca::fl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 #include "utils/timer.hpp"
@@ -188,6 +189,11 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
 
   for (int round = start_round; round <= config_.rounds; ++round) {
     Timer timer;
+    // The driver thread is rank 0 for the whole iteration (round body, eval,
+    // hooks): spans it emits — and those of strategies running on it — carry
+    // (round, 0) coordinates regardless of executor scheduling.
+    obs::Tracer::instance().set_round(round);
+    obs::ContextScope obs_ctx(0);
     const std::vector<int> selected =
         sample_clients(num_clients(), config_.sample_rate, sampler);
     participating_rounds_total += static_cast<int>(selected.size());
@@ -196,7 +202,11 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     float train_loss = 0.0f;
     network_->begin_round(round);
     try {
-      train_loss = strategy.execute_round(*this, round, selected);
+      {
+        obs::TraceSpan round_span("fl", "round",
+                                  static_cast<int64_t>(selected.size()));
+        train_loss = strategy.execute_round(*this, round, selected);
+      }
       failed_attempts = 0;
       network_->end_round();
     } catch (const std::exception& e) {
@@ -222,7 +232,11 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       RoundMetrics m;
       m.round = round;
       m.cumulative_local_epochs = round * config_.local_epochs;
-      std::vector<double> acc = evaluate_all();
+      std::vector<double> acc;
+      {
+        obs::TraceSpan eval_span("fl", "eval", num_clients());
+        acc = evaluate_all();
+      }
       m.mean_accuracy = mean_of(acc);
       m.std_accuracy = std_of(acc);
       m.client_accuracies = std::move(acc);
@@ -257,6 +271,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     }
   }
 
+  obs::Tracer::instance().set_round(0);
   FCA_CHECK_MSG(network_->pending_messages() == 0,
                 "undelivered messages at end of run (protocol bug)");
   result.total_traffic = network_->total_stats();

@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "comm/endpoint.hpp"
 #include "fl/client.hpp"
@@ -110,6 +111,35 @@ class RoundHook {
   }
 };
 
+/// Fans round observations out to several hooks in registration order —
+/// e.g. a CheckpointManager plus a metrics recorder. recover() asks each
+/// hook in turn and takes the first restored state (pure observers decline
+/// by default, so the checkpoint manager wins regardless of position).
+class RoundHookChain : public RoundHook {
+ public:
+  RoundHookChain() = default;
+  /// Null entries are permitted and skipped, so callers can chain
+  /// optionally-present hooks without branching.
+  void add(RoundHook* hook) {
+    if (hook != nullptr) hooks_.push_back(hook);
+  }
+  void after_round(FederatedRun& run, RoundStrategy& strategy,
+                   const ResumeState& cursor) override {
+    for (RoundHook* h : hooks_) h->after_round(run, strategy, cursor);
+  }
+  std::optional<ResumeState> recover(FederatedRun& run,
+                                     RoundStrategy& strategy) override {
+    for (RoundHook* h : hooks_) {
+      std::optional<ResumeState> state = h->recover(run, strategy);
+      if (state.has_value()) return state;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<RoundHook*> hooks_;
+};
+
 class FederatedRun {
  public:
   FederatedRun(std::vector<ClientPtr> clients, FLConfig config);
@@ -181,6 +211,14 @@ class FederatedRun {
 
   /// The round deadline strategies pass to Endpoint::recv_with_deadline.
   double round_deadline() const { return config_.faults.round_deadline_s; }
+
+  // -- round-report accessors (valid once a round has started) ---------------
+  /// Sampled cohort size of the round in flight (or just completed).
+  int last_selected() const { return report_.selected; }
+  /// Minimum surviving set across the round's gathers.
+  int last_survivors() const { return report_.survivors; }
+  /// True when this round recorded a below-quorum abort.
+  bool last_round_aborted() const { return report_.aborted; }
 
  private:
   /// Per-round fault consequences, reset at each round start by execute()

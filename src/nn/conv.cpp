@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "nn/init.hpp"
+#include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
@@ -44,6 +45,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const int64_t oh = g.out_h(), ow = g.out_w();
   FCA_CHECK_MSG(oh > 0 && ow > 0, "Conv2d output would be empty for input "
                                       << shape_to_string(x.shape()));
+  obs::ProfileSpan span("kernel", "conv2d.fwd", b * out_c_ * oh * ow);
   if (train) cached_input_ = x;
 
   const int64_t icg = in_c_ / groups_;   // in channels per group
@@ -85,6 +87,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 Tensor Conv2d::backward(const Tensor& grad_out) {
   FCA_CHECK_MSG(!cached_input_.empty(),
                 "Conv2d::backward without a training forward");
+  obs::ProfileSpan span("kernel", "conv2d.bwd", grad_out.numel());
   const Tensor& x = cached_input_;
   const int64_t b = x.dim(0);
   const ConvGeom g = group_geom(x.dim(2), x.dim(3));

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
 
@@ -41,7 +43,23 @@ SGD::SGD(std::vector<Param*> params, float lr, float momentum,
   for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
 }
 
+namespace {
+
+/// Step-time histogram, resolved once; null while metrics are disabled so
+/// the hot path stays a single relaxed load.
+obs::Histogram* step_histogram() {
+  if (!obs::metrics_enabled()) return nullptr;
+  static obs::Histogram* h =
+      &obs::MetricsRegistry::instance().histogram("nn.optim.step_seconds");
+  return h;
+}
+
+}  // namespace
+
 void SGD::step() {
+  obs::ProfileSpan span("kernel", "optim.step",
+                        static_cast<int64_t>(params_.size()));
+  obs::ScopedTimer timer(step_histogram());
   for (size_t i = 0; i < params_.size(); ++i) {
     Param& p = *params_[i];
     Tensor g = p.grad.clone();
@@ -86,6 +104,9 @@ Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
 }
 
 void Adam::step() {
+  obs::ProfileSpan span("kernel", "optim.step",
+                        static_cast<int64_t>(params_.size()));
+  obs::ScopedTimer timer(step_histogram());
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));

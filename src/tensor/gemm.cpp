@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/threadpool.hpp"
 
@@ -48,6 +49,7 @@ void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                    float alpha, const float* a, int64_t lda, const float* b,
                    int64_t ldb, float beta, float* c, int64_t ldc,
                    const GemmBlocking& blk) {
+  obs::ProfileSpan span("kernel", "sgemm", 2 * m * n * k);
   FCA_CHECK(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
   scale_c(beta, m, n, c, ldc);

@@ -13,16 +13,28 @@ namespace {
 /// matter which pool scheduled the enclosing task.
 thread_local int t_task_depth = 0;
 
+/// Like t_task_depth but counting only real pool-task bodies, not
+/// SerialRegions — the discriminator behind ThreadPool::pool_task_depth().
+thread_local int t_pool_depth = 0;
+
 /// RAII depth bump around a task body; exception-safe so accounting survives
 /// a throwing task (parallel_for wrappers catch, but keep this robust).
 struct TaskDepthScope {
-  TaskDepthScope() { ++t_task_depth; }
-  ~TaskDepthScope() { --t_task_depth; }
+  TaskDepthScope() {
+    ++t_task_depth;
+    ++t_pool_depth;
+  }
+  ~TaskDepthScope() {
+    --t_task_depth;
+    --t_pool_depth;
+  }
 };
 
 }  // namespace
 
 bool ThreadPool::in_task() { return t_task_depth > 0; }
+
+int ThreadPool::pool_task_depth() { return t_pool_depth; }
 
 ThreadPool::SerialRegion::SerialRegion() { ++t_task_depth; }
 ThreadPool::SerialRegion::~SerialRegion() { --t_task_depth; }

@@ -53,6 +53,13 @@ class ThreadPool {
   /// loop instead of nesting, which would deadlock wait_all().
   static bool in_task();
 
+  /// Number of actual pool-task bodies the calling thread is nested inside
+  /// (SerialRegions do NOT count, unlike in_task()). Observability uses this
+  /// to tell "on the thread that owns this work" apart from "inside a
+  /// parallel kernel launch", where span emission would be
+  /// scheduling-dependent.
+  static int pool_task_depth();
+
   /// RAII marker that makes the current thread behave as if it were inside a
   /// pool task: nested parallel_for calls run serially until the region is
   /// exited. RoundExecutor wraps client bodies in one of these on every lane

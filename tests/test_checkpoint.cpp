@@ -328,5 +328,145 @@ TEST(CheckpointResume, RestoreClientRecoversPerturbedState) {
   EXPECT_EQ(models::serialize_state(run.client(0).model()), before);
 }
 
+// ---------------------------------------------------------------------------
+// Format v1 forward compatibility
+
+/// Rewrites a v2 checkpoint as the faithful v1 encoding: no fault marker in
+/// meta, no FaultStats block in network, no fault columns in metrics rows —
+/// exactly what a pre-fault-injection build wrote.
+void downgrade_to_v1(const std::string& path, int num_clients) {
+  ckpt::SectionReader reader(path);
+  ASSERT_EQ(reader.version(), ckpt::kFormatVersion);
+  const auto copy = [](std::span<const std::byte> s) {
+    return std::vector<std::byte>(s.begin(), s.end());
+  };
+  ckpt::SectionWriter w;
+  {
+    ckpt::ByteReader r(reader.section("meta"));
+    ckpt::ByteWriter out;
+    out.u32(r.u32());  // num_clients
+    out.u32(r.u32());  // round
+    out.str(r.str());  // strategy name
+    out.u64(r.u64());  // sampler state
+    out.u64(r.u64());  // bytes marker
+    out.i64(r.i64());  // participating rounds
+    (void)r.u64();     // v2's fault marker
+    r.expect_done();
+    w.add("meta", out.take());
+  }
+  w.add("strategy", copy(reader.section("strategy")));
+  for (int k = 0; k < num_clients; ++k) {
+    const std::string name = "client/" + std::to_string(k);
+    w.add(name, copy(reader.section(name)));
+  }
+  {
+    ckpt::ByteReader r(reader.section("network"));
+    ckpt::ByteWriter out;
+    const uint32_t ranks = r.u32();
+    out.u32(ranks);
+    for (uint32_t i = 0; i < ranks; ++i) {
+      out.u64(r.u64());  // messages
+      out.u64(r.u64());  // payload bytes
+      out.f64(r.f64());  // sim seconds
+    }
+    for (int i = 0; i < 7; ++i) (void)r.u64();  // v2's FaultStats block
+    r.expect_done();
+    w.add("network", out.take());
+  }
+  {
+    ckpt::ByteReader r(reader.section("metrics"));
+    ckpt::ByteWriter out;
+    const uint32_t count = r.u32();
+    out.u32(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      out.i64(r.i64());  // round
+      out.i64(r.i64());  // cumulative local epochs
+      out.f64(r.f64());  // mean accuracy
+      out.f64(r.f64());  // std accuracy
+      out.f64(r.f64());  // train loss
+      out.f64(r.f64());  // wall seconds
+      out.u64(r.u64());  // round bytes
+      (void)r.i64();     // v2's selected count
+      (void)r.i64();     // v2's survivor count
+      (void)r.u64();     // v2's fault events
+      const uint32_t n = r.u32();
+      out.u32(n);
+      for (uint32_t j = 0; j < n; ++j) out.f64(r.f64());
+    }
+    r.expect_done();
+    w.add("metrics", out.take());
+  }
+  w.write(path, 1);
+}
+
+TEST(CheckpointVersioning, V1SnapshotResumesWithZeroedFaultState) {
+  const std::string dir = scratch_dir("v1_compat");
+
+  // Uninterrupted fault-free reference: 8 rounds.
+  core::Experiment ref_exp(resume_test_config(8));
+  core::FedClassAvg ref(ref_exp.fedclassavg_config());
+  const core::CompletedRun reference = ref_exp.execute(ref);
+
+  // Phase 1: stop at round 4 and downgrade the snapshot to format v1.
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 4;
+  core::Experiment first_exp(resume_test_config(4));
+  core::FedClassAvg first(first_exp.fedclassavg_config());
+  first_exp.execute(first, opts);
+  const std::string path = ckpt::CheckpointManager::checkpoint_path(dir, 4);
+  downgrade_to_v1(path, first_exp.config().num_clients);
+  EXPECT_EQ(ckpt::SectionReader(path).version(), 1u);
+
+  // Phase 2: resume from the v1 file. Everything v1 carries is restored
+  // exactly; the fault state it predates comes back zeroed — the true state
+  // of a fault-free run.
+  core::Experiment second_exp(resume_test_config(8));
+  core::FedClassAvg second(second_exp.fedclassavg_config());
+  const core::CompletedRun resumed = second_exp.resume(second, opts);
+  EXPECT_EQ(resumed.checkpoint_stats.loads, 1);
+
+  EXPECT_DOUBLE_EQ(resumed.result.final_mean_accuracy,
+                   reference.result.final_mean_accuracy);
+  EXPECT_DOUBLE_EQ(resumed.result.final_std_accuracy,
+                   reference.result.final_std_accuracy);
+  ASSERT_EQ(resumed.result.curve.size(), reference.result.curve.size());
+  for (size_t i = 0; i < reference.result.curve.size(); ++i) {
+    const fl::RoundMetrics& a = reference.result.curve[i];
+    const fl::RoundMetrics& b = resumed.result.curve[i];
+    EXPECT_DOUBLE_EQ(b.mean_accuracy, a.mean_accuracy) << "round " << a.round;
+    EXPECT_EQ(b.round_bytes, a.round_bytes) << "round " << a.round;
+    // Rows replayed from the v1 file predate the fault columns and read
+    // back zeroed; rows produced after the resume carry live values again.
+    const bool from_v1 = a.round <= 4;
+    EXPECT_EQ(b.selected_count, from_v1 ? 0 : a.selected_count)
+        << "round " << a.round;
+    EXPECT_EQ(b.survivor_count, from_v1 ? 0 : a.survivor_count)
+        << "round " << a.round;
+    EXPECT_EQ(b.fault_events, 0u);
+  }
+  EXPECT_EQ(resumed.result.total_faults.injected_total(), 0u);
+  EXPECT_EQ(resumed.result.total_faults.rejoins, 0u);
+  EXPECT_EQ(resumed.result.total_faults.aborted_rounds, 0u);
+}
+
+TEST(CheckpointVersioning, NewerFormatVersionRejected) {
+  const std::string path = scratch_dir("v_next") + "/file.fckpt";
+  ckpt::SectionWriter w;
+  w.add("data", to_bytes("from the future"));
+  w.write(path, ckpt::kFormatVersion + 1);
+  EXPECT_THROW(ckpt::SectionReader{path}, Error);
+}
+
+TEST(CheckpointVersioning, VersionAccessorReportsStampedVersion) {
+  const std::string dir = scratch_dir("v_accessor");
+  ckpt::SectionWriter w;
+  w.add("data", to_bytes("x"));
+  w.write(dir + "/v1.fckpt", 1);
+  w.write(dir + "/v2.fckpt", 2);
+  EXPECT_EQ(ckpt::SectionReader(dir + "/v1.fckpt").version(), 1u);
+  EXPECT_EQ(ckpt::SectionReader(dir + "/v2.fckpt").version(), 2u);
+}
+
 }  // namespace
 }  // namespace fca
