@@ -1,11 +1,10 @@
 #include "nn/conv.hpp"
 
-#include <vector>
-
 #include "nn/init.hpp"
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 #include "utils/error.hpp"
 #include "utils/threadpool.hpp"
 
@@ -59,24 +58,27 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   parallel_for_range(
       0, b,
       [&](int64_t lo, int64_t hi) {
-        std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
+        // The im2col buffer comes from the lane's workspace arena: pool
+        // workers are long-lived, so after warm-up this allocates nothing.
+        Workspace::Frame frame(Workspace::tls());
+        float* col = frame.alloc(col_rows * col_cols);
         for (int64_t i = lo; i < hi; ++i) {
           for (int64_t grp = 0; grp < groups_; ++grp) {
             const float* im =
                 x.data() + i * in_img + grp * icg * g.height * g.width;
-            im2col(im, g, col.data());
-            // out_group = W_group [ocg, icg*k*k] * col [icg*k*k, oh*ow]
-            sgemm(false, false, ocg, col_cols, col_rows, 1.0f,
-                  weight_.value.data() + grp * ocg * col_rows, col_rows,
-                  col.data(), col_cols, 0.0f,
-                  out.data() + i * out_img + grp * ocg * oh * ow, col_cols);
-          }
-          if (has_bias_) {
-            float* o = out.data() + i * out_img;
-            for (int64_t oc = 0; oc < out_c_; ++oc) {
-              const float bv = bias_.value[oc];
-              for (int64_t p = 0; p < oh * ow; ++p) o[oc * oh * ow + p] += bv;
+            im2col(im, g, col);
+            // out_group = W_group [ocg, icg*k*k] * col [icg*k*k, oh*ow],
+            // with the per-channel bias fused into the GEMM write-back.
+            GemmEpilogue epi;
+            if (has_bias_) {
+              epi.bias = bias_.value.data() + grp * ocg;
+              epi.bias_kind = GemmEpilogue::Bias::kPerRow;
             }
+            sgemm_ex(false, false, ocg, col_cols, col_rows, 1.0f,
+                     weight_.value.data() + grp * ocg * col_rows, col_rows,
+                     col, col_cols, 0.0f,
+                     out.data() + i * out_img + grp * ocg * oh * ow, col_cols,
+                     epi);
           }
         }
       },
@@ -106,24 +108,26 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor grad_in(x.shape());
   // Per-sample loop; the im2col buffer is recomputed here instead of being
   // cached across the whole batch, which keeps peak memory O(one image's
-  // columns) rather than O(batch).
-  std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
-  std::vector<float> dcol(static_cast<size_t>(col_rows * col_cols));
+  // columns) rather than O(batch). Both scratch buffers live in the
+  // workspace arena and are reused across calls.
+  Workspace::Frame frame(Workspace::tls());
+  float* col = frame.alloc(col_rows * col_cols);
+  float* dcol = frame.alloc(col_rows * col_cols);
   for (int64_t i = 0; i < b; ++i) {
     for (int64_t grp = 0; grp < groups_; ++grp) {
       const float* im =
           x.data() + i * in_img + grp * icg * g.height * g.width;
       const float* go = grad_out.data() + i * out_img + grp * ocg * oh * ow;
-      im2col(im, g, col.data());
+      im2col(im, g, col);
       // dW_group += g_out [ocg, ohow] * col^T [ohow, icg*k*k]
-      sgemm(false, true, ocg, col_rows, col_cols, 1.0f, go, col_cols,
-            col.data(), col_cols, 1.0f,
-            weight_.grad.data() + grp * ocg * col_rows, col_rows);
+      sgemm(false, true, ocg, col_rows, col_cols, 1.0f, go, col_cols, col,
+            col_cols, 1.0f, weight_.grad.data() + grp * ocg * col_rows,
+            col_rows);
       // dcol = W_group^T [icg*k*k, ocg] * g_out [ocg, ohow]
       sgemm(true, false, col_rows, col_cols, ocg, 1.0f,
             weight_.value.data() + grp * ocg * col_rows, col_rows, go,
-            col_cols, 0.0f, dcol.data(), col_cols);
-      col2im(dcol.data(), g,
+            col_cols, 0.0f, dcol, col_cols);
+      col2im(dcol, g,
              grad_in.data() + i * in_img + grp * icg * g.height * g.width);
     }
     if (has_bias_) {

@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "utils/error.hpp"
 
@@ -18,8 +19,16 @@ Tensor Linear::forward(const Tensor& x, bool train) {
                 "Linear expects [B, " << in_ << "], got "
                                       << shape_to_string(x.shape()));
   if (train) cached_input_ = x;
-  Tensor y = matmul(x, weight_.value, false, true);
-  if (has_bias_) y = add_rowwise(y, bias_.value);
+  // y = x W^T with the bias fused into the GEMM write-back (the bias is per
+  // output feature, i.e. per column of y).
+  Tensor y({x.dim(0), out_});
+  GemmEpilogue epi;
+  if (has_bias_) {
+    epi.bias = bias_.value.data();
+    epi.bias_kind = GemmEpilogue::Bias::kPerCol;
+  }
+  sgemm_ex(false, true, x.dim(0), out_, in_, 1.0f, x.data(), in_,
+           weight_.value.data(), in_, 0.0f, y.data(), out_, epi);
   return y;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "tensor/kernel.hpp"
 #include "utils/error.hpp"
 #include "utils/threadpool.hpp"
 
@@ -34,10 +35,13 @@ void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  float alpha, const float* a, int64_t lda, const float* b,
                  int64_t ldb, float beta, float* c, int64_t ldc) {
   scale_c(beta, m, n, c, ldc);
+  if (alpha == 0.0f) return;  // by convention alpha==0 never touches A*B
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t p = 0; p < k; ++p) {
+      // No zero-skip here: av == 0 must still contribute av * b so that
+      // NaN/Inf in B propagate exactly as the literal sum-of-products would
+      // (this kernel is the parity oracle for the vectorized paths).
       const float av = alpha * op_at(a, lda, trans_a, i, p);
-      if (av == 0.0f) continue;
       for (int64_t j = 0; j < n; ++j) {
         c[i * ldc + j] += av * op_at(b, ldb, trans_b, p, j);
       }
@@ -92,9 +96,11 @@ void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
               for (int64_t i = 0; i < mb; ++i) {
                 float* crow = c + (ic + i) * ldc + jc;
                 for (int64_t p = 0; p < kb; ++p) {
+                  // No zero-skip (see sgemm_naive): keeps NaN/Inf from B
+                  // flowing through, so blocked stays parity-comparable
+                  // against the reference on non-finite inputs.
                   const float av =
                       alpha * ap[static_cast<size_t>(i * kb + p)];
-                  if (av == 0.0f) continue;
                   const float* brow = bp.data() + p * nb;
                   for (int64_t j = 0; j < nb; ++j) crow[j] += av * brow[j];
                 }
@@ -106,11 +112,59 @@ void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 }
 
+void apply_gemm_epilogue(int64_t m, int64_t n, float* c, int64_t ldc,
+                         const GemmEpilogue& epi) {
+  if (epi.empty() || m == 0 || n == 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    const float row_bias =
+        epi.bias_kind == GemmEpilogue::Bias::kPerRow ? epi.bias[i] : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float v = row[j];
+      if (epi.bias_kind == GemmEpilogue::Bias::kPerCol) {
+        v += epi.bias[j];
+      } else if (epi.bias_kind == GemmEpilogue::Bias::kPerRow) {
+        v += row_bias;
+      }
+      if (epi.act == GemmEpilogue::Act::kReLU && !(v > 0.0f)) v = 0.0f;
+      row[j] = v;
+    }
+  }
+}
+
+void sgemm_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              float alpha, const float* a, int64_t lda, const float* b,
+              int64_t ldb, float beta, float* c, int64_t ldc,
+              const GemmEpilogue& epi) {
+  switch (resolved_gemm_kernel()) {
+    case GemmKernel::kPacked:
+      sgemm_packed(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                   ldc, epi);
+      return;
+    case GemmKernel::kNaive: {
+      // The reference loop carries no span of its own (it is also the
+      // oracle inside tests); account for it here so a forced-naive run
+      // keeps the same kernel-span names and flop counts in the trace.
+      obs::ProfileSpan span("kernel", "sgemm", 2 * m * n * k);
+      sgemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+      apply_gemm_epilogue(m, n, c, ldc, epi);
+      return;
+    }
+    case GemmKernel::kBlocked:
+    case GemmKernel::kAuto:  // unreachable: resolved_gemm_kernel() never kAuto
+      sgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                    ldc, GemmBlocking{});
+      apply_gemm_epilogue(m, n, c, ldc, epi);
+      return;
+  }
+}
+
 void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
            float alpha, const float* a, int64_t lda, const float* b,
            int64_t ldb, float beta, float* c, int64_t ldc) {
-  sgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
-                GemmBlocking{});
+  sgemm_ex(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+           GemmEpilogue{});
 }
 
 }  // namespace fca

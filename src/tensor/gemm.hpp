@@ -1,38 +1,82 @@
 // Single-precision general matrix multiply.
 //
 // C = alpha * op(A) * op(B) + beta * C, row-major, with optional transposes.
-// The kernel is cache-blocked and parallelized over row panels with
-// parallel_for_range; on a single core it reduces to a tight blocked loop.
+// sgemm()/sgemm_ex() dispatch at runtime between three implementations (see
+// tensor/kernel.hpp): the IEEE-faithful naive reference, the cache-blocked
+// scalar kernel, and the packed register-tiled micro-kernel (default). All
+// three accumulate each output element in a fixed k-order independent of
+// thread count, so a given selection is bit-identical across reruns and
+// parallelism levels.
 #pragma once
 
 #include <cstdint>
 
 namespace fca {
 
+/// Optional fused tail applied to C after the product is complete: bias add
+/// (per output row or per output column) followed by an activation. The
+/// packed kernel fuses this into its write-back; the other kernels apply it
+/// as a second pass with identical numerics (one rounding per element for
+/// the bias add, exact max for ReLU).
+struct GemmEpilogue {
+  enum class Bias { kNone, kPerRow, kPerCol };
+  enum class Act { kNone, kReLU };
+
+  const float* bias = nullptr;  // [m] for kPerRow, [n] for kPerCol
+  Bias bias_kind = Bias::kNone;
+  Act act = Act::kNone;
+
+  bool empty() const {
+    return bias_kind == Bias::kNone && act == Act::kNone;
+  }
+};
+
 /// Row-major sgemm. op(A) is M×K, op(B) is K×N, C is M×N.
 /// lda/ldb/ldc are the leading (row) strides of the *stored* matrices,
-/// i.e. of A (not op(A)).
+/// i.e. of A (not op(A)). Dispatches on resolved_gemm_kernel().
 void sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
            float alpha, const float* a, int64_t lda, const float* b,
            int64_t ldb, float beta, float* c, int64_t ldc);
 
-/// Block sizes used by sgemm; exposed so the micro-bench can sweep them.
+/// sgemm with a fused epilogue (Conv2d/Linear forward bias+activation).
+void sgemm_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+              float alpha, const float* a, int64_t lda, const float* b,
+              int64_t ldb, float beta, float* c, int64_t ldc,
+              const GemmEpilogue& epi);
+
+/// Block sizes used by sgemm_blocked; exposed so the micro-bench can sweep
+/// them.
 struct GemmBlocking {
   int64_t mc = 64;   // rows of A per panel
   int64_t nc = 256;  // cols of B per panel
   int64_t kc = 128;  // depth per panel
 };
 
-/// sgemm with explicit blocking parameters (used by bench_micro_gemm).
+/// Cache-blocked scalar kernel with explicit blocking parameters.
 void sgemm_blocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                    float alpha, const float* a, int64_t lda, const float* b,
                    int64_t ldb, float beta, float* c, int64_t ldc,
                    const GemmBlocking& blk);
 
+/// Packed register-tiled micro-kernel (tensor/gemm_packed.cpp): A and B are
+/// packed into per-thread workspace panels (alpha folded into the A pack),
+/// then multiplied by a fixed-size compiler-vectorized tile. `epi` is fused
+/// into the write-back of the last k panel.
+void sgemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                  float alpha, const float* a, int64_t lda, const float* b,
+                  int64_t ldb, float beta, float* c, int64_t ldc,
+                  const GemmEpilogue& epi = {});
+
 /// Naive triple loop used as the correctness oracle in tests and as the
-/// baseline in the GEMM ablation bench.
+/// baseline in the GEMM ablation bench. IEEE-faithful: NaN/Inf in either
+/// operand propagate exactly as the literal sum-of-products would.
 void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
                  float alpha, const float* a, int64_t lda, const float* b,
                  int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// Standalone epilogue pass over C (what the non-fused kernels run after the
+/// product; exposed for the parity tests).
+void apply_gemm_epilogue(int64_t m, int64_t n, float* c, int64_t ldc,
+                         const GemmEpilogue& epi);
 
 }  // namespace fca

@@ -1,0 +1,240 @@
+// Packed register-tiled SGEMM (DESIGN.md §9).
+//
+// BLIS-style decomposition, two levels deep (the shapes this library meets
+// are small enough that an L3 nc loop would never split):
+//
+//   for jc  (NC columns of C)                 — B stays in cache
+//     for pc (KC depth)                       — pack B[pc:pc+kb, jc:jc+nb]
+//       parallel for ic (MC rows)             — pack alpha*A[ic:, pc:]
+//         for jr (NR), ir (MR): micro-kernel  — MR×NR tile in registers
+//
+// The micro-kernel is plain C++ over fixed-size tiles: with MR/NR constexpr
+// the compiler fully unrolls the i loop and vectorizes the j dimension at
+// whatever SIMD width it targets, while the MR×NR accumulator block stays in
+// registers for the whole kb depth. That register reuse — C is loaded and
+// stored once per k-panel instead of once per k step — is where the speedup
+// over sgemm_blocked comes from; see bench_kernels / BENCH_kernels.json.
+// The kernel is additionally compiled as GCC function-multiversioning clones
+// (target_clones, still no intrinsics): the dynamic loader picks the
+// x86-64-v3 clone (AVX2 + FMA, 8-wide) on CPUs that have it and the baseline
+// SSE2 clone elsewhere.
+//
+// Determinism: each output element is owned by exactly one row-block task,
+// and its k contributions are accumulated in ascending panel order, ascending
+// p within a panel — an order that does not depend on how the row blocks are
+// scheduled. Reruns and any thread count give bit-identical C. Clone
+// selection is decided once at load time from CPUID, so it is also rerun-
+// stable; like any ISA choice it is per-machine, not cross-machine.
+//
+// Packing buffers come from the per-thread Workspace arena: the B panel from
+// a frame on the caller's thread, each A panel from a frame on the worker
+// that owns the row block. Steady-state calls therefore do not allocate.
+#include <algorithm>
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/workspace.hpp"
+#include "utils/error.hpp"
+#include "utils/threadpool.hpp"
+
+// GCC-style function multiversioning for the hot micro-kernel: one binary
+// carries a baseline and an x86-64-v3 (AVX2+FMA) clone, resolved via IFUNC
+// at load time. Compilers/arches without the attribute just build baseline.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__)
+#define FCA_MICROKERNEL_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3")))
+#else
+#define FCA_MICROKERNEL_CLONES
+#endif
+
+namespace fca {
+namespace {
+
+// MR*NR accumulators + one B row + one broadcast fit the 16 baseline x86-64
+// XMM registers (6*8/4 = 12 + 2 + 1); the v3 clone holds the same tile in 6
+// of 16 YMM registers.
+constexpr int64_t MR = 6;    // micro-tile rows
+constexpr int64_t NR = 8;    // micro-tile cols
+constexpr int64_t MC = 96;   // rows of A per packed panel (multiple of MR)
+constexpr int64_t NC = 512;  // cols of B per packed panel (multiple of NR)
+constexpr int64_t KC = 256;  // depth per packed panel
+
+inline int64_t round_up(int64_t v, int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+inline void scale_c(float beta, int64_t m, int64_t n, float* c, int64_t ldc) {
+  if (beta == 1.0f) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill_n(row, n, 0.0f);
+    } else {
+      for (int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+/// Packs alpha * op(A)[ic:ic+mb, pc:pc+kb] into MR row-panels:
+/// ap[r*MR*kb + p*MR + i] = alpha * op(A)(ic + r*MR + i, pc + p),
+/// zero-padded in i so the micro-kernel never branches on the row tail.
+void pack_a(const float* a, int64_t lda, bool trans, int64_t ic, int64_t pc,
+            int64_t mb, int64_t kb, float alpha, float* ap) {
+  for (int64_t ir = 0; ir < mb; ir += MR) {
+    float* panel = ap + (ir / MR) * MR * kb;
+    const int64_t mr = std::min(MR, mb - ir);
+    if (!trans) {
+      for (int64_t i = 0; i < mr; ++i) {
+        const float* src = a + (ic + ir + i) * lda + pc;
+        for (int64_t p = 0; p < kb; ++p) panel[p * MR + i] = alpha * src[p];
+      }
+    } else {
+      // op(A)(r, p) = A[p][r]: contiguous in i for each p.
+      for (int64_t p = 0; p < kb; ++p) {
+        const float* src = a + (pc + p) * lda + ic + ir;
+        for (int64_t i = 0; i < mr; ++i) panel[p * MR + i] = alpha * src[i];
+      }
+    }
+    if (mr < MR) {
+      for (int64_t p = 0; p < kb; ++p) {
+        for (int64_t i = mr; i < MR; ++i) panel[p * MR + i] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[pc:pc+kb, jc:jc+nb] into NR column-panels:
+/// bp[s*NR*kb + p*NR + j] = op(B)(pc + p, jc + s*NR + j), zero-padded in j.
+void pack_b(const float* b, int64_t ldb, bool trans, int64_t pc, int64_t jc,
+            int64_t kb, int64_t nb, float* bp) {
+  for (int64_t jr = 0; jr < nb; jr += NR) {
+    float* panel = bp + (jr / NR) * NR * kb;
+    const int64_t nr = std::min(NR, nb - jr);
+    if (!trans) {
+      for (int64_t p = 0; p < kb; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + jr;
+        for (int64_t j = 0; j < nr; ++j) panel[p * NR + j] = src[j];
+      }
+    } else {
+      // op(B)(p, j) = B[j][p]: strided gather per column.
+      for (int64_t j = 0; j < nr; ++j) {
+        const float* src = b + (jc + jr + j) * ldb + pc;
+        for (int64_t p = 0; p < kb; ++p) panel[p * NR + j] = src[p];
+      }
+    }
+    if (nr < NR) {
+      for (int64_t p = 0; p < kb; ++p) {
+        for (int64_t j = nr; j < NR; ++j) panel[p * NR + j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// acc = A-panel * B-panel over kb depth. The 2-D accumulator plus the simd
+/// pragma on the fixed-trip j loop pin the vectorization axis: the compiler
+/// unrolls i, vectorizes j, and keeps the whole tile in registers across the
+/// p loop (a flat acc[i * NR + j] formulation tempts GCC into SLP across p
+/// with ruinous shuffle traffic — measured ~8x slower; do not "simplify"
+/// this back). Never inlined: the target_clones dispatch happens here.
+FCA_MICROKERNEL_CLONES
+void micro_kernel(int64_t kb, const float* ap, const float* bp,
+                  float acc_out[MR * NR]) {
+  float acc[MR][NR] = {};
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* av = ap + p * MR;
+    const float* bv = bp + p * NR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const float ai = av[i];
+#pragma omp simd
+      for (int64_t j = 0; j < NR; ++j) acc[i][j] += ai * bv[j];
+    }
+  }
+  std::memcpy(acc_out, acc, sizeof(float) * MR * NR);
+}
+
+/// Adds the valid mr×nr corner of acc into C; on the final k panel also
+/// applies the epilogue with numerics identical to apply_gemm_epilogue.
+inline void write_back(const float* acc, float* c, int64_t ldc, int64_t row0,
+                       int64_t col0, int64_t mr, int64_t nr, bool fuse_epi,
+                       const GemmEpilogue& epi) {
+  for (int64_t i = 0; i < mr; ++i) {
+    float* crow = c + (row0 + i) * ldc + col0;
+    const float* arow = acc + i * NR;
+    if (!fuse_epi) {
+      for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+      continue;
+    }
+    const float row_bias =
+        epi.bias_kind == GemmEpilogue::Bias::kPerRow ? epi.bias[row0 + i]
+                                                     : 0.0f;
+    for (int64_t j = 0; j < nr; ++j) {
+      float v = crow[j] + arow[j];
+      if (epi.bias_kind == GemmEpilogue::Bias::kPerCol) {
+        v += epi.bias[col0 + j];
+      } else if (epi.bias_kind == GemmEpilogue::Bias::kPerRow) {
+        v += row_bias;
+      }
+      if (epi.act == GemmEpilogue::Act::kReLU && !(v > 0.0f)) v = 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                  float alpha, const float* a, int64_t lda, const float* b,
+                  int64_t ldb, float beta, float* c, int64_t ldc,
+                  const GemmEpilogue& epi) {
+  obs::ProfileSpan span("kernel", "sgemm", 2 * m * n * k);
+  FCA_CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  scale_c(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0f) {
+    apply_gemm_epilogue(m, n, c, ldc, epi);
+    return;
+  }
+
+  Workspace::Frame caller_frame(Workspace::tls());
+  // One B-panel buffer sized for the largest (kb, nb) this call will see;
+  // repacked in place each (jc, pc) iteration so the frame never grows.
+  float* bp = caller_frame.alloc(std::min(KC, k) *
+                                 round_up(std::min(NC, n), NR));
+  const int64_t row_blocks = (m + MC - 1) / MC;
+
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t nb = std::min(NC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += KC) {
+      const int64_t kb = std::min(KC, k - pc);
+      const bool last_panel = pc + kb == k;
+      const bool fuse_epi = last_panel && !epi.empty();
+      pack_b(b, ldb, trans_b, pc, jc, kb, nb, bp);
+      parallel_for_range(
+          0, row_blocks,
+          [&](int64_t blk_lo, int64_t blk_hi) {
+            Workspace::Frame frame(Workspace::tls());
+            float* ap = frame.alloc(MC * kb);
+            for (int64_t bi = blk_lo; bi < blk_hi; ++bi) {
+              const int64_t ic = bi * MC;
+              const int64_t mb = std::min(MC, m - ic);
+              pack_a(a, lda, trans_a, ic, pc, mb, kb, alpha, ap);
+              float acc[MR * NR];
+              for (int64_t jr = 0; jr < nb; jr += NR) {
+                const float* bpanel = bp + (jr / NR) * NR * kb;
+                const int64_t nr = std::min(NR, nb - jr);
+                for (int64_t ir = 0; ir < mb; ir += MR) {
+                  const float* apanel = ap + (ir / MR) * MR * kb;
+                  micro_kernel(kb, apanel, bpanel, acc);
+                  write_back(acc, c, ldc, ic + ir, jc + jr,
+                             std::min(MR, mb - ir), nr, fuse_epi, epi);
+                }
+              }
+            }
+          },
+          /*grain=*/1);
+    }
+  }
+}
+
+}  // namespace fca

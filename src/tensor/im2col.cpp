@@ -1,8 +1,27 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fca {
+
+namespace {
+
+/// [x0, x1): output columns whose input tap ix = x*stride - pad + kw lands
+/// inside [0, width). Everything outside is implicit zero padding.
+inline void valid_x_range(int64_t ow, int64_t width, int64_t stride,
+                          int64_t pad, int64_t kw, int64_t* x0, int64_t* x1) {
+  // First x with ix >= 0: ceil((pad - kw) / stride), clamped into [0, ow].
+  int64_t lo = pad - kw;
+  lo = lo <= 0 ? 0 : (lo + stride - 1) / stride;
+  // Last x with ix <= width - 1 is floor((width - 1 + pad - kw) / stride).
+  const int64_t hi_num = width - 1 + pad - kw;
+  int64_t hi = hi_num < 0 ? 0 : hi_num / stride + 1;  // exclusive
+  *x0 = std::min(lo, ow);
+  *x1 = std::max(std::min(hi, ow), *x0);
+}
+
+}  // namespace
 
 void im2col(const float* im, const ConvGeom& g, float* col) {
   const int64_t oh = g.out_h();
@@ -13,16 +32,36 @@ void im2col(const float* im, const ConvGeom& g, float* col) {
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
         float* dst = col + row * oh * ow;
+        // The in-image x span is the same for every output row; computing
+        // it once hoists all horizontal bounds checks out of the copy loop,
+        // which becomes a memcpy at stride 1 and a branch-free strided
+        // gather otherwise.
+        int64_t x0, x1;
+        valid_x_range(ow, g.width, g.stride_w, g.pad_w, kw, &x0, &x1);
         for (int64_t y = 0; y < oh; ++y) {
+          float* out = dst + y * ow;
           const int64_t iy = y * g.stride_h - g.pad_h + kh;
           if (iy < 0 || iy >= g.height) {
-            std::memset(dst + y * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+            std::memset(out, 0, static_cast<size_t>(ow) * sizeof(float));
             continue;
           }
-          for (int64_t x = 0; x < ow; ++x) {
-            const int64_t ix = x * g.stride_w - g.pad_w + kw;
-            dst[y * ow + x] =
-                (ix >= 0 && ix < g.width) ? imc[iy * g.width + ix] : 0.0f;
+          if (x0 > 0) {
+            std::memset(out, 0, static_cast<size_t>(x0) * sizeof(float));
+          }
+          const float* src = imc + iy * g.width;
+          if (g.stride_w == 1) {
+            const int64_t off = x0 * g.stride_w - g.pad_w + kw;
+            std::memcpy(out + x0, src + off,
+                        static_cast<size_t>(x1 - x0) * sizeof(float));
+          } else {
+            int64_t ix = x0 * g.stride_w - g.pad_w + kw;
+            for (int64_t x = x0; x < x1; ++x, ix += g.stride_w) {
+              out[x] = src[ix];
+            }
+          }
+          if (x1 < ow) {
+            std::memset(out + x1, 0,
+                        static_cast<size_t>(ow - x1) * sizeof(float));
           }
         }
       }

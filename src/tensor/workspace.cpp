@@ -1,0 +1,82 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "utils/error.hpp"
+
+namespace fca {
+namespace {
+
+// 64-byte alignment keeps packed panels on cache-line (and widest-SIMD)
+// boundaries. Chunks start at 256 KiB so typical layer geometries fit in
+// one or two chunks.
+constexpr size_t kAlignFloats = 16;  // 16 floats == 64 bytes
+constexpr size_t kMinChunkFloats = 64 * 1024;
+
+size_t align_up(size_t n) {
+  return (n + kAlignFloats - 1) & ~(kAlignFloats - 1);
+}
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+size_t Workspace::capacity_floats() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.cap;
+  return total;
+}
+
+Workspace::Frame::Mark Workspace::mark() const {
+  if (chunks_.empty()) return {0, 0};
+  return {cur_, chunks_[cur_].used};
+}
+
+void Workspace::rewind(const Frame::Mark& m) {
+  if (chunks_.empty()) return;
+  // Chunks past the mark keep their capacity but drop their contents.
+  for (size_t i = m.chunk + 1; i <= cur_ && i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  cur_ = std::min(m.chunk, chunks_.size() - 1);
+  chunks_[cur_].used = m.used;
+}
+
+void Workspace::AlignedDelete::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t(64));
+}
+
+float* Workspace::alloc(int64_t n) {
+  FCA_CHECK(n >= 0);
+  const size_t need = std::max<size_t>(static_cast<size_t>(n), 1);
+  // Bump within the current chunk, or advance to a later retained chunk
+  // that fits. Chunk bases are 64-byte aligned and offsets are rounded to
+  // 16 floats, so every returned pointer is 64-byte aligned.
+  while (cur_ < chunks_.size()) {
+    Chunk& c = chunks_[cur_];
+    const size_t at = align_up(c.used);
+    if (at + need <= c.cap) {
+      c.used = at + need;
+      return c.data.get() + at;
+    }
+    if (cur_ + 1 >= chunks_.size()) break;
+    ++cur_;
+    chunks_[cur_].used = 0;
+  }
+  const size_t cap = std::max(align_up(need), kMinChunkFloats);
+  Chunk c;
+  c.data.reset(static_cast<float*>(
+      ::operator new[](cap * sizeof(float), std::align_val_t(64))));
+  c.cap = cap;
+  c.used = need;
+  chunks_.push_back(std::move(c));
+  ++chunks_created_;
+  cur_ = chunks_.size() - 1;
+  return chunks_[cur_].data.get();
+}
+
+}  // namespace fca

@@ -1,0 +1,489 @@
+// Kernel-parity test tier (DESIGN.md §9).
+//
+// The packed register-tiled kernel is only allowed to ship because this
+// suite pins it to the IEEE-faithful naive reference:
+//   * a property-based randomized sweep over (m, n, k) — including the
+//     degenerate 0/1 dims — trans_a/trans_b, leading dimensions larger than
+//     minimal, and alpha/beta in {0, 1, -1, 0.5}, within a stated
+//     forward-error tolerance: both kernels compute each output element as
+//     a float sum of the same k+1 exactly-equal terms in different
+//     association orders, so they can differ from each other by at most
+//     2*(k+2)*eps*sum|terms| (to first order). The bound is computed per
+//     element in double; anything beyond it is a real defect, not rounding;
+//   * exact NaN/Inf propagation, which requires the reference itself to be
+//     IEEE-faithful (no zero-skip — the historical sgemm_naive divergence);
+//   * bit-exact rerun determinism of the packed kernel, serial vs pooled;
+//   * workspace-arena reuse and aliasing behavior;
+//   * the fused epilogue against its standalone two-pass equivalent.
+//
+// CI runs this binary once per FCA_GEMM_KERNEL value under ASan/UBSan.
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "tensor/kernel.hpp"
+#include "tensor/workspace.hpp"
+#include "utils/rng.hpp"
+#include "utils/threadpool.hpp"
+
+namespace fca {
+namespace {
+
+constexpr double kFloatEps = 1.1920928955078125e-7;  // 2^-23
+
+/// Element of op(X) at logical (row, col) for a row-major matrix with
+/// leading dimension ld, mirroring the kernels' own indexing.
+float op_at(const float* x, int64_t ld, bool trans, int64_t row, int64_t col) {
+  return trans ? x[col * ld + row] : x[row * ld + col];
+}
+
+/// Asserts `test_c` matches `ref_c` for the GEMM defined by the remaining
+/// arguments. NaN positions must agree exactly, infinities must be equal,
+/// and finite values must sit within the reassociation forward-error bound
+/// 2*(k+2)*eps*sum|terms| of each other (the two kernels sum the same k+1
+/// terms — beta*c plus k products with alpha folded once into A — in
+/// different orders; this is the textbook bound on how far two such sums
+/// can drift apart, with a 2x safety factor baked in).
+void expect_gemm_parity(int64_t m, int64_t n, int64_t k, float alpha,
+                        const float* a, int64_t lda, bool ta, const float* b,
+                        int64_t ldb, bool tb, float beta, const float* c_init,
+                        const float* test_c, const float* ref_c, int64_t ldc,
+                        const char* tag) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const size_t at = static_cast<size_t>(i * ldc + j);
+      const float ref = ref_c[at];
+      const float got = test_c[at];
+      ASSERT_EQ(std::isnan(ref), std::isnan(got))
+          << tag << ": NaN propagation diverged at (" << i << "," << j
+          << "): got=" << got << " ref=" << ref;
+      if (std::isnan(ref)) continue;
+      if (std::isinf(ref)) {
+        ASSERT_EQ(got, ref) << tag << " at (" << i << "," << j << ")";
+        continue;
+      }
+      double mag = std::abs(static_cast<double>(beta) * c_init[at]);
+      if (alpha != 0.0f) {
+        for (int64_t p = 0; p < k; ++p) {
+          // Same single rounding of alpha*a the kernels perform.
+          const float av = alpha * op_at(a, lda, ta, i, p);
+          mag += std::abs(static_cast<double>(av) * op_at(b, ldb, tb, p, j));
+        }
+      }
+      const double bound =
+          2.0 * static_cast<double>(k + 2) * kFloatEps * mag + 1e-35;
+      ASSERT_LE(std::abs(static_cast<double>(got) - ref), bound)
+          << tag << " at (" << i << "," << j << "): got=" << got
+          << " ref=" << ref << " |terms|=" << mag;
+    }
+  }
+}
+
+std::vector<float> random_matrix(int64_t rows, int64_t cols, int64_t ld,
+                                 Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(rows * ld));
+  // Fill the padding too so an out-of-bounds read would corrupt results
+  // rather than go unnoticed.
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  (void)cols;
+  return v;
+}
+
+struct SweepCase {
+  int64_t m, n, k;
+  bool ta, tb;
+  int64_t ld_slack;
+  float alpha, beta;
+};
+
+void run_parity_case(const SweepCase& sc, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t a_rows = sc.ta ? sc.k : sc.m;
+  const int64_t a_cols = sc.ta ? sc.m : sc.k;
+  const int64_t b_rows = sc.tb ? sc.n : sc.k;
+  const int64_t b_cols = sc.tb ? sc.k : sc.n;
+  const int64_t lda = a_cols + sc.ld_slack;
+  const int64_t ldb = b_cols + sc.ld_slack;
+  const int64_t ldc = sc.n + sc.ld_slack;
+  const std::vector<float> a = random_matrix(a_rows, a_cols, lda, rng);
+  const std::vector<float> b = random_matrix(b_rows, b_cols, ldb, rng);
+  std::vector<float> c_init(static_cast<size_t>(std::max<int64_t>(sc.m, 1) *
+                                                ldc));
+  for (auto& x : c_init) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> c_ref = c_init;
+  std::vector<float> c_packed = c_init;
+  sgemm_naive(sc.ta, sc.tb, sc.m, sc.n, sc.k, sc.alpha,
+              a.empty() ? c_init.data() : a.data(), lda,
+              b.empty() ? c_init.data() : b.data(), ldb, sc.beta,
+              c_ref.data(), ldc);
+  sgemm_packed(sc.ta, sc.tb, sc.m, sc.n, sc.k, sc.alpha,
+               a.empty() ? c_init.data() : a.data(), lda,
+               b.empty() ? c_init.data() : b.data(), ldb, sc.beta,
+               c_packed.data(), ldc);
+
+  char tag[128];
+  std::snprintf(tag, sizeof(tag),
+                "m=%lld n=%lld k=%lld ta=%d tb=%d slack=%lld a=%g b=%g",
+                static_cast<long long>(sc.m), static_cast<long long>(sc.n),
+                static_cast<long long>(sc.k), sc.ta ? 1 : 0, sc.tb ? 1 : 0,
+                static_cast<long long>(sc.ld_slack),
+                static_cast<double>(sc.alpha), static_cast<double>(sc.beta));
+  expect_gemm_parity(sc.m, sc.n, sc.k, sc.alpha,
+                     a.empty() ? c_init.data() : a.data(), lda, sc.ta,
+                     b.empty() ? c_init.data() : b.data(), ldb, sc.tb,
+                     sc.beta, c_init.data(), c_packed.data(), c_ref.data(),
+                     ldc, tag);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Padding beyond column n must be untouched by both kernels.
+  for (int64_t i = 0; i < sc.m; ++i) {
+    for (int64_t j = sc.n; j < ldc; ++j) {
+      const size_t at = static_cast<size_t>(i * ldc + j);
+      ASSERT_EQ(c_packed[at], c_init[at]) << "ld padding clobbered";
+      ASSERT_EQ(c_ref[at], c_init[at]) << "reference clobbered padding";
+    }
+  }
+}
+
+TEST(KernelParity, RandomizedSweepMatchesNaiveWithinUlps) {
+  const int64_t dims[] = {0, 1, 2, 3, 5, 7, 8, 13, 17, 31, 33, 48, 64, 97};
+  const float alphas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  const float betas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  Rng pick(20240807);
+  // 400 random draws from the cross product keeps the sweep dense but the
+  // runtime well under a second.
+  for (int iter = 0; iter < 400; ++iter) {
+    SweepCase sc;
+    sc.m = dims[pick.uniform_int(std::size(dims))];
+    sc.n = dims[pick.uniform_int(std::size(dims))];
+    sc.k = dims[pick.uniform_int(std::size(dims))];
+    sc.ta = pick.uniform_int(2) == 1;
+    sc.tb = pick.uniform_int(2) == 1;
+    sc.ld_slack = static_cast<int64_t>(pick.uniform_int(2)) * 3;
+    sc.alpha = alphas[pick.uniform_int(std::size(alphas))];
+    sc.beta = betas[pick.uniform_int(std::size(betas))];
+    run_parity_case(sc, 1000 + static_cast<uint64_t>(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelParity, TileBoundaryShapesExactSweep) {
+  // Deliberate hits on the micro-tile edges (MR=6, NR=8, and one past).
+  for (int64_t m : {5, 6, 7, 12, 13}) {
+    for (int64_t n : {7, 8, 9, 16, 17}) {
+      for (int64_t k : {1, 4, 129}) {
+        run_parity_case({m, n, k, false, false, 0, 1.0f, 0.5f},
+                        static_cast<uint64_t>(m * 10000 + n * 100 + k));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IEEE faithfulness of the reference (the historical sgemm_naive zero-skip
+// dropped NaN/Inf from B) and propagation parity of every kernel.
+
+TEST(KernelParity, NaiveReferencePropagatesNanThroughZeroRows) {
+  // Row 0 of A is all zeros; column 1 of B holds a NaN. 0 * NaN must be NaN
+  // and poison c(0, 1) — the old zero-skip returned 0 there instead.
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a{0.0f, 0.0f, 1.0f, 2.0f};  // 2x2
+  std::vector<float> b{1.0f, qnan, 3.0f, 4.0f};  // 2x2
+  std::vector<float> c(4, 0.0f);
+  sgemm_naive(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f,
+              c.data(), 2);
+  EXPECT_FLOAT_EQ(c[0], 1.0f * 0.0f + 0.0f * 3.0f);
+  EXPECT_TRUE(std::isnan(c[1])) << "0 * NaN must poison the dot product";
+  EXPECT_TRUE(std::isnan(c[3]));
+}
+
+TEST(KernelParity, InfinityTimesZeroIsNanInEveryKernel) {
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> a{0.0f, 1.0f};             // 1x2
+  std::vector<float> b{inf, 2.0f, 5.0f, 6.0f};  // 2x2, b(0,0)=inf
+  auto run = [&](GemmKernel kern) {
+    ScopedGemmKernel guard(kern);
+    std::vector<float> c(2, 0.0f);
+    sgemm(false, false, 1, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f,
+          c.data(), 2);
+    return c;
+  };
+  for (GemmKernel kern :
+       {GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kPacked}) {
+    const std::vector<float> c = run(kern);
+    EXPECT_TRUE(std::isnan(c[0]))
+        << gemm_kernel_name(kern) << ": 0 * inf must be NaN";
+    EXPECT_FLOAT_EQ(c[1], 0.0f * 2.0f + 1.0f * 6.0f);
+  }
+}
+
+TEST(KernelParity, NonFiniteInputsAgreeAcrossKernels) {
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Rng rng(7);
+  const int64_t m = 9, n = 11, k = 13;
+  std::vector<float> a = random_matrix(m, k, k, rng);
+  std::vector<float> b = random_matrix(k, n, n, rng);
+  a[5] = qnan;
+  a[17] = 0.0f;
+  b[3] = inf;
+  b[29] = -inf;
+  const std::vector<float> init(static_cast<size_t>(m * n), 0.5f);
+  std::vector<float> ref = init;
+  std::vector<float> packed = init;
+  sgemm_naive(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+              ref.data(), n);
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+               packed.data(), n);
+  expect_gemm_parity(m, n, k, 1.0f, a.data(), k, false, b.data(), n, false,
+                     1.0f, init.data(), packed.data(), ref.data(), n,
+                     "non-finite");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: reruns and thread-count independence must be bit-exact.
+
+TEST(KernelParity, PackedKernelRerunIsBitIdentical) {
+  Rng rng(42);
+  const int64_t m = 61, n = 67, k = 129;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  std::vector<float> c1(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> c2 = c1;
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               c1.data(), n);
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               c2.data(), n);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+TEST(KernelParity, PackedKernelSerialAndPooledRunsAreBitIdentical) {
+  // m > MC so the row-block loop actually splits. A SerialRegion forces the
+  // same call to degrade to the caller's thread; the bits must not move.
+  Rng rng(43);
+  const int64_t m = 3 * 96 + 17, n = 40, k = 70;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  std::vector<float> pooled(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> serial = pooled;
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               pooled.data(), n);
+  {
+    ThreadPool::SerialRegion no_threads;
+    sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+                 serial.data(), n);
+  }
+  EXPECT_EQ(0, std::memcmp(pooled.data(), serial.data(),
+                           pooled.size() * sizeof(float)));
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena: reuse, nesting, and aliasing.
+
+TEST(WorkspaceArena, SteadyStateCallsDoNotGrowTheArena) {
+  Workspace& ws = Workspace::tls();
+  Rng rng(3);
+  const int64_t m = 50, n = 60, k = 70;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  ThreadPool::SerialRegion on_this_thread;  // keep all packing on this arena
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               c.data(), n);
+  const uint64_t chunks_after_warmup = ws.chunks_created();
+  const size_t capacity_after_warmup = ws.capacity_floats();
+  for (int rep = 0; rep < 10; ++rep) {
+    sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+                 c.data(), n);
+  }
+  EXPECT_EQ(ws.chunks_created(), chunks_after_warmup)
+      << "repeat calls of the same shape must not allocate";
+  EXPECT_EQ(ws.capacity_floats(), capacity_after_warmup);
+}
+
+TEST(WorkspaceArena, NestedFramesGetDisjointMemoryAndRewindReuses) {
+  Workspace& ws = Workspace::tls();
+  float* outer_p = nullptr;
+  float* inner_p = nullptr;
+  {
+    Workspace::Frame outer(ws);
+    outer_p = outer.alloc(100);
+    outer_p[0] = 1.0f;
+    outer_p[99] = 2.0f;
+    {
+      Workspace::Frame inner(ws);
+      inner_p = inner.alloc(100);
+      // Nested allocation must not alias the live outer buffer.
+      EXPECT_TRUE(inner_p >= outer_p + 100 || inner_p + 100 <= outer_p);
+      std::fill_n(inner_p, 100, -7.0f);
+    }
+    EXPECT_EQ(outer_p[0], 1.0f) << "inner frame clobbered its parent";
+    EXPECT_EQ(outer_p[99], 2.0f);
+    // After the inner frame rewound, the next allocation reuses its spot.
+    Workspace::Frame again(ws);
+    EXPECT_EQ(again.alloc(100), inner_p) << "rewind must reuse memory";
+  }
+  // A fresh top-level frame reuses the outer buffer too.
+  Workspace::Frame top(ws);
+  EXPECT_EQ(top.alloc(100), outer_p);
+}
+
+TEST(WorkspaceArena, GrowthInsideANestedFrameKeepsParentPointersValid) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame outer(ws);
+  float* small = outer.alloc(64);
+  small[0] = 42.0f;
+  {
+    Workspace::Frame inner(ws);
+    // Oversized request forces a fresh chunk; the parent's pointer must
+    // survive (chunks are stable, never reallocated).
+    float* big = inner.alloc(1 << 22);
+    big[0] = 1.0f;
+    big[(1 << 22) - 1] = 2.0f;
+    EXPECT_EQ(small[0], 42.0f);
+  }
+  EXPECT_EQ(small[0], 42.0f);
+}
+
+TEST(WorkspaceArena, GemmOutputInArenaDoesNotAliasPackingBuffers) {
+  // Conv2d::backward writes GEMM output into an arena buffer (dcol) while
+  // sgemm_packed packs A/B into nested frames of the same arena: the output
+  // must come out exactly as when C lives on the regular heap.
+  Workspace& ws = Workspace::tls();
+  Rng rng(11);
+  const int64_t m = 30, n = 35, k = 40;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  std::vector<float> heap_c(static_cast<size_t>(m * n), 0.0f);
+  ThreadPool::SerialRegion on_this_thread;
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               heap_c.data(), n);
+  Workspace::Frame frame(ws);
+  float* arena_c = frame.alloc(m * n);
+  std::fill_n(arena_c, m * n, 0.0f);
+  sgemm_packed(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+               arena_c, n);
+  EXPECT_EQ(0, std::memcmp(arena_c, heap_c.data(),
+                           heap_c.size() * sizeof(float)));
+}
+
+// ---------------------------------------------------------------------------
+// Fused epilogue: bit-equal to the two-pass formulation, on every path.
+
+class EpilogueParity
+    : public ::testing::TestWithParam<std::tuple<int, int, GemmKernel>> {};
+
+TEST_P(EpilogueParity, FusedMatchesSeparatePassBitExactly) {
+  const auto [bias_mode, act_mode, kern] = GetParam();
+  Rng rng(97);
+  const int64_t m = 14, n = 19, k = 23;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  const std::vector<float> bias =
+      random_matrix(1, std::max(m, n), std::max(m, n), rng);
+
+  GemmEpilogue epi;
+  epi.bias_kind = static_cast<GemmEpilogue::Bias>(bias_mode);
+  epi.act = static_cast<GemmEpilogue::Act>(act_mode);
+  if (epi.bias_kind != GemmEpilogue::Bias::kNone) epi.bias = bias.data();
+
+  ScopedGemmKernel guard(kern);
+  std::vector<float> fused(static_cast<size_t>(m * n), 0.25f);
+  std::vector<float> two_pass = fused;
+  sgemm_ex(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+           fused.data(), n, epi);
+  sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+        two_pass.data(), n);
+  apply_gemm_epilogue(m, n, two_pass.data(), n, epi);
+  EXPECT_EQ(0, std::memcmp(fused.data(), two_pass.data(),
+                           fused.size() * sizeof(float)))
+      << "bias_kind=" << bias_mode << " act=" << act_mode << " kernel="
+      << gemm_kernel_name(kern);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, EpilogueParity,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // kNone/kPerRow/kPerCol
+                       ::testing::Values(0, 1),     // kNone/kReLU
+                       ::testing::Values(GemmKernel::kNaive,
+                                         GemmKernel::kBlocked,
+                                         GemmKernel::kPacked)));
+
+TEST(EpilogueParity, ReluEpilogueZeroesNanDeterministically) {
+  // The stated semantics: ReLU maps NaN to 0 (the !(v > 0) formulation), so
+  // fused and two-pass agree even on poisoned products. A NaN in row 0 of A
+  // poisons the whole output row (NaN * 0 is NaN), so row 0 becomes zeros
+  // while the clean row 1 passes through.
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a{qnan, 1.0f, 2.0f, 3.0f};  // 2x2
+  std::vector<float> b{1.0f, 0.0f, 0.0f, 1.0f};  // identity
+  GemmEpilogue epi;
+  epi.act = GemmEpilogue::Act::kReLU;
+  std::vector<float> c(4, -1.0f);
+  sgemm_packed(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f,
+               c.data(), 2, epi);
+  EXPECT_EQ(c[0], 0.0f);
+  EXPECT_EQ(c[1], 0.0f);
+  EXPECT_EQ(c[2], 2.0f);
+  EXPECT_EQ(c[3], 3.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(KernelDispatch, NamesRoundTripAndEnvOverrideParses) {
+  for (GemmKernel k : {GemmKernel::kAuto, GemmKernel::kNaive,
+                       GemmKernel::kBlocked, GemmKernel::kPacked}) {
+    GemmKernel parsed;
+    ASSERT_TRUE(parse_gemm_kernel(gemm_kernel_name(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  GemmKernel unused = GemmKernel::kAuto;
+  EXPECT_FALSE(parse_gemm_kernel("simd4life", &unused));
+  EXPECT_EQ(unused, GemmKernel::kAuto);
+}
+
+TEST(KernelDispatch, AutoResolvesToPackedAndScopedGuardRestores) {
+  const GemmKernel before = gemm_kernel();
+  {
+    ScopedGemmKernel guard(GemmKernel::kNaive);
+    EXPECT_EQ(gemm_kernel(), GemmKernel::kNaive);
+    EXPECT_EQ(resolved_gemm_kernel(), GemmKernel::kNaive);
+  }
+  EXPECT_EQ(gemm_kernel(), before);
+  EXPECT_NE(resolved_gemm_kernel(), GemmKernel::kAuto);
+}
+
+TEST(KernelDispatch, EveryKernelAgreesThroughTheDispatcher) {
+  Rng rng(5);
+  const int64_t m = 33, n = 47, k = 65;
+  const std::vector<float> a = random_matrix(m, k, k, rng);
+  const std::vector<float> b = random_matrix(k, n, n, rng);
+  const std::vector<float> init(static_cast<size_t>(m * n), 1.0f);
+  std::vector<float> ref = init;
+  sgemm_naive(false, false, m, n, k, 0.5f, a.data(), k, b.data(), n, -1.0f,
+              ref.data(), n);
+  for (GemmKernel kern :
+       {GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kPacked}) {
+    ScopedGemmKernel guard(kern);
+    std::vector<float> c = init;
+    sgemm(false, false, m, n, k, 0.5f, a.data(), k, b.data(), n, -1.0f,
+          c.data(), n);
+    expect_gemm_parity(m, n, k, 0.5f, a.data(), k, false, b.data(), n, false,
+                       -1.0f, init.data(), c.data(), ref.data(), n,
+                       gemm_kernel_name(kern));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace fca

@@ -7,6 +7,7 @@
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
 #include "nn/pool.hpp"
+#include "tensor/kernel.hpp"
 #include "tensor/ops.hpp"
 #include "test_helpers.hpp"
 #include "utils/error.hpp"
@@ -31,6 +32,17 @@ TEST(Linear, ForwardShapeAndValue) {
 }
 
 TEST(Linear, GradientsMatchFiniteDifference) {
+  Rng rng(2);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::randn({5, 4}, rng);
+  check_input_gradient(lin, x);
+  check_param_gradients(lin, x);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferenceWithPackedKernel) {
+  // Same finite-difference check with the packed GEMM forced on: the fused
+  // bias epilogue and arena-backed forward must leave gradients intact.
+  ScopedGemmKernel packed(GemmKernel::kPacked);
   Rng rng(2);
   Linear lin(4, 3, rng);
   Tensor x = Tensor::randn({5, 4}, rng);
@@ -63,6 +75,17 @@ TEST(Conv2d, OutputShape) {
 }
 
 TEST(Conv2d, GradientsMatchFiniteDifference) {
+  Rng rng(6);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, GradientsMatchFiniteDifferenceWithPackedKernel) {
+  // Packed kernel forced on: fused per-channel bias plus the arena-backed
+  // im2col buffers must not perturb any of the three gradients.
+  ScopedGemmKernel packed(GemmKernel::kPacked);
   Rng rng(6);
   Conv2d conv(2, 3, 3, 1, 1, rng);
   Tensor x = Tensor::randn({2, 2, 5, 5}, rng);

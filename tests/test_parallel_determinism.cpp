@@ -25,6 +25,7 @@
 #include "fl/local_only.hpp"
 #include "fl_fixtures.hpp"
 #include "models/serialize.hpp"
+#include "tensor/kernel.hpp"
 #include "utils/threadpool.hpp"
 
 namespace fca {
@@ -245,6 +246,27 @@ TEST(ParallelDeterminism, CheckpointSplitParallelRunIsBitIdentical) {
   // (serial == parallel == parallel-resumed).
   const RunArtifacts serial = run_once("fedclassavg", 1);
   expect_bit_identical(serial.result, resumed.result);
+}
+
+// The determinism contract holds per kernel selection: for each GEMM
+// implementation (including the packed register-tiled default), a serial run
+// and a 4-lane run must produce byte-identical results and model state. This
+// is the FL-level witness that the packed kernel's row-block partitioning
+// really is scheduling-free.
+TEST(ParallelDeterminism, EveryGemmKernelIsParallelismInvariant) {
+  for (GemmKernel kern :
+       {GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kPacked}) {
+    ScopedGemmKernel guard(kern);
+    const RunArtifacts serial = run_once("fedclassavg", 1);
+    const RunArtifacts parallel = run_once("fedclassavg", 4);
+    expect_bit_identical(serial.result, parallel.result);
+    ASSERT_EQ(parallel.models.size(), serial.models.size());
+    for (size_t k = 0; k < serial.models.size(); ++k) {
+      EXPECT_EQ(parallel.models[k], serial.models[k])
+          << gemm_kernel_name(kern) << ": client " << k
+          << " model bytes diverged";
+    }
+  }
 }
 
 // Auto parallelism (0 = one lane per hardware worker + caller) is covered

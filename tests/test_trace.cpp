@@ -23,6 +23,7 @@
 #include "fl_fixtures.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "tensor/kernel.hpp"
 
 namespace fca {
 namespace {
@@ -198,6 +199,34 @@ TEST(TraceDeterminism, KernelProfileIsIdenticalAcrossParallelism) {
   EXPECT_GT(serial.size(), 100u);
   EXPECT_EQ(obs::logical_digest(parallel), obs::logical_digest(serial));
   EXPECT_EQ(joined_logical(parallel), joined_logical(serial));
+}
+
+TEST(TraceDeterminism, KernelSpansAreStableAcrossKernelSelection) {
+  // Every sgemm dispatch path emits the same logical span — cat=kernel,
+  // name=sgemm, value=2*m*n*k — so which implementation runs is invisible
+  // to the trace: forced-blocked and forced-packed runs must produce
+  // byte-identical logical captures (golden flop counts included).
+  obs::set_kernel_tracing(true);
+  std::string blocked_text, packed_text;
+  uint64_t blocked_digest, packed_digest;
+  {
+    ScopedGemmKernel guard(GemmKernel::kBlocked);
+    const auto events = run_traced("fedclassavg", 1);
+    blocked_text = joined_logical(events);
+    blocked_digest = obs::logical_digest(events);
+  }
+  {
+    ScopedGemmKernel guard(GemmKernel::kPacked);
+    const auto events = run_traced("fedclassavg", 1);
+    packed_text = joined_logical(events);
+    packed_digest = obs::logical_digest(events);
+  }
+  obs::set_kernel_tracing(false);
+  EXPECT_NE(packed_text.find("cat=kernel name=sgemm"), std::string::npos)
+      << "profiled run recorded no sgemm spans";
+  EXPECT_EQ(packed_text, blocked_text)
+      << "kernel selection leaked into the logical trace";
+  EXPECT_EQ(packed_digest, blocked_digest);
 }
 
 // ---------------------------------------------------------------------------
