@@ -30,6 +30,9 @@
 // trace and exports it at exit (.json = Chrome trace_event, else JSONL);
 // FCA_TRACE_KERNELS=1 additionally records kernel-level spans;
 // FCA_METRICS_OUT=path exports the metrics registry as JSONL at exit.
+// Transport (DESIGN.md §11): FCA_TRANSPORT=inproc|shm|tcp forces every
+// bench run onto that comm backend (FCA_SHM_RING_CAPACITY sizes the shm
+// rings); results are bit-identical across backends by design.
 #pragma once
 
 #include <cstdio>

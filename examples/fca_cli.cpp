@@ -10,6 +10,10 @@
 //                                       # continue from the last checkpoint
 //   $ ./examples/fca_cli --trace-out trace.json --metrics-out metrics.jsonl
 //                                       # deterministic trace + metrics dump
+//   $ ./examples/fca_cli --transport shm   # run over shared-memory rings
+//   $ ./examples/fca_cli probe --rank 0 --world-size 2 --bind :7077 &
+//   $ ./examples/fca_cli probe --rank 1 --world-size 2
+//         --connect 127.0.0.1:7077      # 2-process fabric probe (DESIGN §11)
 //   $ ./examples/fca_cli --help
 //
 // Algorithms: local | fedavg | fedprox | fedproto | ktpfl | ktpfl-weight |
@@ -21,7 +25,11 @@
 #include <memory>
 #include <string>
 
+#include "comm/endpoint.hpp"
 #include "comm/fault.hpp"
+#include "comm/network.hpp"
+#include "comm/transport/handshake.hpp"
+#include "comm/transport/transport.hpp"
 #include "core/fedclassavg.hpp"
 #include "core/fedclassavg_proto.hpp"
 #include "core/trainer.hpp"
@@ -79,6 +87,25 @@ void print_help() {
       "  --fault-seed N      fault randomness, independent of --seed\n"
       "                      (default 0)\n"
       "  --quorum N          min survivors to commit a round (default 1)\n"
+      "\nTransport (pluggable comm backend; see DESIGN.md §11):\n"
+      "  --transport NAME    inproc | shm | tcp (default inproc; the\n"
+      "                      FCA_TRANSPORT env var overrides). Any backend\n"
+      "                      yields bit-identical curves and traffic\n"
+      "  --shm-name NAME     POSIX shm object (\"/name\") for the shm\n"
+      "                      backend; default: anonymous process mapping\n"
+      "\nFabric probe (multi-process transport smoke test):\n"
+      "  probe               first positional arg: run the probe instead of\n"
+      "                      an experiment. Each participating process runs\n"
+      "                      one rank; they rendezvous, exchange the seed +\n"
+      "                      fault plan, cross-check the derived fault\n"
+      "                      schedule and ping-pong verification traffic.\n"
+      "                      Exit 0 = every check passed on this rank\n"
+      "  --rank N            this process's fabric rank (0 = root)\n"
+      "  --world-size N      total ranks across all processes (default 2)\n"
+      "  --bind HOST:PORT    tcp rank 0: rendezvous listener address\n"
+      "  --connect HOST:PORT tcp rank >0: rank 0's rendezvous address\n"
+      "  --io-timeout S      wall-clock budget for remote peers (default 30)\n"
+      "  --probe-messages N  ping-pong messages per peer (default 8)\n"
       "\nObservability (DESIGN.md §8):\n"
       "  --trace-out PATH    write the round/phase trace after the run\n"
       "                      (.json = Chrome trace_event, else JSONL). The\n"
@@ -96,6 +123,10 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
+      if (key == "probe") {  // the only positional command
+        flags["probe"] = "1";
+        continue;
+      }
       throw Error("unexpected argument: " + key + " (see --help)");
     }
     key = key.substr(2);
@@ -108,6 +139,168 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
     flags[key] = argv[++i];
   }
   return flags;
+}
+
+std::string get_flag(const std::map<std::string, std::string>& flags,
+                     const char* key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+comm::FaultConfig fault_config_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  comm::FaultConfig faults;
+  faults.drop_rate = std::stod(get_flag(flags, "drop-rate", "0"));
+  faults.straggler_rate = std::stod(get_flag(flags, "straggler-rate", "0"));
+  faults.straggler_delay_s =
+      std::stod(get_flag(flags, "straggler-delay", "1"));
+  const std::string deadline = get_flag(flags, "round-deadline", "");
+  if (!deadline.empty()) faults.round_deadline_s = std::stod(deadline);
+  faults.crash_rate = std::stod(get_flag(flags, "crash-rate", "0"));
+  faults.crash_rounds = std::stoi(get_flag(flags, "crash-rounds", "1"));
+  faults.crash_schedule =
+      comm::parse_crash_schedule(get_flag(flags, "crash-schedule", ""));
+  faults.fault_seed = std::stoull(get_flag(flags, "fault-seed", "0"));
+  return faults;
+}
+
+/// FNV-1a over every fault decision a fixed coordinate grid can ask for.
+/// Pure function of the FaultConfig, so every process of a correctly
+/// rendezvoused world computes the identical digest.
+uint64_t fault_schedule_digest(const comm::FaultPlan& plan, int world) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  constexpr int kRounds = 8;
+  constexpr uint64_t kSeqs = 16;
+  for (int round = 1; round <= kRounds; ++round) {
+    for (int rank = 0; rank < world; ++rank) {
+      mix(plan.crashed(round, rank) ? 1 : 0);
+      mix(plan.rejoined(round, rank) ? 1 : 0);
+      mix(plan.straggling(round, rank) ? 1 : 0);
+    }
+  }
+  for (int src = 0; src < world; ++src) {
+    for (int dst = 0; dst < world; ++dst) {
+      for (uint64_t seq = 1; seq <= kSeqs; ++seq) {
+        mix(plan.drop_message(src, dst, /*tag=*/1, seq) ? 1 : 0);
+      }
+    }
+  }
+  return h;
+}
+
+/// Multi-process fabric probe: one rank per process over a shm or tcp
+/// backend. Verifies the rendezvous handshake (every rank derives the same
+/// fault schedule from the exchanged FaultConfig) and the fabric itself
+/// (deterministic ping-pong payloads, delivered in order and intact).
+int run_probe(const std::map<std::string, std::string>& flags) {
+  comm::TransportOptions topts;
+  topts.kind = comm::parse_transport_kind(get_flag(flags, "transport", "tcp"));
+  FCA_CHECK_MSG(topts.kind != comm::TransportKind::kInproc,
+                "the probe spans processes; use --transport shm or tcp");
+  FCA_CHECK_MSG(flags.count("rank") != 0, "probe needs --rank (0 = root)");
+  topts.self_rank = std::stoi(flags.at("rank"));
+  const int world = std::stoi(get_flag(flags, "world-size", "2"));
+  FCA_CHECK_MSG(world >= 2, "probe needs --world-size >= 2");
+  FCA_CHECK_MSG(topts.self_rank >= 0 && topts.self_rank < world,
+                "--rank outside [0, world-size)");
+  topts.shm_name = get_flag(flags, "shm-name", "/fca_probe");
+  topts.shm_create = topts.self_rank == 0;
+  topts.bind_address = get_flag(flags, "bind", "");
+  topts.connect_address = get_flag(flags, "connect", "");
+  topts.io_timeout_s = std::stod(get_flag(flags, "io-timeout", "30"));
+  const int messages = std::stoi(get_flag(flags, "probe-messages", "8"));
+  const int rank = topts.self_rank;
+
+  // The root publishes the run context; joiners have theirs overwritten by
+  // the handshake, exactly as a resumed multi-process run would.
+  comm::Handshake hs;
+  hs.seed = std::stoull(get_flag(flags, "seed", "42"));
+  hs.faults = fault_config_from_flags(flags);
+  std::unique_ptr<comm::Transport> transport =
+      comm::make_transport(topts, world, &hs);
+  std::printf("probe rank %d/%d up on %s (seed %llu)\n", rank, world,
+              std::string(transport->name()).c_str(),
+              static_cast<unsigned long long>(hs.seed));
+
+  comm::Network net(world, comm::CostModel{}, hs.faults,
+                    std::move(transport));
+  comm::Endpoint ep(net, rank);
+  constexpr int kTagDigest = 1, kTagPing = 2, kTagPong = 3;
+  bool ok = true;
+
+  // Check 1: every rank derives the identical fault schedule from the
+  // handshake — the property that makes multi-process fault injection
+  // deterministic.
+  const uint64_t digest = fault_schedule_digest(net.fault_plan(), world);
+  if (rank == 0) {
+    for (int peer = 1; peer < world; ++peer) {
+      const comm::Bytes blob = ep.recv(peer, kTagDigest);
+      uint64_t theirs = 0;
+      std::memcpy(&theirs, blob.data(), std::min(sizeof(theirs), blob.size()));
+      if (blob.size() != sizeof(uint64_t) || theirs != digest) {
+        std::fprintf(stderr,
+                     "probe: rank %d fault digest %016llx != root %016llx\n",
+                     peer, static_cast<unsigned long long>(theirs),
+                     static_cast<unsigned long long>(digest));
+        ok = false;
+      }
+    }
+  } else {
+    const auto* p = reinterpret_cast<const std::byte*>(&digest);
+    ep.send(0, kTagDigest, std::span(p, sizeof(digest)));
+  }
+
+  // Check 2: deterministic ping-pong per peer — payload bytes are a pure
+  // function of (seed, peer, message index), so both sides can verify
+  // content and FIFO order without further coordination.
+  auto payload_for = [&hs](int peer, int index) {
+    comm::Bytes p(64 + static_cast<size_t>(index) * 17);
+    for (size_t j = 0; j < p.size(); ++j) {
+      p[j] = static_cast<std::byte>(
+          (hs.seed + static_cast<uint64_t>(peer) * 131 +
+           static_cast<uint64_t>(index) * 31 + j) &
+          0xFF);
+    }
+    return p;
+  };
+  if (rank == 0) {
+    for (int i = 0; i < messages; ++i) {
+      for (int peer = 1; peer < world; ++peer) {
+        ep.send(peer, kTagPing, payload_for(peer, i));
+      }
+    }
+    for (int peer = 1; peer < world; ++peer) {
+      for (int i = 0; i < messages; ++i) {
+        if (ep.recv(peer, kTagPong) != payload_for(peer, i)) {
+          std::fprintf(stderr, "probe: bad echo %d from rank %d\n", i, peer);
+          ok = false;
+        }
+      }
+    }
+  } else {
+    for (int i = 0; i < messages; ++i) {
+      const comm::Bytes ping = ep.recv(0, kTagPing);
+      if (ping != payload_for(rank, i)) {
+        std::fprintf(stderr, "probe: rank %d got bad ping %d\n", rank, i);
+        ok = false;
+      }
+      ep.send(0, kTagPong, ping);
+    }
+  }
+
+  const comm::TrafficStats sent = net.rank_stats(rank);
+  std::printf(
+      "probe rank %d: %s — %llu message(s) sent (%llu payload bytes, "
+      "%llu wire bytes)\n",
+      rank, ok ? "all checks passed" : "FAILED",
+      static_cast<unsigned long long>(sent.messages),
+      static_cast<unsigned long long>(sent.payload_bytes),
+      static_cast<unsigned long long>(net.transport().wire_bytes()));
+  return ok ? 0 : 1;
 }
 
 std::unique_ptr<fl::RoundStrategy> make_strategy(
@@ -157,9 +350,9 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     }
+    if (flags.count("probe") != 0) return run_probe(flags);
     auto get = [&](const char* key, const std::string& fallback) {
-      auto it = flags.find(key);
-      return it == flags.end() ? fallback : it->second;
+      return get_flag(flags, key, fallback);
     };
 
     core::ExperimentConfig config;
@@ -171,19 +364,11 @@ int main(int argc, char** argv) {
     config.train_per_class = std::stoi(get("train-per-class", "25"));
     config.seed = std::stoull(get("seed", "42"));
     config.client_parallelism = std::stoi(get("client-parallelism", "1"));
-    config.faults.drop_rate = std::stod(get("drop-rate", "0"));
-    config.faults.straggler_rate = std::stod(get("straggler-rate", "0"));
-    config.faults.straggler_delay_s = std::stod(get("straggler-delay", "1"));
-    const std::string deadline = get("round-deadline", "");
-    if (!deadline.empty()) {
-      config.faults.round_deadline_s = std::stod(deadline);
-    }
-    config.faults.crash_rate = std::stod(get("crash-rate", "0"));
-    config.faults.crash_rounds = std::stoi(get("crash-rounds", "1"));
-    config.faults.crash_schedule =
-        comm::parse_crash_schedule(get("crash-schedule", ""));
-    config.faults.fault_seed = std::stoull(get("fault-seed", "0"));
+    config.faults = fault_config_from_flags(flags);
     config.quorum = std::stoi(get("quorum", "1"));
+    config.transport.kind =
+        comm::parse_transport_kind(get("transport", "inproc"));
+    config.transport.shm_name = get("shm-name", "");
     const std::string partition = get("partition", "dirichlet");
     if (partition == "skewed") {
       config.partition = core::PartitionScheme::kSkewed;

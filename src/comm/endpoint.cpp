@@ -24,6 +24,13 @@ std::optional<Bytes> Endpoint::try_recv(int src, int tag) {
 
 std::optional<Bytes> Endpoint::recv_with_deadline(int src, int tag,
                                                   double deadline_s) {
+  // Validate before the reliable-fabric shortcut: a zero/negative (or NaN)
+  // deadline used to be silently ignored when no fault plan was active and
+  // only blow up once faults were enabled — fail loudly in both modes.
+  FCA_CHECK_MSG(deadline_s > 0.0,
+                "recv_with_deadline needs a positive deadline, got "
+                    << deadline_s << " (src=" << src << ", tag=" << tag
+                    << "); use +infinity for 'no deadline'");
   if (!net_->fault_plan().enabled()) return net_->recv(rank_, src, tag);
   if (!std::isfinite(deadline_s)) return net_->try_recv(rank_, src, tag);
   return net_->recv_within(rank_, src, tag, deadline_s);

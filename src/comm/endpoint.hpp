@@ -35,7 +35,8 @@ class Endpoint {
   /// try_recv() that additionally enforces a simulated-time round deadline:
   /// a message slower than `deadline_s` (e.g. from a straggler) is consumed,
   /// counted as a FaultStats deadline miss, and reported as std::nullopt.
-  /// Non-finite deadlines mean "no deadline".
+  /// +infinity means "no deadline"; a zero, negative or NaN deadline is a
+  /// caller bug and throws on every fabric (reliable ones included).
   std::optional<Bytes> recv_with_deadline(int src, int tag,
                                           double deadline_s);
 

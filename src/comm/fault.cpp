@@ -3,10 +3,91 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/transport/framing.hpp"
 #include "utils/error.hpp"
 #include "utils/rng.hpp"
 
 namespace fca::comm {
+
+namespace {
+// Wire-format versions; bump on layout changes so a mismatched peer fails
+// loudly instead of silently misreading the schedule.
+constexpr uint32_t kFaultConfigVersion = 1;
+constexpr uint32_t kFaultStatsVersion = 1;
+}  // namespace
+
+std::vector<std::byte> serialize_fault_config(const FaultConfig& config) {
+  framing::Writer w;
+  w.u32(kFaultConfigVersion);
+  w.f64(config.drop_rate);
+  w.f64(config.straggler_rate);
+  w.f64(config.straggler_delay_s);
+  w.f64(config.round_deadline_s);
+  w.f64(config.crash_rate);
+  w.i32(config.crash_rounds);
+  w.u32(static_cast<uint32_t>(config.crash_schedule.size()));
+  for (const CrashWindow& win : config.crash_schedule) {
+    w.i32(win.rank);
+    w.i32(win.first_round);
+    w.i32(win.rounds);
+  }
+  w.u64(config.fault_seed);
+  return w.take();
+}
+
+FaultConfig parse_fault_config(std::span<const std::byte> blob) {
+  framing::Reader r(blob);
+  const uint32_t version = r.u32();
+  FCA_CHECK_MSG(version == kFaultConfigVersion,
+                "fault config wire version " << version << ", expected "
+                                             << kFaultConfigVersion);
+  FaultConfig config;
+  config.drop_rate = r.f64();
+  config.straggler_rate = r.f64();
+  config.straggler_delay_s = r.f64();
+  config.round_deadline_s = r.f64();
+  config.crash_rate = r.f64();
+  config.crash_rounds = r.i32();
+  const uint32_t windows = r.u32();
+  config.crash_schedule.resize(windows);
+  for (uint32_t i = 0; i < windows; ++i) {
+    config.crash_schedule[i].rank = r.i32();
+    config.crash_schedule[i].first_round = r.i32();
+    config.crash_schedule[i].rounds = r.i32();
+  }
+  config.fault_seed = r.u64();
+  return config;
+}
+
+std::vector<std::byte> serialize_fault_stats(const FaultStats& stats) {
+  framing::Writer w;
+  w.u32(kFaultStatsVersion);
+  w.u64(stats.dropped_messages);
+  w.u64(stats.dropped_bytes);
+  w.u64(stats.delayed_messages);
+  w.u64(stats.deadline_misses);
+  w.u64(stats.crashed_client_rounds);
+  w.u64(stats.rejoins);
+  w.u64(stats.aborted_rounds);
+  return w.take();
+}
+
+FaultStats parse_fault_stats(std::span<const std::byte> blob) {
+  framing::Reader r(blob);
+  const uint32_t version = r.u32();
+  FCA_CHECK_MSG(version == kFaultStatsVersion,
+                "fault stats wire version " << version << ", expected "
+                                            << kFaultStatsVersion);
+  FaultStats stats;
+  stats.dropped_messages = r.u64();
+  stats.dropped_bytes = r.u64();
+  stats.delayed_messages = r.u64();
+  stats.deadline_misses = r.u64();
+  stats.crashed_client_rounds = r.u64();
+  stats.rejoins = r.u64();
+  stats.aborted_rounds = r.u64();
+  return stats;
+}
 
 std::vector<CrashWindow> parse_crash_schedule(const std::string& spec) {
   std::vector<CrashWindow> windows;

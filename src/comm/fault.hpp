@@ -24,8 +24,10 @@
 // paper's one-time synchronized start.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -38,6 +40,8 @@ struct CrashWindow {
   int rank = 0;
   int first_round = 1;
   int rounds = 1;
+
+  bool operator==(const CrashWindow&) const = default;
 };
 
 /// Parses a crash schedule spec: comma-separated `rank@round` or
@@ -69,7 +73,16 @@ struct FaultConfig {
   /// True when any fault mechanism can fire (a finite round deadline counts:
   /// it can expire messages even without stragglers under a slow CostModel).
   bool enabled() const;
+
+  bool operator==(const FaultConfig&) const = default;
 };
+
+/// Versioned little-endian wire form of a FaultConfig, carried by the
+/// transport rendezvous handshake so every process of a multi-process world
+/// derives the identical fault schedule. Doubles travel as IEEE-754 bit
+/// patterns: parse(serialize(c)) == c bit for bit.
+std::vector<std::byte> serialize_fault_config(const FaultConfig& config);
+FaultConfig parse_fault_config(std::span<const std::byte> blob);
 
 /// Counters for every injected fault and its round-level consequences.
 /// Checkpointed alongside TrafficStats so a resumed faulty run reports the
@@ -91,6 +104,11 @@ struct FaultStats {
 
   bool operator==(const FaultStats&) const = default;
 };
+
+/// Wire form of the fault counters (rendezvous of a resumed run, so a split
+/// multi-process run reports the same totals as an unsplit one).
+std::vector<std::byte> serialize_fault_stats(const FaultStats& stats);
+FaultStats parse_fault_stats(std::span<const std::byte> blob);
 
 /// The deterministic fault schedule. Stateless apart from the active round
 /// (set via Network::begin_round under the network lock): every query is a

@@ -1,7 +1,7 @@
 #include "comm/network.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -9,9 +9,24 @@
 
 namespace fca::comm {
 
+namespace {
+
+/// Overflow-checked uint64 accumulation: counters wrap silently in release
+/// builds otherwise, and a wrapped byte total corrupts every downstream
+/// accounting comparison instead of failing loudly.
+void add_checked(uint64_t& acc, uint64_t delta, const char* what) {
+  FCA_CHECK_MSG(acc <= std::numeric_limits<uint64_t>::max() - delta,
+                "uint64 overflow accumulating " << what << ": " << acc
+                                                << " + " << delta);
+  acc += delta;
+}
+
+}  // namespace
+
 TrafficStats& TrafficStats::operator+=(const TrafficStats& other) {
-  messages += other.messages;
-  payload_bytes += other.payload_bytes;
+  add_checked(messages, other.messages, "TrafficStats.messages");
+  add_checked(payload_bytes, other.payload_bytes,
+              "TrafficStats.payload_bytes");
   sim_seconds += other.sim_seconds;
   return *this;
 }
@@ -29,13 +44,21 @@ void CostModel::validate() const {
                     << bandwidth_bps);
 }
 
-Network::Network(int ranks, CostModel cost, FaultConfig faults)
+Network::Network(int ranks, CostModel cost, FaultConfig faults,
+                 std::unique_ptr<Transport> transport)
     : ranks_(ranks),
       cost_(cost),
       plan_(std::move(faults), ranks),
+      transport_(std::move(transport)),
       sent_(static_cast<size_t>(std::max(ranks, 0))) {
   FCA_CHECK_MSG(ranks > 0, "Network needs at least one rank");
   cost_.validate();
+  if (transport_ == nullptr) {
+    transport_ = make_transport(TransportOptions{}, ranks_);
+  }
+  FCA_CHECK_MSG(transport_->world_size() == ranks_,
+                "transport spans " << transport_->world_size()
+                                   << " rank(s), network needs " << ranks_);
 }
 
 void Network::check_rank(int rank) const {
@@ -62,19 +85,20 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
   check_rank(dst);
   std::lock_guard lk(mu_);
   TrafficStats& s = sent_[static_cast<size_t>(src)];
-  ++s.messages;
-  s.payload_bytes += payload.size();
+  add_checked(s.messages, 1, "rank messages");
+  add_checked(s.payload_bytes, static_cast<uint64_t>(payload.size()),
+              "rank payload bytes");
   if (obs::metrics_enabled()) {
     // Sent-side accounting, mirroring TrafficStats: a message pays its bytes
     // even when the fault plan later loses it in flight.
     EdgeCounters& edge = edge_counters_locked(src, dst);
     edge.messages->add();
-    edge.bytes->add(payload.size());
+    edge.bytes->add(static_cast<uint64_t>(payload.size()));
     obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
     static obs::Counter* total_msgs = &reg.counter("comm.sent.messages");
     static obs::Counter* total_bytes = &reg.counter("comm.sent.bytes");
     total_msgs->add();
-    total_bytes->add(payload.size());
+    total_bytes->add(static_cast<uint64_t>(payload.size()));
   }
   double transfer = cost_.transfer_seconds(payload.size());
   s.sim_seconds += transfer;
@@ -86,75 +110,33 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
     const int round = plan_.round();
     if (plan_.crashed(round, src) || plan_.crashed(round, dst) ||
         plan_.drop_message(src, dst, tag, seq)) {
-      ++faults_.dropped_messages;
-      faults_.dropped_bytes += payload.size();
+      add_checked(faults_.dropped_messages, 1, "dropped messages");
+      add_checked(faults_.dropped_bytes, static_cast<uint64_t>(payload.size()),
+                  "dropped bytes");
       return;  // lost in flight; the sender still paid for the bytes
     }
     if (plan_.straggling(round, src)) {
       const double extra = plan_.config().straggler_delay_s;
       transfer += extra;
       s.sim_seconds += extra;
-      ++faults_.delayed_messages;
+      add_checked(faults_.delayed_messages, 1, "delayed messages");
     }
   }
-  mailboxes_[Key{src, dst, tag}].push_back(
-      Message{std::move(payload), transfer});
-  ++pending_;
-}
-
-std::optional<Network::Message> Network::pop_locked(int dst, int src,
-                                                    int tag) {
-  auto it = mailboxes_.find(Key{src, dst, tag});
-  if (it == mailboxes_.end() || it->second.empty()) return std::nullopt;
-  Message out = std::move(it->second.front());
-  it->second.pop_front();
-  --pending_;
-  return out;
+  transport_->send(WireMessage{src, dst, tag, transfer, std::move(payload)});
 }
 
 Bytes Network::recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
-  std::optional<Message> msg = pop_locked(dst, src, tag);
-  if (!msg.has_value()) {
-    // Diagnose the protocol bug precisely: what was asked for, how much is
-    // in flight overall, and the nearest non-empty mailbox for this (src,
-    // dst) pair — usually a tag mix-up or a swapped direction.
-    std::ostringstream os;
-    os << "recv with no matching send: src=" << src << " dst=" << dst
-       << " tag=" << tag << "; " << pending_
-       << " message(s) pending fabric-wide";
-    bool found = false;
-    for (const auto& [key, box] : mailboxes_) {
-      if (box.empty()) continue;
-      if (key.src == src && key.dst == dst) {
-        os << "; nearest non-empty mailbox for this pair: tag=" << key.tag
-           << " (" << box.size() << " message(s))";
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      for (const auto& [key, box] : mailboxes_) {
-        if (box.empty()) continue;
-        if (key.src == dst && key.dst == src) {
-          os << "; reverse direction dst->src has tag=" << key.tag << " ("
-             << box.size() << " message(s)) pending — swapped src/dst?";
-          break;
-        }
-      }
-    }
-    throw Error(os.str());
-  }
-  return std::move(msg->payload);
+  return std::move(transport_->recv(dst, src, tag).payload);
 }
 
 std::optional<Bytes> Network::try_recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
-  std::optional<Message> msg = pop_locked(dst, src, tag);
+  std::optional<WireMessage> msg = transport_->try_recv(dst, src, tag);
   if (!msg.has_value()) return std::nullopt;
   return std::move(msg->payload);
 }
@@ -163,28 +145,30 @@ std::optional<Bytes> Network::recv_within(int dst, int src, int tag,
                                           double deadline_s) {
   check_rank(src);
   check_rank(dst);
-  FCA_CHECK_MSG(deadline_s > 0.0, "recv deadline must be positive");
   std::lock_guard lk(mu_);
-  std::optional<Message> msg = pop_locked(dst, src, tag);
-  if (!msg.has_value()) return std::nullopt;
-  if (msg->transfer_s > deadline_s) {
-    // The message exists but arrives too late for this round: consume it
-    // (the mailbox must not leak into the next round) and report a miss.
-    ++faults_.deadline_misses;
-    return std::nullopt;
+  bool missed = false;
+  std::optional<WireMessage> msg =
+      transport_->recv_with_deadline(dst, src, tag, deadline_s, &missed);
+  if (missed) {
+    // The message exists but arrives too late for this round: the transport
+    // consumed it (the mailbox must not leak into the next round); count the
+    // miss here, where the FaultStats live.
+    add_checked(faults_.deadline_misses, 1, "deadline misses");
   }
+  if (!msg.has_value()) return std::nullopt;
   return std::move(msg->payload);
 }
 
 bool Network::has_message(int dst, int src, int tag) const {
+  check_rank(src);
+  check_rank(dst);
   std::lock_guard lk(mu_);
-  auto it = mailboxes_.find(Key{src, dst, tag});
-  return it != mailboxes_.end() && !it->second.empty();
+  return transport_->has_message(dst, src, tag);
 }
 
 size_t Network::pending_messages() const {
   std::lock_guard lk(mu_);
-  return pending_;
+  return transport_->pending_messages();
 }
 
 TrafficStats Network::rank_stats(int rank) const {
@@ -202,8 +186,7 @@ TrafficStats Network::total_stats() const {
 
 void Network::clear_pending() {
   std::lock_guard lk(mu_);
-  mailboxes_.clear();
-  pending_ = 0;
+  transport_->clear_pending();
 }
 
 void Network::reset_stats() {
@@ -223,11 +206,13 @@ void Network::restore_stats(const std::vector<TrafficStats>& sent) {
 void Network::begin_round(int round) {
   std::lock_guard lk(mu_);
   plan_.begin_round(round);
+  transport_->begin_round(round);
 }
 
 void Network::end_round() {
   std::lock_guard lk(mu_);
   plan_.end_round();
+  transport_->end_round();
 }
 
 FaultStats Network::fault_stats() const {
@@ -243,9 +228,10 @@ void Network::restore_fault_stats(const FaultStats& stats) {
 void Network::record_round_faults(uint64_t crashed_clients, uint64_t rejoins,
                                   bool aborted) {
   std::lock_guard lk(mu_);
-  faults_.crashed_client_rounds += crashed_clients;
-  faults_.rejoins += rejoins;
-  if (aborted) ++faults_.aborted_rounds;
+  add_checked(faults_.crashed_client_rounds, crashed_clients,
+              "crashed client rounds");
+  add_checked(faults_.rejoins, rejoins, "rejoins");
+  if (aborted) add_checked(faults_.aborted_rounds, 1, "aborted rounds");
 }
 
 }  // namespace fca::comm

@@ -1,10 +1,18 @@
-// In-process message-passing fabric.
+// Message-passing fabric: policy layer over a pluggable transport.
 //
 // Replaces the paper's MPICH deployment (see DESIGN.md §1): ranks exchange
-// tagged byte messages through per-(src, dst, tag) FIFO mailboxes with full
+// tagged byte messages through a comm::Transport backend (in-process
+// mailboxes, shared-memory rings, or TCP sockets — comm/transport/) with full
 // traffic accounting and a configurable latency/bandwidth cost model. The
 // API mirrors MPI point-to-point semantics; collectives are composed on top
 // in Endpoint. Thread-safe, so ranks may also be driven from worker threads.
+//
+// Network owns everything that must be backend-invariant: the cost model
+// stamps each message's simulated transfer time before it reaches the
+// transport, fault decisions are made here (pure functions of the fault
+// seed), and traffic counters tally sends whether or not the message
+// survives injection. Swapping the backend therefore changes how bytes move,
+// never what the simulation computes.
 //
 // A Network may carry a FaultPlan (comm/fault.hpp): inside a round
 // (begin_round/end_round) it drops messages, delays a straggler's sends past
@@ -16,19 +24,18 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "comm/transport/transport.hpp"
 #include "obs/metrics.hpp"
 
 namespace fca::comm {
-
-using Bytes = std::vector<std::byte>;
 
 struct TrafficStats {
   uint64_t messages = 0;
@@ -37,6 +44,7 @@ struct TrafficStats {
   /// (plus any injected straggler delay).
   double sim_seconds = 0.0;
 
+  /// Overflow-checked accumulation (throws fca::Error instead of wrapping).
   TrafficStats& operator+=(const TrafficStats& other);
 };
 
@@ -63,9 +71,16 @@ struct CostModel {
 
 class Network {
  public:
-  explicit Network(int ranks, CostModel cost = {}, FaultConfig faults = {});
+  /// A null `transport` builds the in-process backend (the historical
+  /// behavior and the determinism oracle). A supplied transport must span
+  /// the same world: `ranks == transport->world_size()`.
+  explicit Network(int ranks, CostModel cost = {}, FaultConfig faults = {},
+                   std::unique_ptr<Transport> transport = nullptr);
 
   int size() const { return ranks_; }
+
+  /// The backend moving the bytes (never null).
+  const Transport& transport() const { return *transport_; }
 
   /// Enqueues a message from `src` to `dst` under `tag`. Traffic is always
   /// metered (the sender paid for the bytes); an active fault plan may then
@@ -75,7 +90,9 @@ class Network {
   /// Dequeues the oldest message from `src` to `dst` under `tag`.
   /// Throws if none is pending — in a deterministically scheduled
   /// simulation a blocking receive with no matching send is a protocol bug.
-  /// Fault-tolerant code paths use try_recv/recv_within instead.
+  /// (On a multi-process backend the transport first waits up to its io
+  /// timeout for the remote sender.) Fault-tolerant code paths use
+  /// try_recv/recv_within instead.
   Bytes recv(int dst, int src, int tag);
 
   /// Like recv(), but a missing message is a reported loss
@@ -85,7 +102,7 @@ class Network {
   /// try_recv() with a simulated-time deadline: a pending message whose
   /// transfer time exceeds `deadline_s` is consumed, counted as a
   /// FaultStats deadline miss, and reported as std::nullopt — the straggler
-  /// model's server-side half.
+  /// model's server-side half. Rejects non-positive (or NaN) deadlines.
   std::optional<Bytes> recv_within(int dst, int src, int tag,
                                    double deadline_s);
 
@@ -129,24 +146,7 @@ class Network {
                            bool aborted);
 
  private:
-  struct Key {
-    int src, dst, tag;
-    bool operator<(const Key& o) const {
-      if (src != o.src) return src < o.src;
-      if (dst != o.dst) return dst < o.dst;
-      return tag < o.tag;
-    }
-  };
-
-  /// A queued message plus its simulated transfer time (cost model + any
-  /// injected straggler delay), checked by recv_within().
-  struct Message {
-    Bytes payload;
-    double transfer_s = 0.0;
-  };
-
   void check_rank(int rank) const;
-  std::optional<Message> pop_locked(int dst, int src, int tag);
 
   /// Registry counters for one (src, dst) link, resolved once per edge
   /// under mu_ and cached (registry lookups are by-name map walks).
@@ -160,10 +160,9 @@ class Network {
   CostModel cost_;
   FaultPlan plan_;
   mutable std::mutex mu_;
-  std::map<Key, std::deque<Message>> mailboxes_;
+  std::unique_ptr<Transport> transport_;
   std::vector<TrafficStats> sent_;
   FaultStats faults_;
-  size_t pending_ = 0;
   std::map<std::pair<int, int>, EdgeCounters> edges_;
 };
 

@@ -1,0 +1,163 @@
+// Wire framing shared by every transport backend.
+//
+// A message crosses any backend as one frame:
+//
+//   offset  size  field
+//        0     4  magic 0x46434154 ("FCAT") — detects stream desync
+//        4     4  src rank
+//        8     4  dst rank
+//       12     4  tag (two's complement)
+//       16     4  payload length in bytes
+//       20     8  simulated transfer seconds (IEEE-754 bit pattern)
+//       28     n  payload
+//
+// All integers are little-endian and written byte-by-byte, so the format is
+// identical across compilers and both ends of a cross-machine tcp link. The
+// in-process backend never materializes frames but accounts wire bytes with
+// the same frame_size() formula, keeping byte accounting backend-invariant.
+//
+// Writer/Reader below are the minimal codec the rendezvous handshake and the
+// FaultConfig/FaultStats serializers build on (ckpt's SectionWriter lives
+// above comm in the dependency order and cannot be used here).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "utils/error.hpp"
+
+namespace fca::comm::framing {
+
+inline constexpr uint32_t kFrameMagic = 0x46434154u;  // "FCAT"
+inline constexpr size_t kHeaderBytes = 28;
+
+struct FrameHeader {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  uint32_t payload_len = 0;
+  double transfer_s = 0.0;
+};
+
+inline void put_u32(std::byte* p, uint32_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xFF);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xFF);
+}
+
+inline uint32_t get_u32(const std::byte* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void put_u64(std::byte* p, uint64_t v) {
+  put_u32(p, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint64_t get_u64(const std::byte* p) {
+  return static_cast<uint64_t>(get_u32(p)) |
+         (static_cast<uint64_t>(get_u32(p + 4)) << 32);
+}
+
+/// Total wire footprint of a message with `payload_len` payload bytes.
+inline constexpr uint64_t frame_size(size_t payload_len) {
+  return static_cast<uint64_t>(kHeaderBytes) + payload_len;
+}
+
+inline void encode_header(const FrameHeader& h, std::byte* out) {
+  put_u32(out, kFrameMagic);
+  put_u32(out + 4, static_cast<uint32_t>(h.src));
+  put_u32(out + 8, static_cast<uint32_t>(h.dst));
+  put_u32(out + 12, static_cast<uint32_t>(h.tag));
+  put_u32(out + 16, h.payload_len);
+  put_u64(out + 20, std::bit_cast<uint64_t>(h.transfer_s));
+}
+
+/// Decodes 28 header bytes; throws on a bad magic (stream desync or a
+/// foreign writer in the shared region).
+inline FrameHeader decode_header(const std::byte* p) {
+  const uint32_t magic = get_u32(p);
+  FCA_CHECK_MSG(magic == kFrameMagic,
+                "bad frame magic 0x" << std::hex << magic
+                                     << " — transport stream desynchronized");
+  FrameHeader h;
+  h.src = static_cast<int>(get_u32(p + 4));
+  h.dst = static_cast<int>(get_u32(p + 8));
+  h.tag = static_cast<int>(get_u32(p + 12));
+  h.payload_len = get_u32(p + 16);
+  h.transfer_s = std::bit_cast<double>(get_u64(p + 20));
+  return h;
+}
+
+/// Append-only little-endian writer for handshake/control payloads.
+class Writer {
+ public:
+  void u32(uint32_t v) {
+    const size_t n = buf_.size();
+    buf_.resize(n + 4);
+    put_u32(buf_.data() + n, v);
+  }
+  void u64(uint64_t v) {
+    const size_t n = buf_.size();
+    buf_.resize(n + 8);
+    put_u64(buf_.data() + n, v);
+  }
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+  void bytes(std::span<const std::byte> b) {
+    u32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    bytes(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()), s.size()));
+  }
+  const std::vector<std::byte>& data() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked reader over a Writer-produced buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+  uint32_t u32() { return get_u32(need(4)); }
+  uint64_t u64() { return get_u64(need(8)); }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::vector<std::byte> bytes() {
+    const uint32_t n = u32();
+    const std::byte* p = need(n);
+    return std::vector<std::byte>(p, p + n);
+  }
+  std::string str() {
+    const uint32_t n = u32();
+    const std::byte* p = need(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::byte* need(size_t n) {
+    FCA_CHECK_MSG(pos_ + n <= data_.size(),
+                  "truncated control payload: need " << n << " bytes at offset "
+                                                     << pos_ << " of "
+                                                     << data_.size());
+    const std::byte* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fca::comm::framing

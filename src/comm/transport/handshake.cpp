@@ -1,0 +1,43 @@
+#include "comm/transport/handshake.hpp"
+
+#include "comm/transport/framing.hpp"
+#include "utils/error.hpp"
+
+namespace fca::comm {
+
+namespace {
+constexpr uint32_t kHandshakeMagic = 0x46434853u;  // "FCHS"
+constexpr uint32_t kHandshakeVersion = 1;
+}  // namespace
+
+Bytes Handshake::serialize() const {
+  framing::Writer w;
+  w.u32(kHandshakeMagic);
+  w.u32(kHandshakeVersion);
+  w.u64(seed);
+  w.i32(next_round);
+  w.bytes(serialize_fault_config(faults));
+  w.bytes(serialize_fault_stats(fault_stats));
+  return w.take();
+}
+
+Handshake Handshake::parse(std::span<const std::byte> blob) {
+  framing::Reader r(blob);
+  const uint32_t magic = r.u32();
+  FCA_CHECK_MSG(magic == kHandshakeMagic,
+                "bad handshake magic 0x" << std::hex << magic);
+  const uint32_t version = r.u32();
+  FCA_CHECK_MSG(version == kHandshakeVersion,
+                "handshake wire version " << version << ", expected "
+                                          << kHandshakeVersion);
+  Handshake hs;
+  hs.seed = r.u64();
+  hs.next_round = r.i32();
+  const Bytes faults = r.bytes();
+  hs.faults = parse_fault_config(faults);
+  const Bytes stats = r.bytes();
+  hs.fault_stats = parse_fault_stats(stats);
+  return hs;
+}
+
+}  // namespace fca::comm

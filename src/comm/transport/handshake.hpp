@@ -1,0 +1,38 @@
+// Rendezvous payload: the run context rank 0 publishes when a multi-process
+// world assembles.
+//
+// Every process must derive the identical fault schedule, RNG streams and
+// byte accounting, so the root ships the experiment seed, the full
+// FaultConfig (schedules are pure functions of it — see comm/fault.hpp) and,
+// for a resumed run, the FaultStats counters plus the next round, letting a
+// split run reproduce the exact schedule and totals of an unsplit one.
+//
+// The blob is versioned and little-endian (framing.hpp); the tcp backend
+// carries it in the WELCOME control message, the shm backend embeds it in
+// the region header.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/fault.hpp"
+#include "comm/transport/transport.hpp"
+
+namespace fca::comm {
+
+struct Handshake {
+  /// Experiment seed (training/sampling randomness).
+  uint64_t seed = 0;
+  /// First round still to execute (1 for a fresh run; a resumed run ships
+  /// its checkpoint cursor so joiners scope faults identically).
+  int next_round = 1;
+  /// Fault schedule; pure-function decisions make it location-independent.
+  FaultConfig faults;
+  /// Injected-fault counters accumulated before a resume (all-zero fresh).
+  FaultStats fault_stats;
+
+  Bytes serialize() const;
+  static Handshake parse(std::span<const std::byte> blob);
+};
+
+}  // namespace fca::comm

@@ -1,0 +1,329 @@
+#include "comm/transport/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "comm/transport/framing.hpp"
+#include "comm/transport/handshake.hpp"
+#include "utils/error.hpp"
+
+namespace fca::comm {
+
+namespace {
+
+constexpr uint32_t kRegionMagic = 0x4643534Du;  // "FCSM"
+constexpr uint32_t kRegionVersion = 1;
+constexpr size_t kMaxHandshakeBytes = 4096;
+/// Auto ring sizing: a fixed region budget divided across world^2 rings,
+/// clamped so tiny worlds get roomy rings and huge worlds stay mappable.
+constexpr size_t kRegionBudgetBytes = 64u << 20;
+constexpr size_t kMinRingCapacity = 64u << 10;
+constexpr size_t kMaxRingCapacity = 1u << 20;
+
+struct RegionHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t world;
+  uint32_t handshake_len;
+  uint64_t ring_capacity;
+  std::atomic<uint32_t> ready;
+  std::byte handshake[kMaxHandshakeBytes];
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "shm rings require lock-free atomics");
+
+size_t align_up(size_t n, size_t a) { return (n + a - 1) / a * a; }
+
+void sleep_briefly() {
+  timespec ts{0, 200 * 1000};  // 200 µs
+  nanosleep(&ts, nullptr);
+}
+
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+size_t auto_ring_capacity(int world) {
+  const size_t rings = static_cast<size_t>(world) * static_cast<size_t>(world);
+  const size_t per = kRegionBudgetBytes / std::max<size_t>(rings, 1);
+  return std::clamp(align_up(per, 4096), kMinRingCapacity, kMaxRingCapacity);
+}
+
+}  // namespace
+
+ShmTransport::ShmTransport(const TransportOptions& options, int world,
+                           Handshake* handshake)
+    : Transport(world, options.self_rank),
+      shm_name_(options.shm_name),
+      io_timeout_s_(options.io_timeout_s) {
+  ring_capacity_ = options.shm_ring_capacity != 0
+                       ? align_up(options.shm_ring_capacity, 64)
+                       : auto_ring_capacity(world);
+  FCA_CHECK_MSG(ring_capacity_ >= framing::kHeaderBytes + 64,
+                "shm ring capacity " << ring_capacity_ << " is too small");
+  ring_stride_ = align_up(sizeof(RingHeader), 64) + ring_capacity_;
+  rings_offset_ = align_up(sizeof(RegionHeader), 64);
+  const size_t rings =
+      static_cast<size_t>(world) * static_cast<size_t>(world);
+  map_size_ = rings_offset_ + rings * ring_stride_;
+
+  created_ = options.shm_create;
+  FCA_CHECK_MSG(self_rank_ == TransportOptions::kAllRanks || !shm_name_.empty(),
+                "a multi-process shm world needs a --shm-name both sides "
+                "agree on");
+  if (shm_name_.empty()) {
+    // Process-private world (plus fork children): anonymous shared mapping.
+    map_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    FCA_CHECK_MSG(map_ != MAP_FAILED, "mmap of " << map_size_
+                                                 << " shm bytes failed: "
+                                                 << std::strerror(errno));
+    created_ = true;
+  } else if (created_) {
+    fd_ = shm_open(shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    FCA_CHECK_MSG(fd_ >= 0, "shm_open(" << shm_name_ << ") failed: "
+                                        << std::strerror(errno)
+                                        << " (stale region from a previous "
+                                           "run? shm_unlink it)");
+    FCA_CHECK_MSG(ftruncate(fd_, static_cast<off_t>(map_size_)) == 0,
+                  "ftruncate(" << shm_name_ << ", " << map_size_
+                               << ") failed: " << std::strerror(errno));
+    map_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    FCA_CHECK_MSG(map_ != MAP_FAILED,
+                  "mmap(" << shm_name_ << ") failed: " << std::strerror(errno));
+  } else {
+    // Attach with retries: the creator may not have run yet.
+    const double deadline = monotonic_seconds() + io_timeout_s_;
+    while (true) {
+      fd_ = shm_open(shm_name_.c_str(), O_RDWR, 0600);
+      if (fd_ >= 0) {
+        struct stat st {};
+        FCA_CHECK(fstat(fd_, &st) == 0);
+        if (static_cast<size_t>(st.st_size) >= map_size_) break;
+        close(fd_);
+        fd_ = -1;
+      }
+      FCA_CHECK_MSG(monotonic_seconds() < deadline,
+                    "timed out attaching to shm region " << shm_name_);
+      sleep_briefly();
+    }
+    map_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+    FCA_CHECK_MSG(map_ != MAP_FAILED,
+                  "mmap(" << shm_name_ << ") failed: " << std::strerror(errno));
+  }
+
+  auto* header = reinterpret_cast<RegionHeader*>(map_);
+  if (created_) {
+    std::memset(map_, 0, map_size_);
+    header->magic = kRegionMagic;
+    header->version = kRegionVersion;
+    header->world = static_cast<uint32_t>(world);
+    header->ring_capacity = ring_capacity_;
+    for (int s = 0; s < world; ++s) {
+      for (int d = 0; d < world; ++d) {
+        new (&ring_header(s, d)) RingHeader{{0}, {0}};
+      }
+    }
+    if (handshake != nullptr) {
+      const Bytes blob = handshake->serialize();
+      FCA_CHECK_MSG(blob.size() <= kMaxHandshakeBytes,
+                    "handshake blob of " << blob.size()
+                                         << " bytes exceeds the region slot");
+      std::memcpy(header->handshake, blob.data(), blob.size());
+      header->handshake_len = static_cast<uint32_t>(blob.size());
+    }
+    header->ready.store(1, std::memory_order_release);
+  } else {
+    const double deadline = monotonic_seconds() + io_timeout_s_;
+    while (header->ready.load(std::memory_order_acquire) == 0) {
+      FCA_CHECK_MSG(monotonic_seconds() < deadline,
+                    "shm region " << shm_name_ << " never became ready");
+      sleep_briefly();
+    }
+    FCA_CHECK_MSG(header->magic == kRegionMagic,
+                  "shm region " << shm_name_ << " has a foreign magic");
+    FCA_CHECK_MSG(header->version == kRegionVersion,
+                  "shm region version " << header->version << ", expected "
+                                        << kRegionVersion);
+    FCA_CHECK_MSG(header->world == static_cast<uint32_t>(world),
+                  "shm region world " << header->world << ", expected "
+                                      << world);
+    FCA_CHECK_MSG(header->ring_capacity == ring_capacity_,
+                  "shm ring capacity mismatch: region "
+                      << header->ring_capacity << ", local " << ring_capacity_
+                      << " — both sides must agree on FCA_SHM_RING_CAPACITY");
+    if (handshake != nullptr && header->handshake_len > 0) {
+      *handshake = Handshake::parse(std::span<const std::byte>(
+          header->handshake, header->handshake_len));
+    }
+  }
+}
+
+ShmTransport::~ShmTransport() {
+  if (map_ != nullptr && map_ != MAP_FAILED) munmap(map_, map_size_);
+  if (fd_ >= 0) close(fd_);
+  if (created_ && !shm_name_.empty()) shm_unlink(shm_name_.c_str());
+}
+
+ShmTransport::RingHeader& ShmTransport::ring_header(int src, int dst) const {
+  const size_t index = static_cast<size_t>(src) * static_cast<size_t>(world_) +
+                       static_cast<size_t>(dst);
+  return *reinterpret_cast<RingHeader*>(region_base() + rings_offset_ +
+                                        index * ring_stride_);
+}
+
+std::byte* ShmTransport::ring_data(int src, int dst) const {
+  const size_t index = static_cast<size_t>(src) * static_cast<size_t>(world_) +
+                       static_cast<size_t>(dst);
+  return region_base() + rings_offset_ + index * ring_stride_ +
+         align_up(sizeof(RingHeader), 64);
+}
+
+bool ShmTransport::ring_write(int src, int dst, const WireMessage& msg) {
+  RingHeader& r = ring_header(src, dst);
+  const uint64_t frame = framing::frame_size(msg.payload.size());
+  const uint64_t head = r.head.load(std::memory_order_relaxed);
+  const uint64_t tail = r.tail.load(std::memory_order_acquire);
+  if (ring_capacity_ - (head - tail) < frame) return false;
+
+  scratch_.resize(framing::kHeaderBytes);
+  framing::encode_header(
+      {msg.src, msg.dst, msg.tag,
+       static_cast<uint32_t>(msg.payload.size()), msg.transfer_s},
+      scratch_.data());
+  std::byte* data = ring_data(src, dst);
+  auto copy_in = [&](uint64_t at, const std::byte* p, size_t n) {
+    const size_t pos = static_cast<size_t>(at % ring_capacity_);
+    const size_t first = std::min(n, ring_capacity_ - pos);
+    std::memcpy(data + pos, p, first);
+    if (first < n) std::memcpy(data, p + first, n - first);
+  };
+  copy_in(head, scratch_.data(), framing::kHeaderBytes);
+  copy_in(head + framing::kHeaderBytes, msg.payload.data(),
+          msg.payload.size());
+  r.head.store(head + frame, std::memory_order_release);
+  return true;
+}
+
+void ShmTransport::drain_ring(int src, int dst) {
+  RingHeader& r = ring_header(src, dst);
+  const uint64_t head = r.head.load(std::memory_order_acquire);
+  uint64_t tail = r.tail.load(std::memory_order_relaxed);
+  if (head == tail) return;
+  const std::byte* data = ring_data(src, dst);
+  auto copy_out = [&](uint64_t at, std::byte* p, size_t n) {
+    const size_t pos = static_cast<size_t>(at % ring_capacity_);
+    const size_t first = std::min(n, ring_capacity_ - pos);
+    std::memcpy(p, data + pos, first);
+    if (first < n) std::memcpy(p + first, data, n - first);
+  };
+  // The producer publishes head only after the whole frame is in the
+  // buffer, so everything below head parses as complete frames.
+  while (head - tail >= framing::kHeaderBytes) {
+    std::byte raw[framing::kHeaderBytes];
+    copy_out(tail, raw, framing::kHeaderBytes);
+    const framing::FrameHeader h = framing::decode_header(raw);
+    FCA_CHECK_MSG(h.src == src && h.dst == dst,
+                  "frame addressed (" << h.src << " -> " << h.dst
+                                      << ") found in ring (" << src << " -> "
+                                      << dst << ")");
+    WireMessage msg;
+    msg.src = h.src;
+    msg.dst = h.dst;
+    msg.tag = h.tag;
+    msg.transfer_s = h.transfer_s;
+    msg.payload.resize(h.payload_len);
+    copy_out(tail + framing::kHeaderBytes, msg.payload.data(), h.payload_len);
+    tail += framing::frame_size(h.payload_len);
+    queues_.push(std::move(msg));
+  }
+  r.tail.store(tail, std::memory_order_release);
+}
+
+void ShmTransport::drain_all_inbound() {
+  for (int d = 0; d < world_; ++d) {
+    if (!consumes(d)) continue;
+    for (int s = 0; s < world_; ++s) drain_ring(s, d);
+  }
+}
+
+void ShmTransport::send(WireMessage msg) {
+  check_rank_pair(msg.dst, msg.src);
+  FCA_CHECK_MSG(produces(msg.src),
+                "rank " << self_rank_ << " cannot send as rank " << msg.src);
+  FCA_CHECK_MSG(
+      framing::frame_size(msg.payload.size()) <= ring_capacity_,
+      "message of " << msg.payload.size() << " bytes exceeds the shm ring "
+                    << "capacity of " << ring_capacity_
+                    << " — raise FCA_SHM_RING_CAPACITY");
+  note_sent_frame(msg.payload.size());
+  const double deadline = monotonic_seconds() + io_timeout_s_;
+  while (!ring_write(msg.src, msg.dst, msg)) {
+    if (consumes(msg.dst)) {
+      // All-local world: the consumer is this very process, so waiting
+      // would deadlock — drain the full ring into the demux queues instead.
+      drain_ring(msg.src, msg.dst);
+      continue;
+    }
+    FCA_CHECK_MSG(monotonic_seconds() < deadline,
+                  "shm ring (" << msg.src << " -> " << msg.dst
+                               << ") stayed full for " << io_timeout_s_
+                               << "s — is the peer process alive?");
+    sleep_briefly();
+  }
+}
+
+std::optional<WireMessage> ShmTransport::try_recv(int dst, int src, int tag) {
+  check_rank_pair(dst, src);
+  FCA_CHECK_MSG(consumes(dst),
+                "rank " << self_rank_ << " cannot receive as rank " << dst);
+  drain_ring(src, dst);
+  std::optional<WireMessage> msg = queues_.pop(dst, src, tag);
+  if (msg.has_value()) note_consumed_frame();
+  return msg;
+}
+
+std::optional<WireMessage> ShmTransport::wait_recv(int dst, int src,
+                                                   int tag) {
+  std::optional<WireMessage> msg = try_recv(dst, src, tag);
+  if (msg.has_value() || produces(src)) return msg;
+  // The sender is a remote process: wait for the frame to land.
+  const double deadline = monotonic_seconds() + io_timeout_s_;
+  while (!msg.has_value() && monotonic_seconds() < deadline) {
+    sleep_briefly();
+    msg = try_recv(dst, src, tag);
+  }
+  return msg;
+}
+
+bool ShmTransport::has_message(int dst, int src, int tag) {
+  check_rank_pair(dst, src);
+  if (!consumes(dst)) return false;
+  drain_ring(src, dst);
+  return queues_.has(dst, src, tag);
+}
+
+void ShmTransport::clear_pending() {
+  drain_all_inbound();
+  queues_.clear();
+  reset_pending_counters();
+}
+
+std::string ShmTransport::describe_pending(int dst, int src) {
+  if (consumes(dst)) drain_ring(src, dst);
+  return queues_.describe(dst, src);
+}
+
+}  // namespace fca::comm

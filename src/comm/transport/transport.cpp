@@ -1,0 +1,164 @@
+#include "comm/transport/transport.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "comm/transport/framing.hpp"
+#include "comm/transport/inproc.hpp"
+#include "comm/transport/shm.hpp"
+#include "comm/transport/tcp.hpp"
+#include "utils/error.hpp"
+
+namespace fca::comm {
+
+TransportKind parse_transport_kind(std::string_view name) {
+  if (name == "inproc") return TransportKind::kInproc;
+  if (name == "shm") return TransportKind::kShm;
+  if (name == "tcp") return TransportKind::kTcp;
+  throw Error("unknown transport '" + std::string(name) +
+              "' (want inproc | shm | tcp)");
+}
+
+std::string_view to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInproc:
+      return "inproc";
+    case TransportKind::kShm:
+      return "shm";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+void MailboxSet::push(WireMessage msg) {
+  boxes_[Key{msg.src, msg.dst, msg.tag}].push_back(std::move(msg));
+  ++count_;
+}
+
+std::optional<WireMessage> MailboxSet::pop(int dst, int src, int tag) {
+  auto it = boxes_.find(Key{src, dst, tag});
+  if (it == boxes_.end() || it->second.empty()) return std::nullopt;
+  WireMessage out = std::move(it->second.front());
+  it->second.pop_front();
+  --count_;
+  return out;
+}
+
+bool MailboxSet::has(int dst, int src, int tag) const {
+  auto it = boxes_.find(Key{src, dst, tag});
+  return it != boxes_.end() && !it->second.empty();
+}
+
+void MailboxSet::clear() {
+  boxes_.clear();
+  count_ = 0;
+}
+
+std::string MailboxSet::describe(int dst, int src) const {
+  for (const auto& [key, box] : boxes_) {
+    if (box.empty()) continue;
+    if (key.src == src && key.dst == dst) {
+      std::ostringstream os;
+      os << "; nearest non-empty mailbox for this pair: tag=" << key.tag
+         << " (" << box.size() << " message(s))";
+      return os.str();
+    }
+  }
+  for (const auto& [key, box] : boxes_) {
+    if (box.empty()) continue;
+    if (key.src == dst && key.dst == src) {
+      std::ostringstream os;
+      os << "; reverse direction dst->src has tag=" << key.tag << " ("
+         << box.size() << " message(s)) pending — swapped src/dst?";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+Transport::Transport(int world, int self_rank)
+    : world_(world), self_rank_(self_rank) {
+  FCA_CHECK_MSG(world >= 1, "transport needs at least one rank");
+  FCA_CHECK_MSG(
+      self_rank == TransportOptions::kAllRanks ||
+          (self_rank >= 0 && self_rank < world),
+      "transport self rank " << self_rank << " outside [0, " << world << ")");
+}
+
+void Transport::note_sent_frame(size_t payload_len) {
+  ++sent_frames_;
+  wire_bytes_ += framing::frame_size(payload_len);
+}
+
+void Transport::check_rank_pair(int dst, int src) const {
+  FCA_CHECK_MSG(src >= 0 && src < world_,
+                "rank " << src << " out of range [0, " << world_ << ")");
+  FCA_CHECK_MSG(dst >= 0 && dst < world_,
+                "rank " << dst << " out of range [0, " << world_ << ")");
+}
+
+WireMessage Transport::recv(int dst, int src, int tag) {
+  std::optional<WireMessage> msg = wait_recv(dst, src, tag);
+  if (!msg.has_value()) {
+    std::ostringstream os;
+    os << "recv with no matching send: src=" << src << " dst=" << dst
+       << " tag=" << tag << "; " << pending_messages()
+       << " message(s) pending fabric-wide" << describe_pending(dst, src);
+    throw Error(os.str());
+  }
+  return std::move(*msg);
+}
+
+std::optional<WireMessage> Transport::recv_with_deadline(int dst, int src,
+                                                         int tag,
+                                                         double deadline_s,
+                                                         bool* missed) {
+  FCA_CHECK_MSG(deadline_s > 0.0,
+                "recv deadline must be positive (NaN and non-positive values "
+                "are rejected), got "
+                    << deadline_s);
+  if (missed != nullptr) *missed = false;
+  std::optional<WireMessage> msg = try_recv(dst, src, tag);
+  if (!msg.has_value()) return std::nullopt;
+  if (msg->transfer_s > deadline_s) {
+    // The message exists but arrives too late for this round: consume it
+    // (the mailbox must not leak into the next round) and report a miss.
+    if (missed != nullptr) *missed = true;
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::unique_ptr<Transport> make_transport(const TransportOptions& options,
+                                          int world_size,
+                                          Handshake* handshake) {
+  switch (options.kind) {
+    case TransportKind::kInproc:
+      FCA_CHECK_MSG(options.self_rank == TransportOptions::kAllRanks,
+                    "the inproc transport cannot span processes; use shm or "
+                    "tcp for a multi-process world");
+      return std::make_unique<InprocTransport>(world_size);
+    case TransportKind::kShm:
+      return std::make_unique<ShmTransport>(options, world_size, handshake);
+    case TransportKind::kTcp:
+      return std::make_unique<TcpTransport>(options, world_size, handshake);
+  }
+  throw Error("unreachable transport kind");
+}
+
+TransportOptions transport_options_from_env(TransportOptions base) {
+  const char* kind = std::getenv("FCA_TRANSPORT");
+  if (kind != nullptr && *kind != '\0') {
+    base.kind = parse_transport_kind(kind);
+  }
+  const char* cap = std::getenv("FCA_SHM_RING_CAPACITY");
+  if (cap != nullptr && *cap != '\0') {
+    base.shm_ring_capacity = static_cast<size_t>(std::strtoull(cap, nullptr, 10));
+  }
+  return base;
+}
+
+}  // namespace fca::comm

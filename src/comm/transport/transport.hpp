@@ -1,0 +1,211 @@
+// Pluggable message fabrics behind the Network policy layer.
+//
+// comm::Network owns policy — the latency/bandwidth cost model, fault
+// injection, per-rank traffic accounting — and delegates message motion to a
+// Transport. Three backends implement the interface (DESIGN.md §11):
+//
+//   inproc — per-(src, dst, tag) FIFO mailboxes in process memory: the
+//            historical fabric and the determinism oracle.
+//   shm    — lock-free SPSC ring buffers in a (optionally named) shared
+//            memory mapping, one ring per ordered (src, dst) pair, so a run
+//            can span processes on one host.
+//   tcp    — length-prefixed frames over non-blocking sockets with a
+//            rendezvous handshake (rank assignment, seed + fault-plan
+//            exchange), so a run can span machines MPI-style.
+//
+// Every backend carries the identical frame (framing.hpp), preserves
+// per-(src, dst) send order, and accounts wire bytes with the same
+// frame_size() formula, so one seeded run produces byte-identical learning
+// curves, survivor sets and traffic counts on each backend.
+//
+// Threading contract: the owning Network serializes all calls under its
+// policy lock, so backends need no internal locking for Network-driven use.
+// The shm rings themselves are additionally safe for one producer process
+// and one consumer process per ring — that is the cross-process case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fca::comm {
+
+using Bytes = std::vector<std::byte>;
+
+/// One addressed message on the fabric. `transfer_s` is the simulated
+/// transfer time (cost model plus any injected straggler delay) stamped by
+/// the sending-side policy layer and carried in the frame header, so round
+/// deadlines behave identically on every backend.
+struct WireMessage {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  double transfer_s = 0.0;
+  Bytes payload;
+};
+
+enum class TransportKind { kInproc, kShm, kTcp };
+
+/// Parses "inproc" | "shm" | "tcp" (throws on anything else).
+TransportKind parse_transport_kind(std::string_view name);
+std::string_view to_string(TransportKind kind);
+
+struct TransportOptions {
+  /// Whole world driven by this process (the simulation default).
+  static constexpr int kAllRanks = -1;
+
+  TransportKind kind = TransportKind::kInproc;
+  /// kAllRanks = every rank lives in this process; >= 0 = this process
+  /// drives exactly that rank of a multi-process world.
+  int self_rank = kAllRanks;
+
+  // -- shm backend -----------------------------------------------------------
+  /// POSIX shm object name ("/name") shared by the participating processes;
+  /// empty = an anonymous process-private mapping (single-process runs and
+  /// fork-based tests).
+  std::string shm_name;
+  /// This process creates and initializes the region (rank 0 / all-local);
+  /// false = attach to an existing region and wait for it to become ready.
+  bool shm_create = true;
+  /// Bytes per (src, dst) ring; 0 = auto (a fixed region budget divided by
+  /// world^2, clamped to [64 KiB, 1 MiB]).
+  size_t shm_ring_capacity = 0;
+
+  // -- tcp backend -----------------------------------------------------------
+  /// Rank 0's rendezvous listener as host:port (rank 0 / all-local; an
+  /// empty host or "0.0.0.0" binds every interface).
+  std::string bind_address;
+  /// The root's host:port a non-root rank dials (with retries).
+  std::string connect_address;
+
+  /// Wall-clock budget for blocking progress against remote peers
+  /// (rendezvous, a recv whose sender is another process, a full ring).
+  double io_timeout_s = 30.0;
+};
+
+/// Per-(src, dst, tag) FIFO store used by the inproc backend directly and by
+/// the stream backends as their demultiplexing target. Single-threaded under
+/// the caller's lock.
+class MailboxSet {
+ public:
+  void push(WireMessage msg);
+  std::optional<WireMessage> pop(int dst, int src, int tag);
+  bool has(int dst, int src, int tag) const;
+  size_t size() const { return count_; }
+  void clear();
+  /// Diagnostic suffix for a recv-with-no-send error: the nearest non-empty
+  /// mailbox for (src, dst), or the reverse direction when that hints at
+  /// swapped arguments. Empty when nothing relevant is pending.
+  std::string describe(int dst, int src) const;
+
+ private:
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+  std::map<Key, std::deque<WireMessage>> boxes_;
+  size_t count_ = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::string_view name() const = 0;
+  int world_size() const { return world_; }
+  /// Rank this process drives, or TransportOptions::kAllRanks.
+  int self_rank() const { return self_rank_; }
+
+  /// Hands one message to the fabric. Must preserve per-(src, dst) order.
+  virtual void send(WireMessage msg) = 0;
+
+  /// Oldest pending message for (dst, src, tag) after a non-blocking
+  /// progress pass; std::nullopt when none is available locally.
+  virtual std::optional<WireMessage> try_recv(int dst, int src, int tag) = 0;
+
+  /// try_recv that may block (up to the io timeout) when the sender is a
+  /// remote process; throws a diagnostic protocol-bug error when no message
+  /// can arrive.
+  WireMessage recv(int dst, int src, int tag);
+
+  /// try_recv enforcing a simulated-time deadline: a message whose
+  /// transfer_s exceeds `deadline_s` is consumed, `*missed` is set, and
+  /// std::nullopt is returned (the caller counts the deadline miss).
+  std::optional<WireMessage> recv_with_deadline(int dst, int src, int tag,
+                                                double deadline_s,
+                                                bool* missed);
+
+  virtual bool has_message(int dst, int src, int tag) = 0;
+  /// Frames handed to send() and not yet consumed — for a single-process
+  /// world the exact undelivered-message count; for a multi-process world
+  /// this rank's local view.
+  size_t pending_messages() const {
+    return static_cast<size_t>(sent_frames_ - consumed_frames_);
+  }
+  /// Discards every locally visible undelivered message (crash recovery).
+  virtual void clear_pending() = 0;
+
+  /// Round scoping, mirrored from Network::begin_round/end_round. The
+  /// current backends deliver identically inside and outside rounds; the
+  /// hook exists so future backends can flush or barrier at round edges.
+  virtual void begin_round(int round) { (void)round; }
+  virtual void end_round() {}
+
+  /// Bytes this process moved over the backend (frame headers + payloads,
+  /// the frame_size() formula — backend-invariant for the same traffic).
+  uint64_t wire_bytes() const { return wire_bytes_; }
+
+  /// Diagnostic suffix describing pending traffic near (dst, src).
+  virtual std::string describe_pending(int dst, int src) = 0;
+
+ protected:
+  Transport(int world, int self_rank);
+
+  /// Backend hook behind the blocking recv(): default = one try_recv (right
+  /// for in-process worlds, where a missing message can never arrive later).
+  virtual std::optional<WireMessage> wait_recv(int dst, int src, int tag) {
+    return try_recv(dst, src, tag);
+  }
+
+  void note_sent_frame(size_t payload_len);
+  void note_consumed_frame() { ++consumed_frames_; }
+  /// Marks every sent frame consumed (clear_pending implementations).
+  void reset_pending_counters() { consumed_frames_ = sent_frames_; }
+  void check_rank_pair(int dst, int src) const;
+
+  int world_;
+  int self_rank_;
+  uint64_t sent_frames_ = 0;
+  uint64_t consumed_frames_ = 0;
+  uint64_t wire_bytes_ = 0;
+};
+
+/// Rank assignment plus the run context the root shares at rendezvous so
+/// every process derives the identical fault schedule and accounting
+/// (transport/handshake.hpp defines the payload).
+struct Handshake;
+
+/// Builds the configured backend. For a multi-process backend (self_rank >=
+/// 0) the root publishes `*handshake` to joiners and non-root processes
+/// return with `*handshake` overwritten by the root's; pass nullptr for an
+/// all-local fabric (or to publish/accept an empty context).
+std::unique_ptr<Transport> make_transport(const TransportOptions& options,
+                                          int world_size,
+                                          Handshake* handshake = nullptr);
+
+/// Overlays the FCA_TRANSPORT (inproc|shm|tcp) and FCA_SHM_RING_CAPACITY
+/// environment on `base` — the mechanism CI uses to force every existing
+/// test tier onto each backend without touching the tests.
+TransportOptions transport_options_from_env(TransportOptions base = {});
+
+}  // namespace fca::comm

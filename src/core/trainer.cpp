@@ -116,6 +116,7 @@ fl::FLConfig Experiment::fl_config() const {
   fc.client_parallelism = config_.client_parallelism;
   fc.faults = config_.faults;
   fc.quorum = config_.quorum;
+  fc.transport = config_.transport;
   return fc;
 }
 

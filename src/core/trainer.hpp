@@ -64,6 +64,9 @@ struct ExperimentConfig {
   comm::FaultConfig faults;
   /// Minimum surviving cohort size to commit a round (FLConfig::quorum).
   int quorum = 1;
+  /// Message-fabric backend and its options (FLConfig::transport):
+  /// inproc (default), shm or tcp; overridable via FCA_TRANSPORT.
+  comm::TransportOptions transport;
 
   uint64_t seed = 42;
 

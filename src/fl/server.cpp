@@ -35,9 +35,25 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
     lane_pool_ = std::make_unique<ThreadPool>(
         static_cast<unsigned>(config_.client_parallelism - 1));
   }
+  if (config_.faults.enabled()) {
+    FCA_CHECK_MSG(config_.faults.round_deadline_s > 0.0,
+                  "round deadline must be positive, got "
+                      << config_.faults.round_deadline_s
+                      << " (--round-deadline)");
+  }
   executor_ = RoundExecutor(config_.client_parallelism, lane_pool_.get());
-  network_ = std::make_unique<comm::Network>(num_clients() + 1, config_.cost,
-                                             config_.faults);
+  // The backend is swappable (FCA_TRANSPORT=inproc|shm|tcp), the topology is
+  // not: this driver runs every rank in-process, so multi-process options
+  // (--rank/--connect) belong to the fabric probe (fca_cli probe), not here.
+  comm::TransportOptions topts =
+      comm::transport_options_from_env(config_.transport);
+  FCA_CHECK_MSG(topts.self_rank == comm::TransportOptions::kAllRanks,
+                "FederatedRun drives all ranks in one process; "
+                "multi-process transports (self_rank >= 0) are exercised "
+                "via the fabric probe (fca_cli probe)");
+  network_ = std::make_unique<comm::Network>(
+      num_clients() + 1, config_.cost, config_.faults,
+      comm::make_transport(topts, num_clients() + 1));
   server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
   client_eps_.reserve(clients_.size());
   for (int k = 0; k < num_clients(); ++k) {

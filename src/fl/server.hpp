@@ -49,6 +49,13 @@ struct FLConfig {
   /// applied. Clamped per round to the sampled cohort size so a fault-free
   /// round can never abort.
   int quorum = 1;
+  /// Message-fabric backend (comm/transport/): inproc (default), shm or
+  /// tcp. The round driver runs all ranks in one process, so the backend
+  /// must be all-local (self_rank == kAllRanks) — every byte still moves
+  /// through the real rings/sockets, which is what the cross-backend
+  /// determinism tier exercises. FCA_TRANSPORT overrides the kind at run
+  /// construction (see comm::transport_options_from_env).
+  comm::TransportOptions transport;
 };
 
 /// Message tags on the fabric.
