@@ -1,0 +1,227 @@
+// Whole-round latency tracker: per-round wall time and forward/backward
+// phase split for FedClassAvg local updates on the paper's model zoo, written
+// to BENCH_rounds.json so end-to-end training speed — not just kernel
+// GFLOP/s — is tracked across PRs (DESIGN.md §9).
+//
+// Each scenario runs the exact loss head FedClassAvg::train_epoch uses (CE on
+// the first view's logits + SupCon over both views + proximal classifier
+// pull) on synthetic batches, and splits every optimizer step into
+//   fwd   — extractor features on the two-view batch
+//   head  — loss-graph forward + backward (includes the SupCon kernels)
+//   bwd   — extractor backward from d(loss)/d(features)
+//   step  — optimizer update
+// The backward-dominated phases (head + bwd) are where this PR's packed
+// dgrad/wgrad, vectorized col2im and fused SupCon land; `bwd_over_fwd` makes
+// the residual gap visible per architecture.
+//
+// Usage: bench_rounds [output.json]   (default BENCH_rounds.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "models/factory.hpp"
+#include "nn/optim.hpp"
+#include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using fca::Rng;
+using fca::Tensor;
+namespace ag = fca::ag;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Scenario {
+  const char* name;
+  fca::models::Arch arch;
+  int64_t width;
+  int64_t batch;        // per-view batch (SupCon sees 2*batch rows)
+  int64_t image;        // square input size
+  int64_t in_channels;
+  int64_t feature_dim;
+};
+
+// The conv-heavy backbones at the 32x32 geometry bench_kernels derives its
+// GEMM shapes from, plus CNN2 (the FedProto comparison net). Batch 32 is the
+// paper's local batch size.
+const Scenario kScenarios[] = {
+    {"mini_resnet.w8.b32.32px", fca::models::Arch::kMiniResNet, 8, 32, 32, 3,
+     64},
+    {"mini_alexnet.w8.b32.32px", fca::models::Arch::kMiniAlexNet, 8, 32, 32, 3,
+     64},
+    {"mini_shufflenet.w8.b32.32px", fca::models::Arch::kMiniShuffleNet, 8, 32,
+     32, 3, 64},
+    {"cnn2.w16.b32.32px", fca::models::Arch::kCnn2, 16, 32, 32, 3, 64},
+};
+
+struct PhaseTimes {
+  double fwd_ms = 0.0;
+  double head_ms = 0.0;
+  double bwd_ms = 0.0;
+  double step_ms = 0.0;
+  double total() const { return fwd_ms + head_ms + bwd_ms + step_ms; }
+};
+
+struct Result {
+  const Scenario* sc;
+  int64_t steps;
+  PhaseTimes per_round;  // averaged over timed rounds
+};
+
+/// Stacks two equally shaped image batches along dim 0 ([B,..] -> [2B,..]),
+/// mirroring FedClassAvg's two-view concat.
+Tensor concat_batches(const Tensor& a, const Tensor& b) {
+  fca::Shape shape = a.shape();
+  shape[0] *= 2;
+  Tensor out(shape);
+  std::copy_n(a.data(), a.numel(), out.data());
+  std::copy_n(b.data(), b.numel(), out.data() + a.numel());
+  return out;
+}
+
+Result run_scenario(const Scenario& sc, int warmup_rounds, int timed_rounds,
+                    int steps_per_round) {
+  fca::models::ModelConfig mc;
+  mc.arch = sc.arch;
+  mc.width = sc.width;
+  mc.image_size = sc.image;
+  mc.in_channels = sc.in_channels;
+  mc.feature_dim = sc.feature_dim;
+  mc.num_classes = 10;
+
+  Rng rng(20260809);
+  auto model = fca::models::build_model(mc, rng);
+  fca::nn::SGD opt(model->parameters(), /*lr=*/0.01f, /*momentum=*/0.9f);
+
+  // Fixed synthetic batches: two noisy views per step, labels uniform.
+  std::vector<Tensor> views1, views2;
+  std::vector<std::vector<int>> labels;
+  for (int s = 0; s < steps_per_round; ++s) {
+    views1.push_back(
+        Tensor::randn({sc.batch, sc.in_channels, sc.image, sc.image}, rng));
+    views2.push_back(
+        Tensor::randn({sc.batch, sc.in_channels, sc.image, sc.image}, rng));
+    std::vector<int> lab(static_cast<size_t>(sc.batch));
+    for (auto& l : lab) l = static_cast<int>(rng.uniform_int(10));
+    labels.push_back(std::move(lab));
+  }
+  const Tensor global_w = model->classifier().weight().value.clone();
+  const Tensor global_b = model->classifier().bias().value.clone();
+
+  PhaseTimes acc;
+  for (int round = 0; round < warmup_rounds + timed_rounds; ++round) {
+    PhaseTimes pt;
+    for (int s = 0; s < steps_per_round; ++s) {
+      const Tensor xcat = concat_batches(views1[static_cast<size_t>(s)],
+                                         views2[static_cast<size_t>(s)]);
+      std::vector<int> labels2 = labels[static_cast<size_t>(s)];
+      labels2.insert(labels2.end(), labels[static_cast<size_t>(s)].begin(),
+                     labels[static_cast<size_t>(s)].end());
+
+      opt.zero_grad();
+      auto t0 = Clock::now();
+      Tensor feats = model->features(xcat, /*train=*/true);
+      pt.fwd_ms += ms_since(t0);
+
+      t0 = Clock::now();
+      ag::Variable f = ag::Variable::leaf(feats);
+      ag::Variable w = ag::Variable::leaf(model->classifier().weight().value);
+      ag::Variable bias = ag::Variable::leaf(model->classifier().bias().value);
+      ag::Variable logits = ag::add_rowwise(
+          ag::matmul(ag::slice_rows(f, 0, sc.batch), w, false, true), bias);
+      ag::Variable loss =
+          ag::cross_entropy(logits, labels[static_cast<size_t>(s)]);
+      loss = ag::add(loss,
+                     ag::supervised_contrastive(f, labels2, /*temp=*/0.07f));
+      ag::Variable dw = ag::sub(w, ag::Variable::constant(global_w));
+      ag::Variable db = ag::sub(bias, ag::Variable::constant(global_b));
+      ag::Variable ss = ag::add(ag::sum_squares(dw), ag::sum_squares(db));
+      ag::Variable dist =
+          ag::exp(ag::mul_scalar(ag::log(ag::add_scalar(ss, 1e-12f)), 0.5f));
+      loss = ag::add(loss, ag::mul_scalar(dist, 0.01f));
+      loss.backward();
+      fca::add_(model->classifier().weight().grad, w.grad());
+      fca::add_(model->classifier().bias().grad, bias.grad());
+      pt.head_ms += ms_since(t0);
+
+      t0 = Clock::now();
+      model->backward_features(f.grad());
+      pt.bwd_ms += ms_since(t0);
+
+      t0 = Clock::now();
+      opt.step();
+      pt.step_ms += ms_since(t0);
+    }
+    if (round >= warmup_rounds) {
+      acc.fwd_ms += pt.fwd_ms;
+      acc.head_ms += pt.head_ms;
+      acc.bwd_ms += pt.bwd_ms;
+      acc.step_ms += pt.step_ms;
+    }
+  }
+  const double inv = 1.0 / timed_rounds;
+  Result r;
+  r.sc = &sc;
+  r.steps = steps_per_round;
+  r.per_round = {acc.fwd_ms * inv, acc.head_ms * inv, acc.bwd_ms * inv,
+                 acc.step_ms * inv};
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_rounds.json";
+  fca::obs::configure_from_env();  // honor FCA_TRACE_OUT / FCA_TRACE_KERNELS
+  const int warmup = 1, timed = 3, steps = 4;
+
+  std::vector<Result> results;
+  for (const Scenario& sc : kScenarios) {
+    const Result r = run_scenario(sc, warmup, timed, steps);
+    const PhaseTimes& p = r.per_round;
+    std::printf(
+        "%-28s round=%8.2fms  fwd=%8.2f  head=%7.2f  bwd=%8.2f  step=%6.2f"
+        "  bwd/fwd=%.2f\n",
+        sc.name, p.total(), p.fwd_ms, p.head_ms, p.bwd_ms, p.step_ms,
+        p.fwd_ms > 0.0 ? (p.head_ms + p.bwd_ms) / p.fwd_ms : 0.0);
+    results.push_back(r);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"rounds\",\n");
+  std::fprintf(f,
+               "  \"phases\": [\"fwd\", \"head\", \"bwd\", \"step\"],\n"
+               "  \"note\": \"per-round ms, averaged over %d timed rounds of "
+               "%d optimizer steps\",\n",
+               timed, steps);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    const PhaseTimes& p = r.per_round;
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"steps\": %lld, \"round_ms\": %.3f, "
+        "\"fwd_ms\": %.3f, \"head_ms\": %.3f, \"bwd_ms\": %.3f, "
+        "\"step_ms\": %.3f, \"bwd_over_fwd\": %.3f}%s\n",
+        r.sc->name, static_cast<long long>(r.steps), p.total(), p.fwd_ms,
+        p.head_ms, p.bwd_ms, p.step_ms,
+        p.fwd_ms > 0.0 ? (p.head_ms + p.bwd_ms) / p.fwd_ms : 0.0,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

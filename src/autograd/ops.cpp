@@ -93,16 +93,9 @@ Variable log(const Variable& a) {
 }
 
 Variable relu(const Variable& a) {
-  Tensor v = fca::apply(a.value(), [](float x) { return x > 0 ? x : 0.0f; });
-  return make_op(v, {a}, [](Node& n) {
+  return make_op(fca::relu(a.value()), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g = n.grad.clone();
-    const float* x = n.parents[0]->value.data();
-    float* pg = g.data();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      if (x[i] <= 0.0f) pg[i] = 0.0f;
-    }
-    n.parents[0]->accumulate(g);
+    n.parents[0]->accumulate(fca::relu_backward(n.parents[0]->value, n.grad));
   });
 }
 
@@ -350,9 +343,157 @@ Variable soft_cross_entropy(const Variable& logits,
   return mul_scalar(sum(weighted), -1.0f / batch);
 }
 
+namespace {
+
+/// Positive-pair weights for SupCon: pos_weight[i,j] = 1/|P(i)| when j is a
+/// positive of anchor i (same label, j != i), else 0. Returns the number of
+/// anchors with at least one positive.
+int64_t supcon_pos_weight(const std::vector<int>& labels, int64_t n,
+                          Tensor& pos_weight) {
+  int64_t active_anchors = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t pos = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i && labels[static_cast<size_t>(j)] ==
+                        labels[static_cast<size_t>(i)]) {
+        ++pos;
+      }
+    }
+    if (pos == 0) continue;
+    ++active_anchors;
+    const float w = 1.0f / static_cast<float>(pos);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i && labels[static_cast<size_t>(j)] ==
+                        labels[static_cast<size_t>(i)]) {
+        pos_weight[i * n + j] = w;
+      }
+    }
+  }
+  return active_anchors;
+}
+
+}  // namespace
+
 Variable supervised_contrastive(const Variable& embeddings,
                                 const std::vector<int>& labels,
                                 float temperature) {
+  obs::ProfileSpan span("kernel", "supcon", embeddings.value().dim(0));
+  FCA_CHECK(embeddings.value().ndim() == 2);
+  FCA_CHECK(temperature > 0.0f);
+  const int64_t n = embeddings.value().dim(0);
+  const int64_t d = embeddings.value().dim(1);
+  FCA_CHECK(static_cast<int64_t>(labels.size()) == n);
+
+  // Fused evaluation (see supervised_contrastive_reference for the op-by-op
+  // graph form this replaces, kept as the agreement oracle). Forward: one
+  // n×n GEMM for every pairwise similarity, then a single row pass doing
+  // shift/exp/denominator/loss. Backward is closed-form — for the shifted
+  // logits G = dL/dS = -(1/A)(P - rowsum(P) ⊙ E/denom) and, since
+  // S = z zᵀ/τ is symmetric in z, dL/dz = (G + Gᵀ) z / τ, one more GEMM —
+  // instead of the reference's ~10 tape nodes each materializing an n×n
+  // intermediate.
+  const Tensor& x = embeddings.value();
+  Tensor z = fca::l2_normalize_rows(x);
+  Tensor sim = fca::matmul(z, z, false, true);
+  fca::mul_scalar_(sim, 1.0f / temperature);
+
+  Tensor pos_weight({n, n});
+  const int64_t active_anchors = supcon_pos_weight(labels, n, pos_weight);
+  if (active_anchors == 0) {
+    // No positive pairs in the batch: loss is identically zero but must stay
+    // connected to the graph so callers can still call backward().
+    return make_op(Tensor({1}), {embeddings}, [](Node& n_) {
+      if (!n_.parents[0]->requires_grad) return;
+      n_.parents[0]->accumulate(Tensor(n_.parents[0]->value.shape()));
+    });
+  }
+
+  // Row pass: subtract the detached row max (standard SupCon trick; since
+  // each row contains the self-similarity 1/tau this is also the global max,
+  // and detaching keeps the gradient exact because log-sum-exp is shift
+  // invariant), exponentiate with the self-pair masked out, and accumulate
+  // the positive-weighted log-probabilities.
+  Tensor exp_sim({n, n});  // E = exp(S - rowmax) with zeroed diagonal
+  Tensor denom({n});
+  double loss_acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* srow = sim.data() + i * n;
+    float* erow = exp_sim.data() + i * n;
+    const float rowmax = *std::max_element(srow, srow + n);
+    double dsum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const float e = j == i ? 0.0f : std::exp(srow[j] - rowmax);
+      erow[j] = e;
+      dsum += e;
+    }
+    denom[i] = static_cast<float>(dsum);
+    const float log_denom = std::log(denom[i]);
+    const float* prow = pos_weight.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      if (prow[j] != 0.0f) {
+        loss_acc += static_cast<double>(prow[j]) *
+                    (srow[j] - rowmax - log_denom);
+      }
+    }
+  }
+  Tensor loss({1});
+  loss[0] = static_cast<float>(-loss_acc / static_cast<double>(active_anchors));
+
+  const float eps = 1e-12f;  // l2_normalize_rows default
+  const float inv_temp = 1.0f / temperature;
+  const int64_t active = active_anchors;
+  Tensor zc = z.clone();
+  return make_op(
+      loss, {embeddings},
+      [zc, exp_sim, denom, pos_weight, active, inv_temp, eps, n, d](Node& n_) {
+        if (!n_.parents[0]->requires_grad) return;
+        const float g0 = n_.grad[0];
+        const float scale = -g0 / static_cast<float>(active);
+        Tensor grad_s({n, n});
+        for (int64_t i = 0; i < n; ++i) {
+          const float* prow = pos_weight.data() + i * n;
+          const float* erow = exp_sim.data() + i * n;
+          float* grow = grad_s.data() + i * n;
+          float prow_sum = 0.0f;
+          for (int64_t j = 0; j < n; ++j) prow_sum += prow[j];
+          const float denom_scale = prow_sum / denom[i];
+          for (int64_t j = 0; j < n; ++j) {
+            grow[j] = scale * (prow[j] - denom_scale * erow[j]);
+          }
+        }
+        // dL/dz = (G + Gᵀ) z / τ: fold the transpose into a second GEMM
+        // rather than materializing Gᵀ.
+        Tensor dz = fca::matmul(grad_s, zc, false, false);
+        Tensor dz_t = fca::matmul(grad_s, zc, true, false);
+        fca::add_(dz, dz_t);
+        fca::mul_scalar_(dz, inv_temp);
+        // Pullback of z = x/||x||, numerics matching ag::l2_normalize_rows.
+        const Tensor& x = n_.parents[0]->value;
+        Tensor dx(x.shape());
+        for (int64_t i = 0; i < n; ++i) {
+          const float* xrow = x.data() + i * d;
+          const float* zrow = zc.data() + i * d;
+          const float* grow = dz.data() + i * d;
+          float* orow = dx.data() + i * d;
+          double norm_sq = 0.0;
+          double zdotg = 0.0;
+          for (int64_t j = 0; j < d; ++j) {
+            norm_sq += static_cast<double>(xrow[j]) * xrow[j];
+            zdotg += static_cast<double>(zrow[j]) * grow[j];
+          }
+          const double norm =
+              std::max(static_cast<double>(eps), std::sqrt(norm_sq));
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = static_cast<float>((grow[j] - zrow[j] * zdotg) / norm);
+          }
+        }
+        n_.parents[0]->accumulate(dx);
+      });
+}
+
+Variable supervised_contrastive_reference(const Variable& embeddings,
+                                          const std::vector<int>& labels,
+                                          float temperature) {
   obs::ProfileSpan span("kernel", "supcon", embeddings.value().dim(0));
   FCA_CHECK(embeddings.value().ndim() == 2);
   FCA_CHECK(temperature > 0.0f);

@@ -7,39 +7,26 @@ namespace fca::nn {
 
 Tensor ReLU::forward(const Tensor& x, bool train) {
   if (train) cached_input_ = x;
-  return apply(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+  return relu(x);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   FCA_CHECK_MSG(!cached_input_.empty(),
                 "ReLU::backward without a training forward");
   FCA_CHECK(grad_out.same_shape(cached_input_));
-  Tensor g = grad_out.clone();
-  const float* x = cached_input_.data();
-  float* pg = g.data();
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    if (x[i] <= 0.0f) pg[i] = 0.0f;
-  }
-  return g;
+  return relu_backward(cached_input_, grad_out);
 }
 
 Tensor LeakyReLU::forward(const Tensor& x, bool train) {
   if (train) cached_input_ = x;
-  const float s = slope_;
-  return apply(x, [s](float v) { return v > 0.0f ? v : s * v; });
+  return leaky_relu(x, slope_);
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_out) {
   FCA_CHECK_MSG(!cached_input_.empty(),
                 "LeakyReLU::backward without a training forward");
   FCA_CHECK(grad_out.same_shape(cached_input_));
-  Tensor g = grad_out.clone();
-  const float* x = cached_input_.data();
-  float* pg = g.data();
-  for (int64_t i = 0; i < g.numel(); ++i) {
-    if (x[i] <= 0.0f) pg[i] *= slope_;
-  }
-  return g;
+  return leaky_relu_backward(cached_input_, grad_out, slope_);
 }
 
 Dropout::Dropout(float p, Rng rng) : p_(p), rng_(rng) {

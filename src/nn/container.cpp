@@ -134,7 +134,7 @@ Tensor ChannelShuffle::forward(const Tensor& x, bool /*train*/) {
   FCA_CHECK_MSG(c % groups_ == 0, "channels " << c << " not divisible by "
                                               << groups_ << " groups");
   const int64_t per = c / groups_;
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninit(x.shape());
   for (int64_t i = 0; i < b; ++i) {
     for (int64_t g = 0; g < groups_; ++g) {
       for (int64_t j = 0; j < per; ++j) {
@@ -152,7 +152,7 @@ Tensor ChannelShuffle::backward(const Tensor& grad_out) {
   const int64_t b = grad_out.dim(0), c = grad_out.dim(1),
                 hw = grad_out.dim(2) * grad_out.dim(3);
   const int64_t per = c / groups_;
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::uninit(grad_out.shape());
   // Inverse of the forward permutation.
   for (int64_t i = 0; i < b; ++i) {
     for (int64_t g = 0; g < groups_; ++g) {

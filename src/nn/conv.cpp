@@ -1,5 +1,7 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
+
 #include "nn/init.hpp"
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
@@ -54,7 +56,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const int64_t in_img = in_c_ * g.height * g.width;
   const int64_t out_img = out_c_ * oh * ow;
 
-  Tensor out({b, out_c_, oh, ow});
+  Tensor out = Tensor::uninit({b, out_c_, oh, ow});
   parallel_for_range(
       0, b,
       [&](int64_t lo, int64_t hi) {
@@ -106,37 +108,74 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const int64_t out_img = out_c_ * oh * ow;
 
   Tensor grad_in(x.shape());
-  // Per-sample loop; the im2col buffer is recomputed here instead of being
-  // cached across the whole batch, which keeps peak memory O(one image's
-  // columns) rather than O(batch). Both scratch buffers live in the
-  // workspace arena and are reused across calls.
+  // Backward mirrors forward's batch parallelism, but dW/db are shared
+  // accumulators, so the batch is split into fixed-size chunks (a function
+  // of the batch only, never of the thread count): each chunk writes its
+  // disjoint grad_in slice directly and accumulates weight/bias partials
+  // into its own arena slot; the partials are then reduced in ascending
+  // chunk order on the calling thread. Any pool size — including serial —
+  // produces bit-identical gradients. The im2col buffer is recomputed per
+  // sample instead of being cached across the whole batch, which keeps peak
+  // memory O(chunks * weights + one image's columns) rather than O(batch).
+  constexpr int64_t kChunk = 8;
+  const int64_t chunks = (b + kChunk - 1) / kChunk;
+  const int64_t w_numel = weight_.grad.numel();
   Workspace::Frame frame(Workspace::tls());
-  float* col = frame.alloc(col_rows * col_cols);
-  float* dcol = frame.alloc(col_rows * col_cols);
-  for (int64_t i = 0; i < b; ++i) {
-    for (int64_t grp = 0; grp < groups_; ++grp) {
-      const float* im =
-          x.data() + i * in_img + grp * icg * g.height * g.width;
-      const float* go = grad_out.data() + i * out_img + grp * ocg * oh * ow;
-      im2col(im, g, col);
-      // dW_group += g_out [ocg, ohow] * col^T [ohow, icg*k*k]
-      sgemm(false, true, ocg, col_rows, col_cols, 1.0f, go, col_cols, col,
-            col_cols, 1.0f, weight_.grad.data() + grp * ocg * col_rows,
-            col_rows);
-      // dcol = W_group^T [icg*k*k, ocg] * g_out [ocg, ohow]
-      sgemm(true, false, col_rows, col_cols, ocg, 1.0f,
-            weight_.value.data() + grp * ocg * col_rows, col_rows, go,
-            col_cols, 0.0f, dcol, col_cols);
-      col2im(dcol, g,
-             grad_in.data() + i * in_img + grp * icg * g.height * g.width);
-    }
-    if (has_bias_) {
-      const float* go = grad_out.data() + i * out_img;
-      for (int64_t oc = 0; oc < out_c_; ++oc) {
-        double s = 0.0;
-        for (int64_t p = 0; p < oh * ow; ++p) s += go[oc * oh * ow + p];
-        bias_.grad[oc] += static_cast<float>(s);
-      }
+  float* dw_parts = frame.alloc(chunks * w_numel);
+  float* db_parts = has_bias_ ? frame.alloc(chunks * out_c_) : nullptr;
+  std::fill_n(dw_parts, chunks * w_numel, 0.0f);
+  if (has_bias_) std::fill_n(db_parts, chunks * out_c_, 0.0f);
+  parallel_for_range(
+      0, chunks,
+      [&](int64_t chunk_lo, int64_t chunk_hi) {
+        Workspace::Frame lane_frame(Workspace::tls());
+        float* col = lane_frame.alloc(col_rows * col_cols);
+        float* dcol = lane_frame.alloc(col_rows * col_cols);
+        for (int64_t ci = chunk_lo; ci < chunk_hi; ++ci) {
+          float* dw = dw_parts + ci * w_numel;
+          const int64_t i_end = std::min(b, (ci + 1) * kChunk);
+          for (int64_t i = ci * kChunk; i < i_end; ++i) {
+            for (int64_t grp = 0; grp < groups_; ++grp) {
+              const float* im =
+                  x.data() + i * in_img + grp * icg * g.height * g.width;
+              const float* go =
+                  grad_out.data() + i * out_img + grp * ocg * oh * ow;
+              im2col(im, g, col);
+              // dW_group += g_out [ocg, ohow] * col^T [ohow, icg*k*k]
+              sgemm(false, true, ocg, col_rows, col_cols, 1.0f, go, col_cols,
+                    col, col_cols, 1.0f, dw + grp * ocg * col_rows, col_rows);
+              // dcol = W_group^T [icg*k*k, ocg] * g_out [ocg, ohow]
+              sgemm(true, false, col_rows, col_cols, ocg, 1.0f,
+                    weight_.value.data() + grp * ocg * col_rows, col_rows, go,
+                    col_cols, 0.0f, dcol, col_cols);
+              col2im(dcol, g,
+                     grad_in.data() + i * in_img +
+                         grp * icg * g.height * g.width);
+            }
+            if (has_bias_) {
+              float* db = db_parts + ci * out_c_;
+              const float* go = grad_out.data() + i * out_img;
+              for (int64_t oc = 0; oc < out_c_; ++oc) {
+                double s = 0.0;
+                for (int64_t p = 0; p < oh * ow; ++p) s += go[oc * oh * ow + p];
+                db[oc] += static_cast<float>(s);
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  float* wg = weight_.grad.data();
+  for (int64_t ci = 0; ci < chunks; ++ci) {
+    const float* dw = dw_parts + ci * w_numel;
+#pragma omp simd
+    for (int64_t j = 0; j < w_numel; ++j) wg[j] += dw[j];
+  }
+  if (has_bias_) {
+    float* bg = bias_.grad.data();
+    for (int64_t ci = 0; ci < chunks; ++ci) {
+      const float* db = db_parts + ci * out_c_;
+      for (int64_t j = 0; j < out_c_; ++j) bg[j] += db[j];
     }
   }
   return grad_in;

@@ -21,7 +21,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   if (train) cached_input_ = x;
   // y = x W^T with the bias fused into the GEMM write-back (the bias is per
   // output feature, i.e. per column of y).
-  Tensor y({x.dim(0), out_});
+  Tensor y = Tensor::uninit({x.dim(0), out_});
   GemmEpilogue epi;
   if (has_bias_) {
     epi.bias = bias_.value.data();

@@ -22,7 +22,7 @@ Tensor slice_channels(const Tensor& x, int64_t from, int64_t to) {
   FCA_CHECK(x.ndim() == 4);
   const int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   FCA_CHECK(0 <= from && from <= to && to <= c);
-  Tensor out({b, to - from, h, w});
+  Tensor out = Tensor::uninit({b, to - from, h, w});
   const int64_t hw = h * w;
   for (int64_t i = 0; i < b; ++i) {
     const float* src = x.data() + (i * c + from) * hw;
@@ -41,7 +41,7 @@ Tensor concat_channels(const std::vector<Tensor>& parts) {
     FCA_CHECK(p.ndim() == 4 && p.dim(0) == b && p.dim(2) == h && p.dim(3) == w);
     c_total += p.dim(1);
   }
-  Tensor out({b, c_total, h, w});
+  Tensor out = Tensor::uninit({b, c_total, h, w});
   const int64_t hw = h * w;
   for (int64_t i = 0; i < b; ++i) {
     int64_t c_off = 0;

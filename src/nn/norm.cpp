@@ -24,7 +24,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   const int64_t b = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
   const int64_t hw = h * w;
   const int64_t n = b * hw;  // elements per channel
-  Tensor out(x.shape());
+  Tensor out = Tensor::uninit(x.shape());
 
   if (!train) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -34,6 +34,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       for (int64_t i = 0; i < b; ++i) {
         const float* xi = x.data() + (i * c + ch) * hw;
         float* oi = out.data() + (i * c + ch) * hw;
+#pragma omp simd
         for (int64_t p = 0; p < hw; ++p) oi[p] = g * (xi[p] - mu) * inv + bt;
       }
     }
@@ -42,12 +43,18 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
 
   FCA_CHECK_MSG(n > 1, "BatchNorm2d training needs more than one value per "
                        "channel");
-  cached_xhat_ = Tensor(x.shape());
-  cached_inv_std_ = Tensor({c});
+  cached_xhat_ = Tensor::uninit(x.shape());
+  cached_inv_std_ = Tensor::uninit({c});
   for (int64_t ch = 0; ch < c; ++ch) {
+    // simd reduction: fixed lane count for a given build, so the summation
+    // order is deterministic (serial per channel, no thread-count term); it
+    // breaks the serial FP-add dependency chain that made this pass the most
+    // expensive part of the layer. Accumulation stays double, so the lane
+    // regrouping perturbs stats at ~1ulp of double — far below float eps.
     double s = 0.0, ss = 0.0;
     for (int64_t i = 0; i < b; ++i) {
       const float* xi = x.data() + (i * c + ch) * hw;
+#pragma omp simd reduction(+ : s, ss)
       for (int64_t p = 0; p < hw; ++p) {
         s += xi[p];
         ss += static_cast<double>(xi[p]) * xi[p];
@@ -58,12 +65,16 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     const auto inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
     cached_inv_std_[ch] = inv;
     const float g = gamma_.value[ch], bt = beta_.value[ch];
+    const float muf = static_cast<float>(mu);
     for (int64_t i = 0; i < b; ++i) {
       const float* xi = x.data() + (i * c + ch) * hw;
       float* xh = cached_xhat_.data() + (i * c + ch) * hw;
       float* oi = out.data() + (i * c + ch) * hw;
+      // omp simd also asserts no aliasing between the three buffers, which
+      // the compiler cannot prove on its own here.
+#pragma omp simd
       for (int64_t p = 0; p < hw; ++p) {
-        xh[p] = (xi[p] - static_cast<float>(mu)) * inv;
+        xh[p] = (xi[p] - muf) * inv;
         oi[p] = g * xh[p] + bt;
       }
     }
@@ -85,12 +96,14 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
                 w = grad_out.dim(3);
   const int64_t hw = h * w;
   const int64_t n = b * hw;
-  Tensor grad_in(grad_out.shape());
+  Tensor grad_in = Tensor::uninit(grad_out.shape());
   for (int64_t ch = 0; ch < c; ++ch) {
     double sum_g = 0.0, sum_gx = 0.0;
     for (int64_t i = 0; i < b; ++i) {
       const float* g = grad_out.data() + (i * c + ch) * hw;
       const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      // Deterministic simd reduction; see the forward stats loop.
+#pragma omp simd reduction(+ : sum_g, sum_gx)
       for (int64_t p = 0; p < hw; ++p) {
         sum_g += g[p];
         sum_gx += static_cast<double>(g[p]) * xh[p];
@@ -106,6 +119,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       const float* g = grad_out.data() + (i * c + ch) * hw;
       const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
       float* gi = grad_in.data() + (i * c + ch) * hw;
+#pragma omp simd
       for (int64_t p = 0; p < hw; ++p) {
         gi[p] = static_cast<float>(scale *
                                    (g[p] - mean_g - xh[p] * mean_gx));

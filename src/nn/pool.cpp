@@ -26,7 +26,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   const int64_t ow = pooled_extent(w, kernel_, stride_, padding_);
   FCA_CHECK_MSG(oh > 0 && ow > 0, "MaxPool2d output empty for "
                                       << shape_to_string(x.shape()));
-  Tensor out({b, c, oh, ow});
+  Tensor out = Tensor::uninit({b, c, oh, ow});
   if (train) {
     cached_in_shape_ = x.shape();
     cached_argmax_.assign(static_cast<size_t>(b * c * oh * ow), -1);
@@ -94,7 +94,7 @@ Tensor AvgPool2d::forward(const Tensor& x, bool train) {
   const int64_t ow = pooled_extent(w, kernel_, stride_, padding_);
   FCA_CHECK(oh > 0 && ow > 0);
   if (train) cached_in_shape_ = x.shape();
-  Tensor out({b, c, oh, ow});
+  Tensor out = Tensor::uninit({b, c, oh, ow});
   // Padding taps count toward the divisor (count_include_pad, the PyTorch
   // default), so the divisor is always kernel^2.
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
@@ -151,7 +151,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
   FCA_CHECK(x.ndim() == 4);
   const int64_t b = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
   if (train) cached_in_shape_ = x.shape();
-  Tensor out({b, c});
+  Tensor out = Tensor::uninit({b, c});
   const float inv = 1.0f / static_cast<float>(hw);
   for (int64_t i = 0; i < b * c; ++i) {
     const float* xi = x.data() + i * hw;
@@ -166,7 +166,7 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   FCA_CHECK_MSG(!cached_in_shape_.empty(),
                 "GlobalAvgPool::backward without a training forward");
   const int64_t hw = cached_in_shape_[2] * cached_in_shape_[3];
-  Tensor grad_in(cached_in_shape_);
+  Tensor grad_in = Tensor::uninit(cached_in_shape_);
   const float inv = 1.0f / static_cast<float>(hw);
   for (int64_t i = 0; i < grad_out.numel(); ++i) {
     const float g = grad_out[i] * inv;

@@ -1,15 +1,21 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "obs/trace.hpp"
 #include "tensor/kernel.hpp"
 #include "utils/error.hpp"
+#include "utils/logging.hpp"
 #include "utils/threadpool.hpp"
 
 namespace fca {
 namespace {
+
+// Most recent executor per thread (see last_dispatched_kernel()); kAuto
+// doubles as "no dispatch yet".
+thread_local GemmKernel g_last_dispatched = GemmKernel::kAuto;
 
 // Element of op(A) at logical (row, col).
 inline float op_at(const float* a, int64_t lda, bool trans, int64_t row,
@@ -132,12 +138,42 @@ void apply_gemm_epilogue(int64_t m, int64_t n, float* c, int64_t ldc,
   }
 }
 
+bool sgemm_packed_supported(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                            int64_t k) {
+  (void)k;
+  // A transposed 1x1-result call is a plain dot product: the packed path
+  // would gather k strided elements into a panel just to multiply them once
+  // each, so the gather costs as much as the product. The blocked kernel
+  // handles it in one pass with the same fixed ascending-k order.
+  return !((trans_a || trans_b) && m == 1 && n == 1);
+}
+
+GemmKernel last_dispatched_kernel() { return g_last_dispatched; }
+
 void sgemm_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
               float alpha, const float* a, int64_t lda, const float* b,
               int64_t ldb, float beta, float* c, int64_t ldc,
               const GemmEpilogue& epi) {
   switch (resolved_gemm_kernel()) {
     case GemmKernel::kPacked:
+      if (!sgemm_packed_supported(trans_a, trans_b, m, n, k)) {
+        // Fall back to blocked — never naive: blocked keeps the cache-aware
+        // panel walk and the deterministic per-element order, so the only
+        // difference from packed is speed on this degenerate shape.
+        static std::atomic<bool> noted{false};
+        if (!noted.exchange(true, std::memory_order_relaxed)) {
+          FCA_LOG_INFO << "sgemm: transposed 1x1-result call routed to the "
+                          "blocked kernel (packed would spend more on panel "
+                          "gathering than on the product); further "
+                          "occurrences are silent";
+        }
+        g_last_dispatched = GemmKernel::kBlocked;
+        sgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
+                      c, ldc, GemmBlocking{});
+        apply_gemm_epilogue(m, n, c, ldc, epi);
+        return;
+      }
+      g_last_dispatched = GemmKernel::kPacked;
       sgemm_packed(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                    ldc, epi);
       return;
@@ -146,6 +182,7 @@ void sgemm_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       // oracle inside tests); account for it here so a forced-naive run
       // keeps the same kernel-span names and flop counts in the trace.
       obs::ProfileSpan span("kernel", "sgemm", 2 * m * n * k);
+      g_last_dispatched = GemmKernel::kNaive;
       sgemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                   ldc);
       apply_gemm_epilogue(m, n, c, ldc, epi);
@@ -153,6 +190,7 @@ void sgemm_ex(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     }
     case GemmKernel::kBlocked:
     case GemmKernel::kAuto:  // unreachable: resolved_gemm_kernel() never kAuto
+      g_last_dispatched = GemmKernel::kBlocked;
       sgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c,
                     ldc, GemmBlocking{});
       apply_gemm_epilogue(m, n, c, ldc, epi);

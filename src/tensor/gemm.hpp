@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "tensor/kernel.hpp"
+
 namespace fca {
 
 /// Optional fused tail applied to C after the product is complete: bias add
@@ -78,5 +80,21 @@ void sgemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 /// product; exposed for the parity tests).
 void apply_gemm_epilogue(int64_t m, int64_t n, float* c, int64_t ldc,
                          const GemmEpilogue& epi);
+
+/// Whether sgemm_packed's tiled/streaming machinery is the right executor
+/// for this call. The only excluded class is a transposed-operand call with
+/// a 1x1 result: that is a bare k-element dot product, and the packed path
+/// would spend more work gathering the strided operand into a panel than the
+/// product itself costs. Every backward shape (dgrad's (true,false) and
+/// wgrad's (false,true) with real tile extents) is served by the packed
+/// kernel — this predicate must never route those away.
+bool sgemm_packed_supported(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                            int64_t k);
+
+/// The kernel that actually executed this thread's most recent
+/// sgemm()/sgemm_ex() call — differs from resolved_gemm_kernel() only when
+/// the packed selection fell back to blocked on an unsupported shape (see
+/// sgemm_packed_supported). kAuto until the first dispatch on this thread.
+GemmKernel last_dispatched_kernel();
 
 }  // namespace fca

@@ -51,17 +51,277 @@
 namespace fca {
 namespace {
 
-// MR*NR accumulators + one B row + one broadcast fit the 16 baseline x86-64
-// XMM registers (6*8/4 = 12 + 2 + 1); the v3 clone holds the same tile in 6
-// of 16 YMM registers.
+// 6x16 is the classic AVX2 shape: the v3 clone holds the accumulator tile in
+// 12 of 16 YMM registers (two 8-wide vectors per row), leaving 2 for the B
+// row and 1 for the A broadcast — enough independent FMA chains to saturate
+// both FMA ports, which a 6x8 tile (6 accumulators) cannot. The baseline
+// clone spills some of the tile to the stack, but it only runs on pre-AVX
+// hardware where memory latency dominates anyway.
 constexpr int64_t MR = 6;    // micro-tile rows
-constexpr int64_t NR = 8;    // micro-tile cols
+constexpr int64_t NR = 16;   // micro-tile cols
 constexpr int64_t MC = 96;   // rows of A per packed panel (multiple of MR)
 constexpr int64_t NC = 512;  // cols of B per packed panel (multiple of NR)
 constexpr int64_t KC = 256;  // depth per packed panel
 
 inline int64_t round_up(int64_t v, int64_t to) {
   return (v + to - 1) / to * to;
+}
+
+// Depth at or below which the packed tiling is the wrong tool: with kb this
+// small a micro-tile does too few flops to amortize packing and C-tile
+// traffic (dgrad's k is out_channels_per_group, often just 8, and measured
+// ~15 GFLOP/s against the kernel's ~50 peak). Such calls take the rank-k
+// row-update path below instead.
+constexpr int64_t kSmallKMax = 16;
+
+/// Rank-k update for k <= kSmallKMax and row-major op(B) (trans_b == false):
+/// each C row is computed as beta*c (p == 0 stores over it when beta == 0)
+/// plus k j-contiguous axpy sweeps in ascending p order — the same
+/// per-element accumulation order class as the micro-kernel, so determinism
+/// and the parity bound are unchanged. The row stays L1-hot across the k
+/// sweeps and B is streamed, which beats the packed path ~2x on dgrad
+/// shapes. Parallelism is over rows; per-element order does not depend on
+/// the split.
+FCA_MICROKERNEL_CLONES
+void smallk_row_update(int64_t n, int64_t k, const float* av, const float* b,
+                       int64_t ldb, float beta, float* crow) {
+  // First sweep covers p = 0..k0 and the beta term; later sweeps add four
+  // (then one) p rows at a time with the row element held in a register, so
+  // the per-element add sequence is exactly the ascending-p order of the
+  // one-row-at-a-time formulation while C-row traffic drops 4x.
+  const int64_t k0 = k < 4 ? k : 4;
+  const float a0 = av[0];
+  const float a1 = k0 > 1 ? av[1] : 0.0f;
+  const float a2 = k0 > 2 ? av[2] : 0.0f;
+  const float* b0 = b;
+  const float* b1 = b + (k0 > 1 ? 1 : 0) * ldb;
+  const float* b2 = b + (k0 > 2 ? 2 : 0) * ldb;
+  const float* b3 = b + (k0 > 3 ? 3 : 0) * ldb;
+  if (beta == 0.0f) {
+    switch (k0) {
+      case 1:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) crow[j] = a0 * b0[j];
+        break;
+      case 2:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = a0 * b0[j];
+          v += a1 * b1[j];
+          crow[j] = v;
+        }
+        break;
+      case 3:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = a0 * b0[j];
+          v += a1 * b1[j];
+          v += a2 * b2[j];
+          crow[j] = v;
+        }
+        break;
+      default: {
+        const float a3 = av[3];
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = a0 * b0[j];
+          v += a1 * b1[j];
+          v += a2 * b2[j];
+          v += a3 * b3[j];
+          crow[j] = v;
+        }
+      }
+    }
+  } else {
+    switch (k0) {
+      case 1:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) crow[j] = beta * crow[j] + a0 * b0[j];
+        break;
+      case 2:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = beta * crow[j] + a0 * b0[j];
+          v += a1 * b1[j];
+          crow[j] = v;
+        }
+        break;
+      case 3:
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = beta * crow[j] + a0 * b0[j];
+          v += a1 * b1[j];
+          v += a2 * b2[j];
+          crow[j] = v;
+        }
+        break;
+      default: {
+        const float a3 = av[3];
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          float v = beta * crow[j] + a0 * b0[j];
+          v += a1 * b1[j];
+          v += a2 * b2[j];
+          v += a3 * b3[j];
+          crow[j] = v;
+        }
+      }
+    }
+  }
+  int64_t p = k0;
+  for (; p + 4 <= k; p += 4) {
+    const float c0 = av[p], c1 = av[p + 1], c2 = av[p + 2], c3 = av[p + 3];
+    const float* r0 = b + p * ldb;
+    const float* r1 = b + (p + 1) * ldb;
+    const float* r2 = b + (p + 2) * ldb;
+    const float* r3 = b + (p + 3) * ldb;
+#pragma omp simd
+    for (int64_t j = 0; j < n; ++j) {
+      float v = crow[j];
+      v += c0 * r0[j];
+      v += c1 * r1[j];
+      v += c2 * r2[j];
+      v += c3 * r3[j];
+      crow[j] = v;
+    }
+  }
+  for (; p < k; ++p) {
+    const float cp = av[p];
+    const float* rp = b + p * ldb;
+#pragma omp simd
+    for (int64_t j = 0; j < n; ++j) crow[j] += cp * rp[j];
+  }
+}
+
+// Width at or below which the packed tiling wastes its packing work: with n
+// this small every packed A element is used at most 16 times, so pack_a's
+// full m*k pass costs as much as the compute it feeds (wgrad's n is
+// col_rows with m = out_channels_per_group — packing the 72x1024 column
+// matrix to produce an 8x72 result). Such calls take the streaming path
+// below: only op(B) (the small side, n*k elements) is transposed into a
+// contiguous panel, A rows are streamed unpacked, and each 12x8 (n <= 8) or
+// 6x16 register tile accumulates the FULL depth in ascending-k order before
+// one write to C.
+constexpr int64_t kSmallNMax = 16;
+
+/// One register-tile block of the small-n path: acc rows over the whole
+/// depth k. op(A)(i, p) is read directly from A via (row, depth) strides —
+/// no packing — and bt is the pre-transposed alpha*op(B) panel, padded to
+/// width W. Per-element accumulation is ascending k, as everywhere else.
+// always_inline: the body must be inlined into each target_clones wrapper
+// below so the j loops vectorize at that clone's ISA — left out-of-line it
+// would be compiled once for the baseline target and both clones would just
+// tail-call it.
+template <int64_t W, int64_t MRB>
+__attribute__((always_inline)) inline void smalln_block(
+    int64_t k, int64_t mr, const float* a, int64_t row_stride,
+    int64_t depth_stride, const float* bt, float acc_out[MRB * W]) {
+  float acc[MRB][W] = {};
+  if (mr == MRB) {
+    // Fixed trip count: the i loop fully unrolls and the whole tile lives
+    // in registers across the k loop (the runtime-mr fallback below keeps
+    // acc in memory — fine for the final partial block only).
+    for (int64_t p = 0; p < k; ++p) {
+      const float* bv = bt + p * W;
+      const float* ap = a + p * depth_stride;
+      for (int64_t i = 0; i < MRB; ++i) {
+        const float ai = ap[i * row_stride];
+#pragma omp simd
+        for (int64_t j = 0; j < W; ++j) acc[i][j] += ai * bv[j];
+      }
+    }
+  } else {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* bv = bt + p * W;
+      const float* ap = a + p * depth_stride;
+      for (int64_t i = 0; i < mr; ++i) {
+        const float ai = ap[i * row_stride];
+#pragma omp simd
+        for (int64_t j = 0; j < W; ++j) acc[i][j] += ai * bv[j];
+      }
+    }
+  }
+  std::memcpy(acc_out, acc, sizeof(float) * static_cast<size_t>(mr) * W);
+}
+
+/// Paired-depth variant of the 8-wide block, used when the streamed
+/// operand's depth stride is 1 (its rows are contiguous in k — the wgrad
+/// layout). Two consecutive depth steps occupy the 16 vector lanes at once:
+/// lanes 0..7 accumulate even-k products, lanes 8..15 odd-k products, and
+/// the two partial sums are folded into the 8-wide result at the end. The
+/// bt panel needs no re-layout — rows p and p+1 of the 8-wide panel read as
+/// one 16-float vector. Halves the loads per multiply-add of the plain 12x8
+/// tile (the strided broadcast streams were its bottleneck). Per-element
+/// summation order: ascending k within each parity class, one even+odd fold,
+/// then the odd-k tail element — fixed per shape, so still rerun- and
+/// pool-size-invariant, and covered by the order-agnostic parity bound.
+template <int64_t MRB>
+__attribute__((always_inline)) inline void smalln_block_pairk(
+    int64_t k, int64_t mr, const float* a, int64_t row_stride,
+    const float* bt, float acc_out[MRB * 8]) {
+  float acc[MRB][16] = {};
+  const int64_t kp = k / 2;
+  if (mr == MRB) {
+    for (int64_t q = 0; q < kp; ++q) {
+      const float* bv = bt + q * 16;
+      const float* ap = a + 2 * q;
+      for (int64_t i = 0; i < MRB; ++i) {
+        const float a0 = ap[i * row_stride];
+        const float a1 = ap[i * row_stride + 1];
+#pragma omp simd
+        for (int64_t j = 0; j < 8; ++j) acc[i][j] += a0 * bv[j];
+#pragma omp simd
+        for (int64_t j = 0; j < 8; ++j) acc[i][8 + j] += a1 * bv[8 + j];
+      }
+    }
+  } else {
+    for (int64_t q = 0; q < kp; ++q) {
+      const float* bv = bt + q * 16;
+      const float* ap = a + 2 * q;
+      for (int64_t i = 0; i < mr; ++i) {
+        const float a0 = ap[i * row_stride];
+        const float a1 = ap[i * row_stride + 1];
+#pragma omp simd
+        for (int64_t j = 0; j < 8; ++j) acc[i][j] += a0 * bv[j];
+#pragma omp simd
+        for (int64_t j = 0; j < 8; ++j) acc[i][8 + j] += a1 * bv[8 + j];
+      }
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    float* out = acc_out + i * 8;
+#pragma omp simd
+    for (int64_t j = 0; j < 8; ++j) out[j] = acc[i][j] + acc[i][8 + j];
+  }
+  if (k & 1) {
+    const float* bv = bt + (k - 1) * 8;
+    const float* ap = a + (k - 1);
+    for (int64_t i = 0; i < mr; ++i) {
+      const float ai = ap[i * row_stride];
+      float* out = acc_out + i * 8;
+#pragma omp simd
+      for (int64_t j = 0; j < 8; ++j) out[j] += ai * bv[j];
+    }
+  }
+}
+
+// target_clones dispatch wrappers (the attribute cannot go on a template).
+FCA_MICROKERNEL_CLONES
+void smalln_block8(int64_t k, int64_t mr, const float* a, int64_t row_stride,
+                   int64_t depth_stride, const float* bt, float* acc_out) {
+  smalln_block<8, 12>(k, mr, a, row_stride, depth_stride, bt, acc_out);
+}
+
+FCA_MICROKERNEL_CLONES
+void smalln_block8_pairk(int64_t k, int64_t mr, const float* a,
+                         int64_t row_stride, const float* bt, float* acc_out) {
+  smalln_block_pairk<6>(k, mr, a, row_stride, bt, acc_out);
+}
+
+FCA_MICROKERNEL_CLONES
+void smalln_block16(int64_t k, int64_t mr, const float* a, int64_t row_stride,
+                    int64_t depth_stride, const float* bt, float* acc_out) {
+  smalln_block<16, 6>(k, mr, a, row_stride, depth_stride, bt, acc_out);
 }
 
 inline void scale_c(float beta, int64_t m, int64_t n, float* c, int64_t ldc) {
@@ -77,8 +337,9 @@ inline void scale_c(float beta, int64_t m, int64_t n, float* c, int64_t ldc) {
 }
 
 /// Packs alpha * op(A)[ic:ic+mb, pc:pc+kb] into MR row-panels:
-/// ap[r*MR*kb + p*MR + i] = alpha * op(A)(ic + r*MR + i, pc + p),
-/// zero-padded in i so the micro-kernel never branches on the row tail.
+/// ap[r*MR*kb + p*MR + i] = alpha * op(A)(ic + r*MR + i, pc + p).
+/// Rows mr..MR of a partial tile are left unwritten; only micro_kernel_tail
+/// sees such tiles and it reads just the first mr rows.
 void pack_a(const float* a, int64_t lda, bool trans, int64_t ic, int64_t pc,
             int64_t mb, int64_t kb, float alpha, float* ap) {
   for (int64_t ir = 0; ir < mb; ir += MR) {
@@ -96,80 +357,150 @@ void pack_a(const float* a, int64_t lda, bool trans, int64_t ic, int64_t pc,
         for (int64_t i = 0; i < mr; ++i) panel[p * MR + i] = alpha * src[i];
       }
     }
-    if (mr < MR) {
-      for (int64_t p = 0; p < kb; ++p) {
-        for (int64_t i = mr; i < MR; ++i) panel[p * MR + i] = 0.0f;
-      }
-    }
+    // Row tails are NOT zero-padded: partial tiles go through
+    // micro_kernel_tail, which only touches the first mr rows, so the pad
+    // would be dead stores (kb * (MR - mr) of them per tail tile).
   }
 }
 
-/// Packs op(B)[pc:pc+kb, jc:jc+nb] into NR column-panels:
-/// bp[s*NR*kb + p*NR + j] = op(B)(pc + p, jc + s*NR + j), zero-padded in j.
+/// Column-panel width for the slice starting at column jr of an nb-column
+/// block: full NR panels, except that a tail of <= NR/2 columns is packed
+/// half-width. Grouped/depthwise convs hand the backward pass matrices with
+/// n as small as 2-9 (col_rows of a 1x1 or per-group 3x3 kernel); padding
+/// those to 16 would double the dead micro-kernel flops the old 8-wide tile
+/// paid. pack_b and the jr loop in sgemm_packed must agree on this.
+inline int64_t panel_width(int64_t nb, int64_t jr) {
+  return nb - jr <= NR / 2 ? NR / 2 : NR;
+}
+
+/// Packs op(B)[pc:pc+kb, jc:jc+nb] into column-panels of width panel_width
+/// (NR, with an NR/2 tail): panel[p * w + j] = op(B)(pc + p, jc + jr + j),
+/// zero-padded in j up to the panel width.
 void pack_b(const float* b, int64_t ldb, bool trans, int64_t pc, int64_t jc,
             int64_t kb, int64_t nb, float* bp) {
+  float* panel = bp;
   for (int64_t jr = 0; jr < nb; jr += NR) {
-    float* panel = bp + (jr / NR) * NR * kb;
-    const int64_t nr = std::min(NR, nb - jr);
+    const int64_t w = panel_width(nb, jr);
+    const int64_t nr = std::min(w, nb - jr);
     if (!trans) {
       for (int64_t p = 0; p < kb; ++p) {
         const float* src = b + (pc + p) * ldb + jc + jr;
-        for (int64_t j = 0; j < nr; ++j) panel[p * NR + j] = src[j];
+        for (int64_t j = 0; j < nr; ++j) panel[p * w + j] = src[j];
       }
     } else {
       // op(B)(p, j) = B[j][p]: strided gather per column.
       for (int64_t j = 0; j < nr; ++j) {
         const float* src = b + (jc + jr + j) * ldb + pc;
-        for (int64_t p = 0; p < kb; ++p) panel[p * NR + j] = src[p];
+        for (int64_t p = 0; p < kb; ++p) panel[p * w + j] = src[p];
       }
     }
-    if (nr < NR) {
+    if (nr < w) {
       for (int64_t p = 0; p < kb; ++p) {
-        for (int64_t j = nr; j < NR; ++j) panel[p * NR + j] = 0.0f;
+        for (int64_t j = nr; j < w; ++j) panel[p * w + j] = 0.0f;
       }
     }
+    panel += w * kb;
   }
 }
 
-/// acc = A-panel * B-panel over kb depth. The 2-D accumulator plus the simd
-/// pragma on the fixed-trip j loop pin the vectorization axis: the compiler
-/// unrolls i, vectorizes j, and keeps the whole tile in registers across the
-/// p loop (a flat acc[i * NR + j] formulation tempts GCC into SLP across p
-/// with ruinous shuffle traffic — measured ~8x slower; do not "simplify"
-/// this back). Never inlined: the target_clones dispatch happens here.
+/// acc = A-panel * B-panel over kb depth, MRT x W tile. The 2-D accumulator
+/// plus the simd pragma on the fixed-trip j loop pin the vectorization axis:
+/// the compiler unrolls i, vectorizes j, and keeps the whole tile in
+/// registers across the p loop (a flat acc[i * W + j] formulation tempts GCC
+/// into SLP across p with ruinous shuffle traffic — measured ~8x slower; do
+/// not "simplify" this back). MRT is a template parameter so every variant
+/// has compile-time trip counts: a runtime row bound forces the accumulator
+/// tile into memory (a load+store per FMA). always_inline so the body is
+/// compiled at each target_clones wrapper's ISA rather than once at baseline.
+template <int64_t MRT, int64_t W>
+__attribute__((always_inline)) inline void micro_tile(int64_t kb,
+                                                      const float* ap,
+                                                      const float* bp,
+                                                      float* acc_out) {
+  float acc[MRT][W] = {};
+  for (int64_t p = 0; p < kb; ++p) {
+    const float* av = ap + p * MR;  // A-panel stride is always MR
+    const float* bv = bp + p * W;
+    for (int64_t i = 0; i < MRT; ++i) {
+      const float ai = av[i];
+#pragma omp simd
+      for (int64_t j = 0; j < W; ++j) acc[i][j] += ai * bv[j];
+    }
+  }
+  std::memcpy(acc_out, acc, sizeof(acc));
+}
+
+/// The target_clones dispatch happens on these wrappers; never inlined.
 FCA_MICROKERNEL_CLONES
 void micro_kernel(int64_t kb, const float* ap, const float* bp,
                   float acc_out[MR * NR]) {
-  float acc[MR][NR] = {};
-  for (int64_t p = 0; p < kb; ++p) {
-    const float* av = ap + p * MR;
-    const float* bv = bp + p * NR;
-    for (int64_t i = 0; i < MR; ++i) {
-      const float ai = av[i];
-#pragma omp simd
-      for (int64_t j = 0; j < NR; ++j) acc[i][j] += ai * bv[j];
-    }
-  }
-  std::memcpy(acc_out, acc, sizeof(float) * MR * NR);
+  micro_tile<MR, NR>(kb, ap, bp, acc_out);
 }
 
-/// Adds the valid mr×nr corner of acc into C; on the final k panel also
-/// applies the epilogue with numerics identical to apply_gemm_epilogue.
-inline void write_back(const float* acc, float* c, int64_t ldc, int64_t row0,
-                       int64_t col0, int64_t mr, int64_t nr, bool fuse_epi,
+/// Row-tail variant: identical arithmetic per element (same ascending-p
+/// order, same panel stride MR), but only the first mr rows are computed.
+/// The backward wgrad shapes have m == out_channels_per_group (often 8, one
+/// full tile + a 2-row tail); computing the dead pad rows there wasted a
+/// third of the micro-kernel work. The switch selects a fixed-MRT
+/// instantiation so partial tiles also keep their accumulators in registers.
+FCA_MICROKERNEL_CLONES
+void micro_kernel_tail(int64_t kb, int64_t mr, const float* ap,
+                       const float* bp, float acc_out[MR * NR]) {
+  switch (mr) {
+    case 1: micro_tile<1, NR>(kb, ap, bp, acc_out); break;
+    case 2: micro_tile<2, NR>(kb, ap, bp, acc_out); break;
+    case 3: micro_tile<3, NR>(kb, ap, bp, acc_out); break;
+    case 4: micro_tile<4, NR>(kb, ap, bp, acc_out); break;
+    default: micro_tile<5, NR>(kb, ap, bp, acc_out); break;
+  }
+}
+
+/// Half-width (NR/2-column) variants for the tail panels pack_b emits when
+/// the remaining columns fit in NR/2; acc rows are NR/2 apart. Same
+/// ascending-p per-element order as the full-width kernels.
+FCA_MICROKERNEL_CLONES
+void micro_kernel_half(int64_t kb, const float* ap, const float* bp,
+                       float acc_out[MR * NR / 2]) {
+  micro_tile<MR, NR / 2>(kb, ap, bp, acc_out);
+}
+
+FCA_MICROKERNEL_CLONES
+void micro_kernel_half_tail(int64_t kb, int64_t mr, const float* ap,
+                            const float* bp, float acc_out[MR * NR / 2]) {
+  switch (mr) {
+    case 1: micro_tile<1, NR / 2>(kb, ap, bp, acc_out); break;
+    case 2: micro_tile<2, NR / 2>(kb, ap, bp, acc_out); break;
+    case 3: micro_tile<3, NR / 2>(kb, ap, bp, acc_out); break;
+    case 4: micro_tile<4, NR / 2>(kb, ap, bp, acc_out); break;
+    default: micro_tile<5, NR / 2>(kb, ap, bp, acc_out); break;
+  }
+}
+
+/// Writes the valid mr×nr corner of acc into C — accumulating when
+/// `accumulate` (C already holds beta*C plus earlier k panels), a straight
+/// store otherwise (beta == 0 first panel, so the zero-fill pass and the
+/// read-modify-write are both skipped). On the final k panel also applies
+/// the epilogue with numerics identical to apply_gemm_epilogue.
+inline void write_back(const float* acc, int64_t acc_stride, float* c,
+                       int64_t ldc, int64_t row0, int64_t col0, int64_t mr,
+                       int64_t nr, bool accumulate, bool fuse_epi,
                        const GemmEpilogue& epi) {
   for (int64_t i = 0; i < mr; ++i) {
     float* crow = c + (row0 + i) * ldc + col0;
-    const float* arow = acc + i * NR;
+    const float* arow = acc + i * acc_stride;
     if (!fuse_epi) {
-      for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+      if (accumulate) {
+        for (int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+      } else {
+        for (int64_t j = 0; j < nr; ++j) crow[j] = arow[j];
+      }
       continue;
     }
     const float row_bias =
         epi.bias_kind == GemmEpilogue::Bias::kPerRow ? epi.bias[row0 + i]
                                                      : 0.0f;
     for (int64_t j = 0; j < nr; ++j) {
-      float v = crow[j] + arow[j];
+      float v = accumulate ? crow[j] + arow[j] : arow[j];
       if (epi.bias_kind == GemmEpilogue::Bias::kPerCol) {
         v += epi.bias[col0 + j];
       } else if (epi.bias_kind == GemmEpilogue::Bias::kPerRow) {
@@ -190,11 +521,185 @@ void sgemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   obs::ProfileSpan span("kernel", "sgemm", 2 * m * n * k);
   FCA_CHECK(m >= 0 && n >= 0 && k >= 0);
   if (m == 0 || n == 0) return;
-  scale_c(beta, m, n, c, ldc);
   if (k == 0 || alpha == 0.0f) {
+    scale_c(beta, m, n, c, ldc);
     apply_gemm_epilogue(m, n, c, ldc, epi);
     return;
   }
+
+  // The rank-k row-update path folds beta in itself; it must dispatch before
+  // the general path's upfront C scaling.
+  if (k <= kSmallKMax && !trans_b) {
+    parallel_for_range(
+        0, m,
+        [&](int64_t i_lo, int64_t i_hi) {
+          for (int64_t i = i_lo; i < i_hi; ++i) {
+            float av[kSmallKMax];
+            if (!trans_a) {
+              const float* src = a + i * lda;
+              for (int64_t p = 0; p < k; ++p) av[p] = alpha * src[p];
+            } else {
+              for (int64_t p = 0; p < k; ++p) av[p] = alpha * a[p * lda + i];
+            }
+            float* crow = c + i * ldc;
+            smallk_row_update(n, k, av, b, ldb, beta, crow);
+            if (!epi.empty()) {
+              // Single-row epilogue: a per-row bias must be re-anchored to
+              // this row, since apply_gemm_epilogue sees a 1-row matrix.
+              GemmEpilogue row_epi = epi;
+              if (row_epi.bias_kind == GemmEpilogue::Bias::kPerRow) {
+                row_epi.bias = epi.bias + i;
+              }
+              apply_gemm_epilogue(1, n, crow, ldc, row_epi);
+            }
+          }
+        },
+        /*grain=*/16);
+    return;
+  }
+
+  // Narrow-C streaming path (see kSmallNMax): transpose alpha*op(B) once —
+  // with trans_b that reads B's rows contiguously — then stream A unpacked.
+  // Each register tile holds its C rows across the FULL depth, so C is
+  // written exactly once and there is no per-KC-panel traffic at all.
+  if (n <= kSmallNMax && trans_b) {
+    const int64_t w = n <= 8 ? 8 : 16;  // padded panel width
+    // The paired-depth 8-wide kernel needs the streamed rows contiguous in k
+    // (depth stride 1) and blocks 6 rows at a time; the plain 12x8 tile
+    // covers the strided-depth case.
+    const bool pairk = w == 8 && !trans_a;
+    const int64_t mrb = w == 16 || pairk ? 6 : 12;  // rows per register tile
+    Workspace::Frame bt_frame(Workspace::tls());
+    float* bt = bt_frame.alloc(k * w);
+    // bt[p * w + j] = alpha * op(B)(p, j) = alpha * B[j][p]. Folding alpha
+    // into the B side (the A side elsewhere) changes product rounding but
+    // stays within the parity bound; the accumulation order is untouched.
+    for (int64_t j = 0; j < n; ++j) {
+      const float* src = b + j * ldb;
+      for (int64_t p = 0; p < k; ++p) bt[p * w + j] = alpha * src[p];
+    }
+    if (n < w) {
+      for (int64_t p = 0; p < k; ++p) {
+        for (int64_t j = n; j < w; ++j) bt[p * w + j] = 0.0f;
+      }
+    }
+    const int64_t row_stride = trans_a ? 1 : lda;
+    const int64_t depth_stride = trans_a ? lda : 1;
+    parallel_for_range(
+        0, m,
+        [&](int64_t lo, int64_t hi) {
+          float acc[12 * 8];  // max(12*8, 6*16)
+          for (int64_t i0 = lo; i0 < hi; i0 += mrb) {
+            const int64_t mr = std::min(mrb, hi - i0);
+            const float* abase = a + (trans_a ? i0 : i0 * lda);
+            if (w == 8) {
+              if (pairk) {
+                smalln_block8_pairk(k, mr, abase, row_stride, bt, acc);
+              } else {
+                smalln_block8(k, mr, abase, row_stride, depth_stride, bt, acc);
+              }
+            } else {
+              smalln_block16(k, mr, abase, row_stride, depth_stride, bt, acc);
+            }
+            for (int64_t i = 0; i < mr; ++i) {
+              float* crow = c + (i0 + i) * ldc;
+              const float* arow = acc + i * w;
+              if (beta == 0.0f) {
+                for (int64_t j = 0; j < n; ++j) crow[j] = arow[j];
+              } else if (beta == 1.0f) {
+                for (int64_t j = 0; j < n; ++j) crow[j] += arow[j];
+              } else {
+                for (int64_t j = 0; j < n; ++j) {
+                  crow[j] = beta * crow[j] + arow[j];
+                }
+              }
+              if (!epi.empty()) {
+                GemmEpilogue row_epi = epi;
+                if (row_epi.bias_kind == GemmEpilogue::Bias::kPerRow) {
+                  row_epi.bias = epi.bias + i0 + i;
+                }
+                apply_gemm_epilogue(1, n, crow, ldc, row_epi);
+              }
+            }
+          }
+        },
+        /*grain=*/24);
+    return;
+  }
+
+  // Symmetric narrow-C path for small m: compute C^T block-row-wise with the
+  // same kernels — at[p*w + i] = alpha*op(A)(i, p) is the transposed panel,
+  // op(B)^T's rows are streamed unpacked via strides, and each finished tile
+  // of C^T rows (= C columns) is scattered into C, every element written
+  // exactly once. This is the wgrad shape: m = out_channels_per_group (8 or
+  // 16) with n = col_rows and k = oh*ow — the packed path would pack the
+  // n*k column matrix just to produce an m*n result. trans_b only: that is
+  // when op(B)^T's rows are contiguous in the depth and stream linearly;
+  // without it (e.g. conv forward, also m = ocg) the packed path's measured
+  // throughput is already good and the stream here would be ldb-strided.
+  if (m <= kSmallNMax && trans_b) {
+    const int64_t w = m <= 8 ? 8 : 16;
+    // trans_b means the streamed op(B)^T rows are contiguous in k, so the
+    // 8-wide case always uses the paired-depth kernel (6-row blocks).
+    const int64_t mrb = 6;
+    Workspace::Frame at_frame(Workspace::tls());
+    float* at = at_frame.alloc(k * w);
+    if (trans_a) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float* src = a + p * lda;
+        for (int64_t i = 0; i < m; ++i) at[p * w + i] = alpha * src[i];
+      }
+    } else {
+      for (int64_t i = 0; i < m; ++i) {
+        const float* src = a + i * lda;
+        for (int64_t p = 0; p < k; ++p) at[p * w + i] = alpha * src[p];
+      }
+    }
+    if (m < w) {
+      for (int64_t p = 0; p < k; ++p) {
+        for (int64_t i = m; i < w; ++i) at[p * w + i] = 0.0f;
+      }
+    }
+    // Streamed side: row j of op(B)^T has elements op(B)(p, j).
+    const int64_t row_stride = trans_b ? ldb : 1;
+    const int64_t depth_stride = trans_b ? 1 : ldb;
+    parallel_for_range(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          float acc[12 * 8];  // max(12*8, 6*16)
+          for (int64_t j0 = lo; j0 < hi; j0 += mrb) {
+            const int64_t jr = std::min(mrb, hi - j0);
+            const float* bbase = b + (trans_b ? j0 * ldb : j0);
+            if (w == 8) {
+              smalln_block8_pairk(k, jr, bbase, row_stride, at, acc);
+            } else {
+              smalln_block16(k, jr, bbase, row_stride, depth_stride, at, acc);
+            }
+            for (int64_t jj = 0; jj < jr; ++jj) {
+              const float* arow = acc + jj * w;
+              float* ccol = c + j0 + jj;
+              if (beta == 0.0f) {
+                for (int64_t i = 0; i < m; ++i) ccol[i * ldc] = arow[i];
+              } else if (beta == 1.0f) {
+                for (int64_t i = 0; i < m; ++i) ccol[i * ldc] += arow[i];
+              } else {
+                for (int64_t i = 0; i < m; ++i) {
+                  ccol[i * ldc] = beta * ccol[i * ldc] + arow[i];
+                }
+              }
+            }
+          }
+        },
+        /*grain=*/24);
+    apply_gemm_epilogue(m, n, c, ldc, epi);
+    return;
+  }
+
+  // beta == 0 skips the upfront zero-fill: the first k panel stores straight
+  // into C instead of accumulating into zeros, dropping two full C passes
+  // (the zero-fill write and the first panel's read-modify-write).
+  const bool store_first_panel = beta == 0.0f;
+  if (!store_first_panel) scale_c(beta, m, n, c, ldc);
 
   Workspace::Frame caller_frame(Workspace::tls());
   // One B-panel buffer sized for the largest (kb, nb) this call will see;
@@ -209,6 +714,7 @@ void sgemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       const int64_t kb = std::min(KC, k - pc);
       const bool last_panel = pc + kb == k;
       const bool fuse_epi = last_panel && !epi.empty();
+      const bool accumulate = !store_first_panel || pc > 0;
       pack_b(b, ldb, trans_b, pc, jc, kb, nb, bp);
       parallel_for_range(
           0, row_blocks,
@@ -220,15 +726,30 @@ void sgemm_packed(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
               const int64_t mb = std::min(MC, m - ic);
               pack_a(a, lda, trans_a, ic, pc, mb, kb, alpha, ap);
               float acc[MR * NR];
+              const float* bpanel = bp;
               for (int64_t jr = 0; jr < nb; jr += NR) {
-                const float* bpanel = bp + (jr / NR) * NR * kb;
-                const int64_t nr = std::min(NR, nb - jr);
+                const int64_t w = panel_width(nb, jr);
+                const int64_t nr = std::min(w, nb - jr);
                 for (int64_t ir = 0; ir < mb; ir += MR) {
                   const float* apanel = ap + (ir / MR) * MR * kb;
-                  micro_kernel(kb, apanel, bpanel, acc);
-                  write_back(acc, c, ldc, ic + ir, jc + jr,
-                             std::min(MR, mb - ir), nr, fuse_epi, epi);
+                  const int64_t mr = std::min(MR, mb - ir);
+                  if (w == NR) {
+                    if (mr == MR) {
+                      micro_kernel(kb, apanel, bpanel, acc);
+                    } else {
+                      micro_kernel_tail(kb, mr, apanel, bpanel, acc);
+                    }
+                  } else {
+                    if (mr == MR) {
+                      micro_kernel_half(kb, apanel, bpanel, acc);
+                    } else {
+                      micro_kernel_half_tail(kb, mr, apanel, bpanel, acc);
+                    }
+                  }
+                  write_back(acc, w, c, ldc, ic + ir, jc + jr, mr, nr,
+                             accumulate, fuse_epi, epi);
                 }
+                bpanel += w * kb;
               }
             }
           },

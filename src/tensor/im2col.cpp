@@ -77,6 +77,46 @@ void col2im(const float* col, const ConvGeom& g, float* im) {
     float* imc = im + c * g.height * g.width;
     for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
       for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src_row = col + row * oh * ow;
+        // Same hoisting as im2col: the valid x span is y-invariant, so the
+        // horizontal bounds checks leave the inner loop entirely. Within one
+        // (c, kh, kw, y) row the map x -> ix is a bijection, so the per-image-
+        // element accumulation order matches the scalar reference exactly and
+        // the result stays byte-equal (overlapping windows only meet across
+        // kh/kw iterations, whose order is unchanged).
+        int64_t x0, x1;
+        valid_x_range(ow, g.width, g.stride_w, g.pad_w, kw, &x0, &x1);
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t iy = y * g.stride_h - g.pad_h + kh;
+          if (iy < 0 || iy >= g.height) continue;
+          const float* src = src_row + y * ow;
+          float* dst_row = imc + iy * g.width;
+          if (g.stride_w == 1) {
+            float* dst = dst_row + (x0 - g.pad_w + kw);
+            const float* s = src + x0;
+            const int64_t n = x1 - x0;
+#pragma omp simd
+            for (int64_t i = 0; i < n; ++i) dst[i] += s[i];
+          } else {
+            int64_t ix = x0 * g.stride_w - g.pad_w + kw;
+            for (int64_t x = x0; x < x1; ++x, ix += g.stride_w) {
+              dst_row[ix] += src[x];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_reference(const float* col, const ConvGeom& g, float* im) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.channels; ++c) {
+    float* imc = im + c * g.height * g.width;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
         const float* src = col + row * oh * ow;
         for (int64_t y = 0; y < oh; ++y) {
           const int64_t iy = y * g.stride_h - g.pad_h + kh;

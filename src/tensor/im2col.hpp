@@ -35,7 +35,14 @@ void im2col(const float* im, const ConvGeom& g, float* col);
 
 /// Adjoint of im2col: accumulates `col` back into `im` (im must be
 /// zero-initialized by the caller if accumulation from scratch is wanted).
+/// Vectorized like im2col (hoisted horizontal bounds, contiguous accumulate
+/// at stride 1, strided scatter-add tail); byte-equal to col2im_reference
+/// because the per-element accumulation order is preserved.
 void col2im(const float* col, const ConvGeom& g, float* im);
+
+/// Scalar per-element-bounds-checked col2im kept as the byte-equality oracle
+/// for the vectorized version (tests/test_im2col.cpp).
+void col2im_reference(const float* col, const ConvGeom& g, float* im);
 
 /// Direct (non-lowered) convolution of one image; correctness oracle for
 /// tests and baseline for the conv ablation bench. weight layout

@@ -19,7 +19,7 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 template <typename F>
 Tensor binary(const Tensor& a, const Tensor& b, const char* name, F f) {
   check_same_shape(a, b, name);
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninit(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -30,7 +30,7 @@ Tensor binary(const Tensor& a, const Tensor& b, const char* name, F f) {
 
 template <typename F>
 Tensor unary(const Tensor& a, F f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninit(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
@@ -78,6 +78,25 @@ Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
   return unary(a, f);
 }
 
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& grad_out) {
+  return binary(x, grad_out, "relu_backward",
+                [](float xv, float g) { return xv > 0.0f ? g : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return unary(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+
+Tensor leaky_relu_backward(const Tensor& x, const Tensor& grad_out,
+                           float slope) {
+  return binary(x, grad_out, "leaky_relu_backward",
+                [slope](float xv, float g) { return xv > 0.0f ? g : slope * g; });
+}
+
 void add_(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_");
   float* pa = a.data();
@@ -118,7 +137,7 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   FCA_CHECK_MSG(k == kb, "matmul inner dims differ: " << k << " vs " << kb);
-  Tensor c({m, n});
+  Tensor c = Tensor::uninit({m, n});
   sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), a.dim(1), b.data(),
         b.dim(1), 0.0f, c.data(), n);
   return c;
@@ -128,7 +147,7 @@ Tensor transpose2d(const Tensor& a) {
   FCA_CHECK(a.ndim() == 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::uninit({n, m});
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < m; ++i) {
@@ -139,7 +158,7 @@ Tensor transpose2d(const Tensor& a) {
 
 Tensor add_rowwise(const Tensor& m, const Tensor& row) {
   FCA_CHECK(m.ndim() == 2 && row.ndim() == 1 && row.dim(0) == m.dim(1));
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -155,7 +174,7 @@ Tensor add_rowwise(const Tensor& m, const Tensor& row) {
 
 Tensor mul_rowwise(const Tensor& m, const Tensor& row) {
   FCA_CHECK(m.ndim() == 2 && row.ndim() == 1 && row.dim(0) == m.dim(1));
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -171,7 +190,7 @@ Tensor mul_rowwise(const Tensor& m, const Tensor& row) {
 
 Tensor mul_colwise(const Tensor& m, const Tensor& col) {
   FCA_CHECK(m.ndim() == 2 && col.ndim() == 1 && col.dim(0) == m.dim(0));
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -243,7 +262,7 @@ Tensor sum_rows(const Tensor& m) {
 
 Tensor sum_cols(const Tensor& m) {
   FCA_CHECK(m.ndim() == 2);
-  Tensor out({m.dim(0)});
+  Tensor out = Tensor::uninit({m.dim(0)});
   const float* pm = m.data();
   float* po = out.data();
   for (int64_t i = 0; i < m.dim(0); ++i) {
@@ -275,7 +294,7 @@ std::vector<int> argmax_rows(const Tensor& m) {
 
 Tensor softmax_rows(const Tensor& m) {
   FCA_CHECK(m.ndim() == 2 && m.dim(1) > 0);
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -297,7 +316,7 @@ Tensor softmax_rows(const Tensor& m) {
 
 Tensor log_softmax_rows(const Tensor& m) {
   FCA_CHECK(m.ndim() == 2 && m.dim(1) > 0);
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -315,7 +334,7 @@ Tensor log_softmax_rows(const Tensor& m) {
 
 Tensor l2_normalize_rows(const Tensor& m, float eps) {
   FCA_CHECK(m.ndim() == 2);
-  Tensor out(m.shape());
+  Tensor out = Tensor::uninit(m.shape());
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
   const float* pm = m.data();
@@ -356,7 +375,7 @@ bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
 
 Tensor gather_rows(const Tensor& m, const std::vector<int>& idx) {
   FCA_CHECK(m.ndim() == 2);
-  Tensor out({static_cast<int64_t>(idx.size()), m.dim(1)});
+  Tensor out = Tensor::uninit({static_cast<int64_t>(idx.size()), m.dim(1)});
   for (size_t i = 0; i < idx.size(); ++i) {
     FCA_CHECK(idx[i] >= 0 && idx[i] < m.dim(0));
     out.copy_row_from(static_cast<int64_t>(i), m, idx[i]);
@@ -372,7 +391,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     FCA_CHECK(p.ndim() == 2 && p.dim(1) == cols);
     rows += p.dim(0);
   }
-  Tensor out({rows, cols});
+  Tensor out = Tensor::uninit({rows, cols});
   int64_t r = 0;
   for (const auto& p : parts) {
     std::copy_n(p.data(), p.numel(), out.data() + r * cols);

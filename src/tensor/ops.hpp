@@ -28,6 +28,21 @@ Tensor neg(const Tensor& a);
 Tensor clamp(const Tensor& a, float lo, float hi);
 Tensor apply(const Tensor& a, const std::function<float(float)>& f);
 
+// -- activations -------------------------------------------------------------
+// Dedicated entry points instead of apply(): the std::function indirection
+// costs an indirect call per element, which on the small CNNs here is as
+// expensive as the conv GEMM it feeds. These are branchless selects the
+// compiler vectorizes.
+/// max(x, 0)
+Tensor relu(const Tensor& a);
+/// d(relu)/dx: grad_out where x > 0, else 0.
+Tensor relu_backward(const Tensor& x, const Tensor& grad_out);
+/// x > 0 ? x : slope * x
+Tensor leaky_relu(const Tensor& a, float slope);
+/// d(leaky_relu)/dx: grad_out where x > 0, else slope * grad_out.
+Tensor leaky_relu_backward(const Tensor& x, const Tensor& grad_out,
+                           float slope);
+
 void add_(Tensor& a, const Tensor& b);
 void sub_(Tensor& a, const Tensor& b);
 void mul_(Tensor& a, const Tensor& b);

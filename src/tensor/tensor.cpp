@@ -29,30 +29,38 @@ std::string shape_to_string(const Shape& shape) {
   return os.str();
 }
 
-Tensor::Tensor() : buf_(std::make_shared<std::vector<float>>()) {}
+Tensor::Tensor() : buf_(std::make_shared<FloatBuf>()) {}
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(shape_numel(shape_)),
-      buf_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(numel_), 0.0f)) {}
+      buf_(std::make_shared<FloatBuf>(static_cast<size_t>(numel_), 0.0f)) {}
 
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)),
       numel_(shape_numel(shape_)),
-      buf_(std::make_shared<std::vector<float>>(static_cast<size_t>(numel_),
-                                                fill)) {}
+      buf_(std::make_shared<FloatBuf>(static_cast<size_t>(numel_), fill)) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
   FCA_CHECK_MSG(static_cast<int64_t>(values.size()) == numel_,
                 "value count " << values.size() << " does not match shape "
                                << shape_to_string(shape_));
-  buf_ = std::make_shared<std::vector<float>>(std::move(values));
+  buf_ = std::make_shared<FloatBuf>(values.begin(), values.end());
+}
+
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  // FloatBuf's allocator default-initializes, so this size ctor allocates
+  // without the zero-fill pass.
+  t.buf_ = std::make_shared<FloatBuf>(static_cast<size_t>(t.numel_));
+  return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = uninit(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(rng.normal(mean, stddev));
   }
@@ -60,7 +68,7 @@ Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
 }
 
 Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = uninit(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t[i] = static_cast<float>(rng.uniform(lo, hi));
   }
@@ -68,7 +76,7 @@ Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::arange(int64_t n) {
-  Tensor t({n});
+  Tensor t = uninit({n});
   for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
   return t;
 }
@@ -121,7 +129,7 @@ Tensor Tensor::clone() const {
   Tensor out;
   out.shape_ = shape_;
   out.numel_ = numel_;
-  out.buf_ = std::make_shared<std::vector<float>>(*buf_);
+  out.buf_ = std::make_shared<FloatBuf>(*buf_);
   return out;
 }
 

@@ -11,11 +11,38 @@
 #include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fca {
 
+namespace detail {
+/// std::allocator whose no-argument construct is default-initialization
+/// (a no-op for float) instead of value-initialization: FloatBuf(n) then
+/// allocates WITHOUT zero-filling. Tensor's zeroing constructors fill
+/// explicitly; Tensor::uninit skips the fill for buffers the caller fully
+/// overwrites (GEMM outputs, elementwise results), saving one complete
+/// memory pass per activation-sized allocation.
+template <class T>
+struct DefaultInitAlloc : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAlloc<U>;
+  };
+  using std::allocator<T>::allocator;
+  template <class U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+}  // namespace detail
+
 using Shape = std::vector<int64_t>;
+using FloatBuf = std::vector<float, detail::DefaultInitAlloc<float>>;
 
 int64_t shape_numel(const Shape& shape);
 std::string shape_to_string(const Shape& shape);
@@ -34,6 +61,10 @@ class Tensor {
   Tensor(Shape shape, std::vector<float> values);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  /// Allocates WITHOUT zero-filling — every element is indeterminate until
+  /// written. Only for buffers the caller fully overwrites before any read
+  /// (GEMM outputs with beta == 0, elementwise-op results).
+  static Tensor uninit(Shape shape);
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
   static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
   /// Elements i.i.d. N(mean, stddev^2) drawn from `rng`.
@@ -88,7 +119,7 @@ class Tensor {
 
   Shape shape_;
   int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> buf_;
+  std::shared_ptr<FloatBuf> buf_;
 };
 
 }  // namespace fca

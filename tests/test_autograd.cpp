@@ -278,6 +278,66 @@ TEST(Autograd, SupConGradientFiniteDifference) {
       1e-3f, 4e-2f);
 }
 
+TEST(Autograd, SupConGradientFiniteDifferenceWithPackedKernel) {
+  // The fused SupCon computes the full pairwise similarity matrix with one
+  // GEMM forward and a closed-form GEMM backward; pinning the packed kernel
+  // makes both run register-tiled paths. FD must still match.
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(13);
+  Tensor emb = Tensor::randn({6, 4}, rng);
+  const std::vector<int> labels{0, 1, 0, 1, 2, 2};
+  check_gradient(
+      emb,
+      [&](const Variable& v) {
+        return supervised_contrastive(v, labels, 0.5f);
+      },
+      1e-3f, 4e-2f);
+}
+
+TEST(Autograd, SupConFusedMatchesReferenceValueAndGradient) {
+  // The op-by-op tape build is the agreement oracle for the fused loss: same
+  // math, so value and gradient must coincide to float tolerance on every
+  // forced kernel.
+  Rng rng(21);
+  Tensor emb = Tensor::randn({8, 5}, rng);
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2, 0, 3};
+  for (GemmKernel kern :
+       {GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kPacked}) {
+    ScopedGemmKernel guard(kern);
+    Variable fused_leaf = Variable::leaf(emb.clone());
+    Variable fused = supervised_contrastive(fused_leaf, labels, 0.3f);
+    fused.backward();
+    Variable ref_leaf = Variable::leaf(emb.clone());
+    Variable ref = supervised_contrastive_reference(ref_leaf, labels, 0.3f);
+    ref.backward();
+    EXPECT_NEAR(fused.value()[0], ref.value()[0], 1e-5)
+        << gemm_kernel_name(kern);
+    for (int64_t i = 0; i < emb.numel(); ++i) {
+      EXPECT_NEAR(fused_leaf.grad()[i], ref_leaf.grad()[i], 1e-4)
+          << gemm_kernel_name(kern) << " grad at " << i;
+    }
+  }
+}
+
+TEST(Autograd, SupConFusedRerunIsBitIdentical) {
+  // Same inputs, same forced kernel: loss and gradient must not move a bit
+  // between reruns (the round-curve byte-identity contract starts here).
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(22);
+  Tensor emb = Tensor::randn({7, 4}, rng);
+  const std::vector<int> labels{0, 0, 1, 1, 2, 2, 0};
+  Variable l1 = Variable::leaf(emb.clone());
+  Variable loss1 = supervised_contrastive(l1, labels, 0.2f);
+  loss1.backward();
+  Variable l2 = Variable::leaf(emb.clone());
+  Variable loss2 = supervised_contrastive(l2, labels, 0.2f);
+  loss2.backward();
+  EXPECT_EQ(loss1.value()[0], loss2.value()[0]);
+  for (int64_t i = 0; i < emb.numel(); ++i) {
+    EXPECT_EQ(l1.grad()[i], l2.grad()[i]) << "grad drifted at " << i;
+  }
+}
+
 TEST(Autograd, SupConZeroWhenNoPositives) {
   Rng rng(14);
   Tensor emb = Tensor::randn({4, 3}, rng);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "tensor/gemm.hpp"
@@ -65,6 +67,106 @@ TEST(Im2col, Col2imIsAdjoint) {
   col2im(y.data(), g, back.data());
   double rhs = 0.0;
   for (size_t i = 0; i < im_size; ++i) rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// col2im: the vectorized implementation (hoisted bounds, contiguous
+// accumulate at stride 1, strided scatter-add tail) must be byte-equal to
+// the retained scalar reference — the per-element accumulation order is part
+// of the determinism contract, so even a benign reassociation is a failure.
+
+struct Col2imCase {
+  int64_t c, h, w, k, stride, pad;
+};
+
+class Col2imParityTest : public ::testing::TestWithParam<Col2imCase> {};
+
+TEST_P(Col2imParityTest, VectorizedByteEqualToScalarReference) {
+  const Col2imCase p = GetParam();
+  ConvGeom g{p.c, p.h, p.w, p.k, p.k, p.stride, p.stride, p.pad, p.pad};
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  Rng rng(31);
+  const size_t col_size = static_cast<size_t>(g.col_rows() * g.col_cols());
+  const size_t im_size = static_cast<size_t>(p.c * p.h * p.w);
+  const std::vector<float> col = random_vec(col_size, rng);
+  // Accumulate into a non-zero image: col2im adds, and the starting bytes
+  // must flow through both implementations identically.
+  const std::vector<float> start = random_vec(im_size, rng);
+  std::vector<float> vec_im = start;
+  std::vector<float> ref_im = start;
+  col2im(col.data(), g, vec_im.data());
+  col2im_reference(col.data(), g, ref_im.data());
+  ASSERT_EQ(0, std::memcmp(vec_im.data(), ref_im.data(),
+                           im_size * sizeof(float)))
+      << "c=" << p.c << " h=" << p.h << " w=" << p.w << " k=" << p.k
+      << " stride=" << p.stride << " pad=" << p.pad;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeGeometries, Col2imParityTest,
+    ::testing::Values(
+        // 1x1 kernel: pure copy-accumulate, no overlap.
+        Col2imCase{2, 5, 5, 1, 1, 0},
+        // Overlapping windows (stride < kernel): every interior image
+        // element accumulates k*k column entries across kh/kw iterations.
+        Col2imCase{3, 8, 8, 3, 1, 1},
+        Col2imCase{2, 9, 7, 5, 1, 2},
+        // Strided scatter-add tail (stride > 1 skips the memcpy-style path).
+        Col2imCase{3, 8, 8, 3, 2, 1},
+        Col2imCase{1, 11, 11, 5, 3, 2},
+        // Padding wider than the live span on one side; tiny images where
+        // the valid x range is empty for some kernel taps.
+        Col2imCase{1, 2, 2, 3, 1, 1},
+        Col2imCase{1, 4, 2, 3, 1, 2},
+        // Non-square, stride 2, 5x5 (the cnn2/alexnet backward geometry).
+        Col2imCase{2, 12, 10, 5, 2, 2},
+        // Single-pixel output column.
+        Col2imCase{2, 3, 3, 3, 1, 0}));
+
+TEST(Col2im, OverlappingAccumulationOrderIsAscendingKernelTap) {
+  // One channel, 2x2 image, 2x2 kernel, stride 1, pad 1 -> 3x3 outputs; the
+  // center image pixel receives one contribution per kernel tap. With col
+  // filled so tap (kh, kw) contributes 10^(kh*2+kw), the result separates
+  // the taps in decimal — and both implementations must agree exactly.
+  ConvGeom g{1, 2, 2, 2, 2, 1, 1, 1, 1};
+  const int64_t rows = g.col_rows(), cols = g.col_cols();
+  ASSERT_EQ(rows, 4);
+  ASSERT_EQ(cols, 9);
+  std::vector<float> col(static_cast<size_t>(rows * cols), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t x = 0; x < cols; ++x) {
+      col[static_cast<size_t>(r * cols + x)] = std::pow(10.0f, r);
+    }
+  }
+  std::vector<float> vec_im(4, 0.0f);
+  std::vector<float> ref_im(4, 0.0f);
+  col2im(col.data(), g, vec_im.data());
+  col2im_reference(col.data(), g, ref_im.data());
+  EXPECT_EQ(0, std::memcmp(vec_im.data(), ref_im.data(), 4 * sizeof(float)));
+  // Image (0,0) is read by all four taps exactly once: 1 + 10 + 100 + 1000.
+  EXPECT_EQ(vec_im[0], 1111.0f);
+}
+
+TEST(Col2im, AdjointHoldsForStridedAndPaddedGeometries) {
+  // <im2col(x), y> == <x, col2im(y)> on the scatter-add tail geometry too.
+  ConvGeom g{2, 9, 7, 5, 5, 3, 3, 2, 2};
+  Rng rng(8);
+  const size_t im_size = static_cast<size_t>(2 * 9 * 7);
+  const size_t col_size = static_cast<size_t>(g.col_rows() * g.col_cols());
+  std::vector<float> x = random_vec(im_size, rng);
+  std::vector<float> y = random_vec(col_size, rng);
+  std::vector<float> col(col_size, 0.0f);
+  im2col(x.data(), g, col.data());
+  double lhs = 0.0;
+  for (size_t i = 0; i < col_size; ++i)
+    lhs += static_cast<double>(col[i]) * y[i];
+  std::vector<float> back(im_size, 0.0f);
+  col2im(y.data(), g, back.data());
+  double rhs = 0.0;
+  for (size_t i = 0; i < im_size; ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
   EXPECT_NEAR(lhs, rhs, 1e-3);
 }
 

@@ -463,6 +463,264 @@ TEST(KernelDispatch, AutoResolvesToPackedAndScopedGuardRestores) {
   EXPECT_NE(resolved_gemm_kernel(), GemmKernel::kAuto);
 }
 
+// ---------------------------------------------------------------------------
+// Backward parity tier: the transposed-operand shapes the training backward
+// pass actually issues. dgrad is sgemm(true, false, col_rows, col_cols, ocg)
+// — trans_a with a small k that lands on the rank-k row-update path — and
+// wgrad is sgemm(false, true, ocg, col_rows, col_cols) — trans_b with a small
+// m that lands on the narrow-C streaming paths, including the paired-depth
+// 8-wide kernel and its odd-k tail. Each sweep below pins one packed-path
+// family to the naive oracle under the same 2(k+2)eps bound as the forward
+// tier; the bound is order-agnostic, so it holds for the pair-k even/odd
+// fold as well (fixed per-element order, same multiset of terms).
+
+TEST(BackwardParity, DgradTransposedAShapesMatchNaive) {
+  // trans_a, !trans_b. k <= 16 exercises the small-k rank-update (including
+  // its beta folding); k > 16 the general packed path with a transposed A
+  // pack. m spans micro-tile tails, n spans full/half panels.
+  const float betas[] = {0.0f, 1.0f, 0.5f};
+  int case_ix = 0;
+  for (int64_t k : {1, 2, 3, 4, 5, 8, 15, 16, 17, 32}) {
+    for (int64_t m : {1, 6, 7, 72, 75}) {
+      for (int64_t n : {8, 24, 72}) {
+        const float beta = betas[case_ix % 3];
+        const int64_t slack = (case_ix % 2) * 3;
+        ++case_ix;
+        run_parity_case({m, n, k, true, false, slack, 1.0f, beta},
+                        static_cast<uint64_t>(5000 + case_ix));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  // The exact conv dgrad shapes from the paper models (col_rows, col_cols,
+  // ocg): resnet 3x3 stem, cnn2 conv1 5x5, cnn2 conv2 5x5.
+  run_parity_case({72, 1024, 8, true, false, 0, 1.0f, 0.0f}, 6001);
+  if (::testing::Test::HasFatalFailure()) return;
+  run_parity_case({75, 256, 16, true, false, 0, 1.0f, 0.0f}, 6002);
+  if (::testing::Test::HasFatalFailure()) return;
+  run_parity_case({400, 256, 32, true, false, 0, 1.0f, 0.0f}, 6003);
+}
+
+TEST(BackwardParity, WgradTransposedBShapesMatchNaive) {
+  // !trans_a, trans_b. m <= 8 takes the narrow-m streaming path's 8-wide
+  // paired-depth kernel (odd k runs its scalar tail), 8 < m <= 16 its
+  // 16-wide block, m > 16 the general path with a transposed B pack (n
+  // values 9..24 cover full and half-width tail panels there).
+  const float betas[] = {1.0f, 0.0f, 0.5f};  // conv wgrad accumulates (beta=1)
+  int case_ix = 0;
+  for (int64_t m : {1, 3, 8, 9, 12, 16, 17}) {
+    for (int64_t n : {9, 24, 72}) {
+      for (int64_t k : {1, 2, 3, 7, 8, 16, 17, 63, 64, 129}) {
+        const float beta = betas[case_ix % 3];
+        const int64_t slack = (case_ix % 2) * 3;
+        ++case_ix;
+        run_parity_case({m, n, k, false, true, slack, 1.0f, beta},
+                        static_cast<uint64_t>(7000 + case_ix));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  // Exact conv wgrad shapes (ocg, col_rows, col_cols), beta=1 as issued.
+  run_parity_case({8, 72, 1024, false, true, 0, 1.0f, 1.0f}, 8001);
+  if (::testing::Test::HasFatalFailure()) return;
+  run_parity_case({32, 400, 256, false, true, 0, 1.0f, 1.0f}, 8002);
+}
+
+TEST(BackwardParity, SmallNStreamingPathsMatchNaive) {
+  // n <= 16 with trans_b is the narrow-C streaming path. !trans_a streams a
+  // depth-contiguous operand (paired-depth kernel for n <= 8); trans_a is
+  // the strided-depth variant. Linear::backward's input-grad GEMM for small
+  // feature dims lands here.
+  int case_ix = 0;
+  for (int64_t n : {1, 4, 7, 8, 9, 16}) {
+    for (bool ta : {false, true}) {
+      for (int64_t m : {6, 12, 13, 61}) {
+        for (int64_t k : {7, 8, 17, 129}) {
+          const int64_t slack = (case_ix % 2) * 3;
+          ++case_ix;
+          run_parity_case({m, n, k, ta, true, slack, 1.0f, 0.5f},
+                          static_cast<uint64_t>(9000 + case_ix));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackwardParity, RandomizedTransposedSweep) {
+  // Adversarial random draws restricted to the transposed-operand quadrants
+  // (the forward tier's sweep already covers (false,false) densely).
+  const int64_t dims[] = {1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31, 33, 48, 97};
+  const float alphas[] = {1.0f, -1.0f, 0.5f};
+  const float betas[] = {0.0f, 1.0f, -1.0f, 0.5f};
+  const bool combos[][2] = {{true, false}, {false, true}, {true, true}};
+  Rng pick(20250809);
+  for (int iter = 0; iter < 300; ++iter) {
+    SweepCase sc;
+    sc.m = dims[pick.uniform_int(std::size(dims))];
+    sc.n = dims[pick.uniform_int(std::size(dims))];
+    sc.k = dims[pick.uniform_int(std::size(dims))];
+    const auto& combo = combos[pick.uniform_int(std::size(combos))];
+    sc.ta = combo[0];
+    sc.tb = combo[1];
+    sc.ld_slack = static_cast<int64_t>(pick.uniform_int(2)) * 3;
+    sc.alpha = alphas[pick.uniform_int(std::size(alphas))];
+    sc.beta = betas[pick.uniform_int(std::size(betas))];
+    run_parity_case(sc, 30000 + static_cast<uint64_t>(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(BackwardParity, NonFiniteInputsAgreeOnTransposedPaths) {
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  struct Shape {
+    int64_t m, n, k;
+    bool ta, tb;
+  };
+  // One representative per backward path family: small-k rank-update,
+  // paired-depth wgrad (odd k), 16-wide narrow-m, strided-depth narrow-n,
+  // general both-transposed.
+  const Shape shapes[] = {{72, 64, 8, true, false},
+                          {8, 72, 129, false, true},
+                          {12, 72, 64, false, true},
+                          {61, 8, 129, true, true},
+                          {33, 47, 65, true, true}};
+  int ix = 0;
+  for (const Shape& s : shapes) {
+    Rng rng(static_cast<uint64_t>(100 + ix++));
+    const int64_t a_rows = s.ta ? s.k : s.m;
+    const int64_t a_cols = s.ta ? s.m : s.k;
+    const int64_t b_rows = s.tb ? s.n : s.k;
+    const int64_t b_cols = s.tb ? s.k : s.n;
+    std::vector<float> a = random_matrix(a_rows, a_cols, a_cols, rng);
+    std::vector<float> b = random_matrix(b_rows, b_cols, b_cols, rng);
+    a[a.size() / 3] = qnan;
+    a[a.size() / 2] = 0.0f;
+    b[b.size() / 4] = inf;
+    b[b.size() / 2] = -inf;
+    const std::vector<float> init(static_cast<size_t>(s.m * s.n), 0.5f);
+    std::vector<float> ref = init;
+    std::vector<float> packed = init;
+    sgemm_naive(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), a_cols, b.data(),
+                b_cols, 1.0f, ref.data(), s.n);
+    sgemm_packed(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), a_cols, b.data(),
+                 b_cols, 1.0f, packed.data(), s.n);
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "non-finite ta=%d tb=%d m=%lld n=%lld",
+                  s.ta ? 1 : 0, s.tb ? 1 : 0, static_cast<long long>(s.m),
+                  static_cast<long long>(s.n));
+    expect_gemm_parity(s.m, s.n, s.k, 1.0f, a.data(), a_cols, s.ta, b.data(),
+                       b_cols, s.tb, 1.0f, init.data(), packed.data(),
+                       ref.data(), s.n, tag);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(BackwardParity, TransposedPathsRerunAndSerialRunsAreBitIdentical) {
+  // Per-path determinism: the same call twice, and once inside a
+  // SerialRegion, must agree to the bit. Covers the small-k rank-update,
+  // both paired-depth kernels (even and odd k), the 16-wide narrow-m block,
+  // the strided-depth narrow-n block, and the general transposed pack.
+  struct Shape {
+    int64_t m, n, k;
+    bool ta, tb;
+  };
+  const Shape shapes[] = {{72, 64, 8, true, false},   // small-k rank-update
+                          {8, 72, 128, false, true},  // pair-k, even k
+                          {8, 72, 129, false, true},  // pair-k, odd-k tail
+                          {12, 72, 64, false, true},  // narrow-m 16-wide
+                          {61, 8, 129, true, true},   // narrow-n strided
+                          {61, 8, 129, false, true},  // narrow-n pair-k
+                          {311, 67, 129, true, true}};  // general, row split
+  int ix = 0;
+  for (const Shape& s : shapes) {
+    Rng rng(static_cast<uint64_t>(500 + ix++));
+    const int64_t lda = s.ta ? s.m : s.k;
+    const int64_t ldb = s.tb ? s.k : s.n;
+    const std::vector<float> a =
+        random_matrix(s.ta ? s.k : s.m, lda, lda, rng);
+    const std::vector<float> b =
+        random_matrix(s.tb ? s.n : s.k, ldb, ldb, rng);
+    std::vector<float> c1(static_cast<size_t>(s.m * s.n), 0.25f);
+    std::vector<float> c2 = c1;
+    std::vector<float> c3 = c1;
+    sgemm_packed(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(),
+                 ldb, 1.0f, c1.data(), s.n);
+    sgemm_packed(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(),
+                 ldb, 1.0f, c2.data(), s.n);
+    {
+      ThreadPool::SerialRegion no_threads;
+      sgemm_packed(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), lda, b.data(),
+                   ldb, 1.0f, c3.data(), s.n);
+    }
+    EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)))
+        << "rerun drifted for ta=" << s.ta << " tb=" << s.tb << " m=" << s.m
+        << " n=" << s.n << " k=" << s.k;
+    EXPECT_EQ(0, std::memcmp(c1.data(), c3.data(), c1.size() * sizeof(float)))
+        << "serial drifted for ta=" << s.ta << " tb=" << s.tb << " m=" << s.m
+        << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch fallback: the one transposed shape class the packed kernel does
+// not serve (a 1x1-result dot product) must route to blocked — never naive —
+// and real dgrad/wgrad shapes must stay on packed.
+
+TEST(KernelDispatch, TransposedDotProductFallsBackToBlocked) {
+  EXPECT_FALSE(sgemm_packed_supported(true, false, 1, 1, 33));
+  EXPECT_FALSE(sgemm_packed_supported(false, true, 1, 1, 33));
+  EXPECT_TRUE(sgemm_packed_supported(false, false, 1, 1, 33));
+  // dgrad / wgrad shapes are always served by packed.
+  EXPECT_TRUE(sgemm_packed_supported(true, false, 72, 1024, 8));
+  EXPECT_TRUE(sgemm_packed_supported(false, true, 8, 72, 1024));
+  EXPECT_TRUE(sgemm_packed_supported(true, false, 1, 64, 8));
+  EXPECT_TRUE(sgemm_packed_supported(false, true, 64, 1, 8));
+
+  ScopedGemmKernel guard(GemmKernel::kPacked);
+  Rng rng(77);
+  const int64_t k = 33;
+  const std::vector<float> a = random_matrix(k, 1, 1, rng);  // A is k x 1
+  const std::vector<float> b = random_matrix(k, 1, 1, rng);
+  float c = 0.5f;
+  float ref = 0.5f;
+  sgemm(true, false, 1, 1, k, 1.0f, a.data(), 1, b.data(), 1, 1.0f, &c, 1);
+  EXPECT_EQ(last_dispatched_kernel(), GemmKernel::kBlocked)
+      << "transposed 1x1 result must fall back to the blocked kernel";
+  sgemm_naive(true, false, 1, 1, k, 1.0f, a.data(), 1, b.data(), 1, 1.0f,
+              &ref, 1);
+  expect_gemm_parity(1, 1, k, 1.0f, a.data(), 1, true, b.data(), 1, false,
+                     1.0f, &ref, &c, &ref, 1, "fallback dot");
+
+  // A dgrad-shaped call right after must go back to packed.
+  const std::vector<float> big_a = random_matrix(8, 72, 72, rng);
+  const std::vector<float> big_b = random_matrix(8, 64, 64, rng);
+  std::vector<float> big_c(72 * 64, 0.0f);
+  sgemm(true, false, 72, 64, 8, 1.0f, big_a.data(), 72, big_b.data(), 64,
+        0.0f, big_c.data(), 64);
+  EXPECT_EQ(last_dispatched_kernel(), GemmKernel::kPacked);
+  // wgrad-shaped call too.
+  std::vector<float> wg_c(8 * 72, 0.0f);
+  sgemm(false, true, 8, 72, 64, 1.0f, big_b.data(), 64, big_c.data(), 64,
+        1.0f, wg_c.data(), 72);
+  EXPECT_EQ(last_dispatched_kernel(), GemmKernel::kPacked);
+
+  // Forcing blocked or naive is always honored verbatim.
+  {
+    ScopedGemmKernel blocked(GemmKernel::kBlocked);
+    float c2 = 0.0f;
+    sgemm(true, false, 1, 1, k, 1.0f, a.data(), 1, b.data(), 1, 0.0f, &c2, 1);
+    EXPECT_EQ(last_dispatched_kernel(), GemmKernel::kBlocked);
+  }
+  {
+    ScopedGemmKernel naive(GemmKernel::kNaive);
+    float c2 = 0.0f;
+    sgemm(true, false, 1, 1, k, 1.0f, a.data(), 1, b.data(), 1, 0.0f, &c2, 1);
+    EXPECT_EQ(last_dispatched_kernel(), GemmKernel::kNaive);
+  }
+}
+
 TEST(KernelDispatch, EveryKernelAgreesThroughTheDispatcher) {
   Rng rng(5);
   const int64_t m = 33, n = 47, k = 65;

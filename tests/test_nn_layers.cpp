@@ -161,6 +161,60 @@ TEST(Conv2d, DepthwiseStridedGradients) {
   check_param_gradients(conv, x);
 }
 
+// ---------------------------------------------------------------------------
+// Packed-forced finite-difference tier (backward-kernel gate): with the
+// packed GEMM pinned on, Conv2d::backward runs the transposed-operand packed
+// paths (wgrad's (false,true) streaming kernels, dgrad's (true,false)
+// rank-update) and the vectorized col2im. Each config below picks a geometry
+// that stresses a different piece: stride>1 hits the strided scatter-add
+// tail, padding the clipped window edges, groups>1 the per-group GEMM
+// slicing, and the 5x5 kernel the overlapping-window accumulation.
+
+TEST(Conv2d, StridedPaddedGradientsWithPackedKernel) {
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(61);
+  Conv2d conv(2, 3, 3, 2, 1, rng);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, GroupedStridedGradientsWithPackedKernel) {
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(62);
+  Conv2d conv(4, 6, 3, 2, 1, rng, /*bias=*/true, /*groups=*/2);
+  Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, DepthwiseGradientsWithPackedKernel) {
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(63);
+  Conv2d conv(3, 3, 3, 1, 1, rng, /*bias=*/false, /*groups=*/3);
+  Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Conv2d, FiveByFiveOverlapGradientsWithPackedKernel) {
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(64);
+  Conv2d conv(2, 2, 5, 1, 2, rng);
+  Tensor x = Tensor::randn({1, 2, 7, 7}, rng);
+  check_input_gradient(conv, x);
+  check_param_gradients(conv, x);
+}
+
+TEST(Linear, NoBiasGradientsWithPackedKernel) {
+  ScopedGemmKernel packed(GemmKernel::kPacked);
+  Rng rng(65);
+  Linear lin(6, 4, rng, /*bias=*/false);
+  Tensor x = Tensor::randn({5, 6}, rng);
+  check_input_gradient(lin, x);
+  check_param_gradients(lin, x);
+}
+
 TEST(Conv2d, GroupsMustDivideChannels) {
   Rng rng(36);
   EXPECT_THROW(Conv2d(3, 4, 3, 1, 1, rng, true, 2), Error);
