@@ -19,6 +19,7 @@
 // Algorithms: local | fedavg | fedprox | fedproto | ktpfl | ktpfl-weight |
 //             fedclassavg | fedclassavg-weight | fedclassavg-simclr |
 //             fedclassavg-proto
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,6 +29,8 @@
 #include "comm/endpoint.hpp"
 #include "comm/fault.hpp"
 #include "comm/network.hpp"
+#include "comm/retry.hpp"
+#include "comm/transport/error.hpp"
 #include "comm/transport/handshake.hpp"
 #include "comm/transport/transport.hpp"
 #include "core/fedclassavg.hpp"
@@ -93,13 +96,23 @@ void print_help() {
       "                      yields bit-identical curves and traffic\n"
       "  --shm-name NAME     POSIX shm object (\"/name\") for the shm\n"
       "                      backend; default: anonymous process mapping\n"
+      "  --io-retries N      attempts per transport operation (dials,\n"
+      "                      reconnects; default 40). 1 disables retries\n"
+      "  --io-backoff S      base backoff seconds before the first retry;\n"
+      "                      doubles per attempt, capped, seeded jitter\n"
+      "                      (default 0.02). See DESIGN.md §12\n"
       "\nFabric probe (multi-process transport smoke test):\n"
       "  probe               first positional arg: run the probe instead of\n"
       "                      an experiment. Each participating process runs\n"
       "                      one rank; they rendezvous, exchange the seed +\n"
       "                      fault plan, cross-check the derived fault\n"
       "                      schedule and ping-pong verification traffic.\n"
-      "                      Exit 0 = every check passed on this rank\n"
+      "                      Exit codes: 0 = every check passed on this\n"
+      "                      rank, 1 = determinism failure (fault-schedule\n"
+      "                      digest or payload mismatch), 2 = connectivity\n"
+      "                      failure (unreachable / reset / timed-out /\n"
+      "                      corrupt peer), 3 = handshake rejected\n"
+      "                      (incompatible build or world)\n"
       "  --rank N            this process's fabric rank (0 = root)\n"
       "  --world-size N      total ranks across all processes (default 2)\n"
       "  --bind HOST:PORT    tcp rank 0: rendezvous listener address\n"
@@ -164,6 +177,17 @@ comm::FaultConfig fault_config_from_flags(
   return faults;
 }
 
+/// --io-retries / --io-backoff over the policy defaults, rejected with the
+/// flag names in the message when meaningless (RetryPolicy::validate).
+comm::RetryPolicy retry_policy_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  comm::RetryPolicy retry;
+  retry.max_attempts = std::stoi(get_flag(flags, "io-retries", "40"));
+  retry.base_backoff_s = std::stod(get_flag(flags, "io-backoff", "0.02"));
+  retry.validate();
+  return retry;
+}
+
 /// FNV-1a over every fault decision a fixed coordinate grid can ask for.
 /// Pure function of the FaultConfig, so every process of a correctly
 /// rendezvoused world computes the identical digest.
@@ -192,34 +216,13 @@ uint64_t fault_schedule_digest(const comm::FaultPlan& plan, int world) {
   return h;
 }
 
-/// Multi-process fabric probe: one rank per process over a shm or tcp
-/// backend. Verifies the rendezvous handshake (every rank derives the same
-/// fault schedule from the exchanged FaultConfig) and the fabric itself
-/// (deterministic ping-pong payloads, delivered in order and intact).
-int run_probe(const std::map<std::string, std::string>& flags) {
-  comm::TransportOptions topts;
-  topts.kind = comm::parse_transport_kind(get_flag(flags, "transport", "tcp"));
-  FCA_CHECK_MSG(topts.kind != comm::TransportKind::kInproc,
-                "the probe spans processes; use --transport shm or tcp");
-  FCA_CHECK_MSG(flags.count("rank") != 0, "probe needs --rank (0 = root)");
-  topts.self_rank = std::stoi(flags.at("rank"));
-  const int world = std::stoi(get_flag(flags, "world-size", "2"));
-  FCA_CHECK_MSG(world >= 2, "probe needs --world-size >= 2");
-  FCA_CHECK_MSG(topts.self_rank >= 0 && topts.self_rank < world,
-                "--rank outside [0, world-size)");
-  topts.shm_name = get_flag(flags, "shm-name", "/fca_probe");
-  topts.shm_create = topts.self_rank == 0;
-  topts.bind_address = get_flag(flags, "bind", "");
-  topts.connect_address = get_flag(flags, "connect", "");
-  topts.io_timeout_s = std::stod(get_flag(flags, "io-timeout", "30"));
-  const int messages = std::stoi(get_flag(flags, "probe-messages", "8"));
+/// Probe body once the options are validated: rendezvous, fault-schedule
+/// digest cross-check, deterministic ping-pong. Returns 0 (all checks
+/// passed) or 1 (determinism failure); typed transport errors escape to
+/// run_probe, which maps them onto the connectivity/handshake exit codes.
+int probe_checks(comm::TransportOptions topts, int world, int messages,
+                 comm::Handshake hs) {
   const int rank = topts.self_rank;
-
-  // The root publishes the run context; joiners have theirs overwritten by
-  // the handshake, exactly as a resumed multi-process run would.
-  comm::Handshake hs;
-  hs.seed = std::stoull(get_flag(flags, "seed", "42"));
-  hs.faults = fault_config_from_flags(flags);
   std::unique_ptr<comm::Transport> transport =
       comm::make_transport(topts, world, &hs);
   std::printf("probe rank %d/%d up on %s (seed %llu)\n", rank, world,
@@ -303,6 +306,60 @@ int run_probe(const std::map<std::string, std::string>& flags) {
   return ok ? 0 : 1;
 }
 
+/// Multi-process fabric probe: one rank per process over a shm or tcp
+/// backend. Verifies the rendezvous handshake (every rank derives the same
+/// fault schedule from the exchanged FaultConfig) and the fabric itself
+/// (deterministic ping-pong payloads, delivered in order and intact).
+/// Exit codes distinguish the failure class for scripts and CI: 0 = all
+/// checks passed, 1 = determinism failure, 2 = connectivity failure
+/// (unreachable/reset/timed-out/corrupt peer), 3 = handshake rejected.
+int run_probe(const std::map<std::string, std::string>& flags) {
+  comm::TransportOptions topts;
+  topts.kind = comm::parse_transport_kind(get_flag(flags, "transport", "tcp"));
+  FCA_CHECK_MSG(topts.kind != comm::TransportKind::kInproc,
+                "the probe spans processes; use --transport shm or tcp");
+  FCA_CHECK_MSG(flags.count("rank") != 0, "probe needs --rank (0 = root)");
+  topts.self_rank = std::stoi(flags.at("rank"));
+  const int world = std::stoi(get_flag(flags, "world-size", "2"));
+  FCA_CHECK_MSG(world >= 2, "probe needs --world-size >= 2");
+  FCA_CHECK_MSG(topts.self_rank >= 0 && topts.self_rank < world,
+                "--rank outside [0, world-size)");
+  topts.shm_name = get_flag(flags, "shm-name", "/fca_probe");
+  topts.shm_create = topts.self_rank == 0;
+  topts.bind_address = get_flag(flags, "bind", "");
+  topts.connect_address = get_flag(flags, "connect", "");
+  topts.io_timeout_s = std::stod(get_flag(flags, "io-timeout", "30"));
+  FCA_CHECK_MSG(topts.io_timeout_s > 0.0 &&
+                    std::isfinite(topts.io_timeout_s),
+                "--io-timeout must be a positive finite number of seconds, "
+                "got " << topts.io_timeout_s);
+  topts.retry = retry_policy_from_flags(flags);
+  const int messages = std::stoi(get_flag(flags, "probe-messages", "8"));
+  FCA_CHECK_MSG(messages >= 1, "--probe-messages must be >= 1, got "
+                                   << messages);
+  const int rank = topts.self_rank;
+
+  // The root publishes the run context; joiners have theirs overwritten by
+  // the handshake, exactly as a resumed multi-process run would.
+  comm::Handshake hs;
+  hs.seed = std::stoull(get_flag(flags, "seed", "42"));
+  hs.faults = fault_config_from_flags(flags);
+
+  try {
+    return probe_checks(std::move(topts), world, messages, std::move(hs));
+  } catch (const comm::TransportError& e) {
+    const bool handshake =
+        e.code() == comm::TransportErrc::kHandshakeRejected;
+    std::fprintf(stderr, "probe rank %d: %s failure: %s\n", rank,
+                 handshake ? "handshake" : "connectivity", e.what());
+    if (e.peer() != comm::TransportError::kNoPeer) {
+      std::fprintf(stderr, "probe rank %d: offending peer: rank %d\n", rank,
+                   e.peer());
+    }
+    return handshake ? 3 : 2;
+  }
+}
+
 std::unique_ptr<fl::RoundStrategy> make_strategy(
     const std::string& name, const core::Experiment& experiment) {
   if (name == "local") return std::make_unique<fl::LocalOnly>();
@@ -369,6 +426,13 @@ int main(int argc, char** argv) {
     config.transport.kind =
         comm::parse_transport_kind(get("transport", "inproc"));
     config.transport.shm_name = get("shm-name", "");
+    config.transport.retry = retry_policy_from_flags(flags);
+    config.transport.io_timeout_s = std::stod(get("io-timeout", "30"));
+    FCA_CHECK_MSG(
+        config.transport.io_timeout_s > 0.0 &&
+            std::isfinite(config.transport.io_timeout_s),
+        "--io-timeout must be a positive finite number of seconds, got "
+            << config.transport.io_timeout_s);
     const std::string partition = get("partition", "dirichlet");
     if (partition == "skewed") {
       config.partition = core::PartitionScheme::kSkewed;
@@ -470,6 +534,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(f.crashed_client_rounds),
           static_cast<unsigned long long>(f.rejoins),
           static_cast<unsigned long long>(f.aborted_rounds));
+    }
+    if (done.result.total_faults.real_peer_faults > 0) {
+      std::printf("real transport faults: %llu peer(s) condemned (see the "
+                  "warn log for per-peer reasons)\n",
+                  static_cast<unsigned long long>(
+                      done.result.total_faults.real_peer_faults));
     }
 
     const std::string curve_path = get("save-curve", "");

@@ -75,6 +75,7 @@ std::vector<std::byte> encode_metrics(
     w.i64(m.selected_count);
     w.i64(m.survivor_count);
     w.u64(m.fault_events);
+    w.u64(m.real_fault_events);
     w.u32(static_cast<uint32_t>(m.client_accuracies.size()));
     for (double a : m.client_accuracies) w.f64(a);
   }
@@ -103,6 +104,7 @@ std::vector<fl::RoundMetrics> decode_metrics(std::span<const std::byte> bytes,
       m.survivor_count = static_cast<int>(r.i64());
       m.fault_events = r.u64();
     }
+    if (version >= 3) m.real_fault_events = r.u64();
     const uint32_t n = r.u32();
     m.client_accuracies.resize(n);
     for (uint32_t j = 0; j < n; ++j) m.client_accuracies[j] = r.f64();
@@ -182,6 +184,7 @@ void CheckpointManager::save(fl::FederatedRun& run,
   meta.u64(cursor.bytes_marker);
   meta.i64(cursor.participating_rounds_total);
   meta.u64(cursor.fault_marker);
+  meta.u64(cursor.real_fault_marker);
   w.add("meta", meta.take());
   w.add("strategy", strategy.save_state());
   for (int k = 0; k < run.num_clients(); ++k) {
@@ -207,6 +210,7 @@ void CheckpointManager::save(fl::FederatedRun& run,
   net.u64(f.crashed_client_rounds);
   net.u64(f.rejoins);
   net.u64(f.aborted_rounds);
+  net.u64(f.real_peer_faults);
   w.add("network", net.take());
   w.add("metrics", encode_metrics(cursor.curve));
 
@@ -267,6 +271,7 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
       // in the network section. Zeroed fault state is exact for such runs —
       // a v1 file can only come from a fault-free build.
       cursor.fault_marker = reader.version() >= 2 ? meta.u64() : 0;
+      cursor.real_fault_marker = reader.version() >= 3 ? meta.u64() : 0;
       meta.expect_done();
 
       strategy.load_state(reader.section("strategy"));
@@ -294,6 +299,7 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
         faults.crashed_client_rounds = net.u64();
         faults.rejoins = net.u64();
         faults.aborted_rounds = net.u64();
+        if (reader.version() >= 3) faults.real_peer_faults = net.u64();
       }
       net.expect_done();
       run.network().clear_pending();

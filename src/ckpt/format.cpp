@@ -1,10 +1,10 @@
 #include "ckpt/format.hpp"
 
-#include <array>
 #include <cstring>
 #include <fstream>
 
 #include "utils/atomic_io.hpp"
+#include "utils/crc32.hpp"
 #include "utils/error.hpp"
 
 namespace fca::ckpt {
@@ -12,27 +12,12 @@ namespace {
 
 constexpr char kMagic[8] = {'F', 'C', 'A', 'C', 'K', 'P', 'T', '\0'};
 
-std::array<uint32_t, 256> make_crc_table() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 }  // namespace
 
 uint32_t crc32(std::span<const std::byte> data) {
-  static const std::array<uint32_t, 256> table = make_crc_table();
-  uint32_t c = 0xFFFFFFFFu;
-  for (std::byte b : data) {
-    c = table[(c ^ static_cast<uint32_t>(b)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // Same polynomial/parameters as always; the shared slice-by-8 kernel in
+  // utils/crc32.hpp now serves both checkpoint sections and wire frames.
+  return fca::crc32(data);
 }
 
 void ByteWriter::u32(uint32_t v) {

@@ -36,7 +36,10 @@ namespace fca::ckpt {
 // v2: meta gained the fault-event marker, the network section gained
 // FaultStats, and metrics rows gained selected/survivor counts and
 // per-round fault events.
-inline constexpr uint32_t kFormatVersion = 2;
+// v3: real (non-injected) transport-fault accounting — meta gained the
+// real-fault marker, FaultStats gained real_peer_faults, and metrics rows
+// gained real_fault_events.
+inline constexpr uint32_t kFormatVersion = 3;
 
 /// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `data`.
 uint32_t crc32(std::span<const std::byte> data);

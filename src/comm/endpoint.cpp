@@ -18,7 +18,7 @@ void Endpoint::send(int dst, int tag, std::span<const std::byte> payload) {
 Bytes Endpoint::recv(int src, int tag) { return net_->recv(rank_, src, tag); }
 
 std::optional<Bytes> Endpoint::try_recv(int src, int tag) {
-  if (!net_->fault_plan().enabled()) return net_->recv(rank_, src, tag);
+  if (!net_->lossy()) return net_->recv(rank_, src, tag);
   return net_->try_recv(rank_, src, tag);
 }
 
@@ -31,7 +31,7 @@ std::optional<Bytes> Endpoint::recv_with_deadline(int src, int tag,
                 "recv_with_deadline needs a positive deadline, got "
                     << deadline_s << " (src=" << src << ", tag=" << tag
                     << "); use +infinity for 'no deadline'");
-  if (!net_->fault_plan().enabled()) return net_->recv(rank_, src, tag);
+  if (!net_->lossy()) return net_->recv(rank_, src, tag);
   if (!std::isfinite(deadline_s)) return net_->try_recv(rank_, src, tag);
   return net_->recv_within(rank_, src, tag, deadline_s);
 }

@@ -13,7 +13,8 @@ namespace {
 // Wire-format versions; bump on layout changes so a mismatched peer fails
 // loudly instead of silently misreading the schedule.
 constexpr uint32_t kFaultConfigVersion = 1;
-constexpr uint32_t kFaultStatsVersion = 1;
+// v2: appends real_peer_faults (peers condemned by real transport failures).
+constexpr uint32_t kFaultStatsVersion = 2;
 }  // namespace
 
 std::vector<std::byte> serialize_fault_config(const FaultConfig& config) {
@@ -69,14 +70,15 @@ std::vector<std::byte> serialize_fault_stats(const FaultStats& stats) {
   w.u64(stats.crashed_client_rounds);
   w.u64(stats.rejoins);
   w.u64(stats.aborted_rounds);
+  w.u64(stats.real_peer_faults);
   return w.take();
 }
 
 FaultStats parse_fault_stats(std::span<const std::byte> blob) {
   framing::Reader r(blob);
   const uint32_t version = r.u32();
-  FCA_CHECK_MSG(version == kFaultStatsVersion,
-                "fault stats wire version " << version << ", expected "
+  FCA_CHECK_MSG(version >= 1 && version <= kFaultStatsVersion,
+                "fault stats wire version " << version << ", expected <= "
                                             << kFaultStatsVersion);
   FaultStats stats;
   stats.dropped_messages = r.u64();
@@ -86,6 +88,8 @@ FaultStats parse_fault_stats(std::span<const std::byte> blob) {
   stats.crashed_client_rounds = r.u64();
   stats.rejoins = r.u64();
   stats.aborted_rounds = r.u64();
+  // v1 writers predate real transport faults; the count is necessarily 0.
+  if (version >= 2) stats.real_peer_faults = r.u64();
   return stats;
 }
 

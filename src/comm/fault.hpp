@@ -95,8 +95,14 @@ struct FaultStats {
   uint64_t crashed_client_rounds = 0;  // (round, client) pairs skipped
   uint64_t rejoins = 0;                // clients back after an outage
   uint64_t aborted_rounds = 0;         // survivor set fell below quorum
+  /// Peers condemned by *real* transport failures (connection reset, frame
+  /// corruption, timeout — DESIGN.md §12), as opposed to the injected
+  /// pretend-faults above. Each dead peer counts once, at condemnation.
+  uint64_t real_peer_faults = 0;
 
-  /// Total injected events (the per-round metrics column).
+  /// Total injected events (the per-round metrics column). Real peer faults
+  /// are deliberately excluded: they are discovered, not injected, and ride
+  /// their own column so a chaos run can separate the two.
   uint64_t injected_total() const {
     return dropped_messages + delayed_messages + deadline_misses +
            crashed_client_rounds;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "utils/error.hpp"
+#include "utils/logging.hpp"
 
 namespace fca::comm {
 
@@ -50,7 +51,8 @@ Network::Network(int ranks, CostModel cost, FaultConfig faults,
       cost_(cost),
       plan_(std::move(faults), ranks),
       transport_(std::move(transport)),
-      sent_(static_cast<size_t>(std::max(ranks, 0))) {
+      sent_(static_cast<size_t>(std::max(ranks, 0))),
+      peer_dead_(static_cast<size_t>(std::max(ranks, 0)), 0) {
   FCA_CHECK_MSG(ranks > 0, "Network needs at least one rank");
   cost_.validate();
   if (transport_ == nullptr) {
@@ -64,6 +66,51 @@ Network::Network(int ranks, CostModel cost, FaultConfig faults,
 void Network::check_rank(int rank) const {
   FCA_CHECK_MSG(rank >= 0 && rank < ranks_,
                 "rank " << rank << " out of range [0, " << ranks_ << ")");
+}
+
+bool Network::peer_alive(int rank) const {
+  check_rank(rank);
+  std::lock_guard lk(mu_);
+  return peer_dead_[static_cast<size_t>(rank)] == 0;
+}
+
+bool Network::degraded() const {
+  std::lock_guard lk(mu_);
+  for (char dead : peer_dead_) {
+    if (dead != 0) return true;
+  }
+  return false;
+}
+
+bool Network::lossy() const {
+  return plan_.enabled() || transport_->fallible() || degraded();
+}
+
+bool Network::condemn_peer(int rank, const std::string& why) {
+  check_rank(rank);
+  std::lock_guard lk(mu_);
+  return condemn_locked(rank, why);
+}
+
+bool Network::condemn_locked(int rank, const std::string& why) {
+  if (rank < 0 || rank >= ranks_) return false;
+  char& dead = peer_dead_[static_cast<size_t>(rank)];
+  if (dead != 0) return false;
+  dead = 1;
+  add_checked(faults_.real_peer_faults, 1, "real peer faults");
+  // Purge the dead rank's queued traffic: half-delivered frames must not
+  // feed later rounds or trip the end-of-run zero-pending invariant.
+  transport_->discard_peer(rank);
+  FCA_LOG_WARN << "transport condemned rank " << rank << ": " << why
+                 << "; continuing with the survivor set";
+  return true;
+}
+
+void Network::degrade_locked(const TransportError& e, int fallback_rank) {
+  if (!e.peer_scoped()) throw;
+  const int rank = e.peer() != TransportError::kNoPeer ? e.peer()
+                                                       : fallback_rank;
+  condemn_locked(rank, e.what());
 }
 
 Network::EdgeCounters& Network::edge_counters_locked(int src, int dst) {
@@ -122,23 +169,48 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
       add_checked(faults_.delayed_messages, 1, "delayed messages");
     }
   }
-  transport_->send(WireMessage{src, dst, tag, transfer, std::move(payload)});
+  if (peer_dead_[static_cast<size_t>(dst)] != 0 ||
+      peer_dead_[static_cast<size_t>(src)] != 0) {
+    return;  // link already condemned; the message is lost like any drop
+  }
+  try {
+    transport_->send(WireMessage{src, dst, tag, transfer, std::move(payload)});
+  } catch (const TransportError& e) {
+    degrade_locked(e, dst);  // rethrows when not peer-scoped
+  }
 }
 
 Bytes Network::recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
-  return std::move(transport_->recv(dst, src, tag).payload);
+  // A strict recv is the no-fault path: a condemned sender means the caller
+  // should have degraded to try_recv/recv_within, so the error propagates
+  // (after the condemnation is recorded) instead of being swallowed.
+  try {
+    return std::move(transport_->recv(dst, src, tag).payload);
+  } catch (const TransportError& e) {
+    if (e.peer_scoped()) {
+      condemn_locked(e.peer() != TransportError::kNoPeer ? e.peer() : src,
+                     e.what());
+    }
+    throw;
+  }
 }
 
 std::optional<Bytes> Network::try_recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
-  std::optional<WireMessage> msg = transport_->try_recv(dst, src, tag);
-  if (!msg.has_value()) return std::nullopt;
-  return std::move(msg->payload);
+  if (peer_dead_[static_cast<size_t>(src)] != 0) return std::nullopt;
+  try {
+    std::optional<WireMessage> msg = transport_->try_recv(dst, src, tag);
+    if (!msg.has_value()) return std::nullopt;
+    return std::move(msg->payload);
+  } catch (const TransportError& e) {
+    degrade_locked(e, src);  // rethrows when not peer-scoped
+    return std::nullopt;     // the sender is dead: nothing to receive
+  }
 }
 
 std::optional<Bytes> Network::recv_within(int dst, int src, int tag,
@@ -146,9 +218,15 @@ std::optional<Bytes> Network::recv_within(int dst, int src, int tag,
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (peer_dead_[static_cast<size_t>(src)] != 0) return std::nullopt;
   bool missed = false;
-  std::optional<WireMessage> msg =
-      transport_->recv_with_deadline(dst, src, tag, deadline_s, &missed);
+  std::optional<WireMessage> msg;
+  try {
+    msg = transport_->recv_with_deadline(dst, src, tag, deadline_s, &missed);
+  } catch (const TransportError& e) {
+    degrade_locked(e, src);
+    return std::nullopt;
+  }
   if (missed) {
     // The message exists but arrives too late for this round: the transport
     // consumed it (the mailbox must not leak into the next round); count the
@@ -163,6 +241,7 @@ bool Network::has_message(int dst, int src, int tag) const {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (peer_dead_[static_cast<size_t>(src)] != 0) return false;
   return transport_->has_message(dst, src, tag);
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "comm/transport/error.hpp"
 #include "comm/transport/transport.hpp"
 #include "obs/metrics.hpp"
 
@@ -145,8 +146,35 @@ class Network {
   void record_round_faults(uint64_t crashed_clients, uint64_t rejoins,
                            bool aborted);
 
+  // -- peer-death degradation (DESIGN.md §12) --------------------------------
+  /// False once `rank` has been condemned by a real transport failure
+  /// (connection reset, corrupt frame, drained io timeout). A dead peer's
+  /// traffic is silently short-circuited: sends to it are lost, receives
+  /// from it report "nothing", so the survivor-set round machinery treats
+  /// it exactly like an injected crash.
+  bool peer_alive(int rank) const;
+  /// Any peer condemned so far?
+  bool degraded() const;
+  /// True when messages can fail to arrive: an active fault plan, a
+  /// fallible backend (multi-process or chaos-wrapped), or an already
+  /// degraded world. Loss-tolerant call sites (Endpoint's reliable-fabric
+  /// shortcut, the survivor-set gather) branch on this instead of on the
+  /// fault plan alone, so real failures degrade exactly like injected ones.
+  bool lossy() const;
+  /// Condemns `rank` directly (tests, and the round driver when it maps an
+  /// error it caught itself onto a peer). Idempotent; returns true when the
+  /// rank transitioned alive -> dead.
+  bool condemn_peer(int rank, const std::string& why);
+
  private:
   void check_rank(int rank) const;
+  /// Shared recovery path: marks the rank dead, counts the real fault once,
+  /// and purges its queued traffic from the transport. Caller holds mu_.
+  bool condemn_locked(int rank, const std::string& why);
+  /// Maps a caught TransportError onto a condemned peer (falling back to
+  /// `fallback_rank` when the error carries no rank) or rethrows when the
+  /// failure is not peer-scoped. Caller holds mu_.
+  void degrade_locked(const TransportError& e, int fallback_rank);
 
   /// Registry counters for one (src, dst) link, resolved once per edge
   /// under mu_ and cached (registry lookups are by-name map walks).
@@ -162,6 +190,7 @@ class Network {
   mutable std::mutex mu_;
   std::unique_ptr<Transport> transport_;
   std::vector<TrafficStats> sent_;
+  std::vector<char> peer_dead_;
   FaultStats faults_;
   std::map<std::pair<int, int>, EdgeCounters> edges_;
 };

@@ -1,0 +1,57 @@
+#include "comm/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/error.hpp"
+#include "utils/rng.hpp"
+
+namespace fca::comm {
+
+void RetryPolicy::validate() const {
+  FCA_CHECK_MSG(max_attempts >= 1,
+                "retry policy needs at least one attempt, got "
+                    << max_attempts << " (--io-retries)");
+  FCA_CHECK_MSG(std::isfinite(base_backoff_s) && base_backoff_s >= 0.0,
+                "retry base backoff must be finite and non-negative, got "
+                    << base_backoff_s << " (--io-backoff)");
+  FCA_CHECK_MSG(std::isfinite(multiplier) && multiplier >= 1.0,
+                "retry backoff multiplier must be >= 1, got " << multiplier);
+  FCA_CHECK_MSG(std::isfinite(max_backoff_s) &&
+                    max_backoff_s >= base_backoff_s,
+                "retry backoff cap " << max_backoff_s
+                                     << " is below the base backoff "
+                                     << base_backoff_s);
+  FCA_CHECK_MSG(std::isfinite(jitter_frac) && jitter_frac >= 0.0 &&
+                    jitter_frac <= 1.0,
+                "retry jitter fraction must be in [0, 1], got "
+                    << jitter_frac);
+}
+
+double RetryPolicy::backoff_s(std::string_view op, uint64_t op_index,
+                              int attempt) const {
+  if (attempt <= 0) return 0.0;
+  double step = base_backoff_s;
+  for (int k = 1; k < attempt; ++k) {
+    step *= multiplier;
+    if (step >= max_backoff_s) break;
+  }
+  step = std::min(step, max_backoff_s);
+  if (jitter_frac <= 0.0 || step <= 0.0) return step;
+  // One fresh stream per (op, op_index, attempt): no retry state to carry,
+  // and the draw is independent of every other Rng consumer in the process.
+  const double u = Rng(seed)
+                       .fork(op)
+                       .fork_indexed("op/", op_index)
+                       .fork_indexed("attempt/", static_cast<uint64_t>(attempt))
+                       .uniform();
+  return step * (1.0 + jitter_frac * (2.0 * u - 1.0));
+}
+
+std::optional<double> RetrySchedule::next_backoff_s() {
+  ++attempt_;
+  if (attempt_ >= policy_.max_attempts) return std::nullopt;
+  return policy_.backoff_s(op_, op_index_, attempt_);
+}
+
+}  // namespace fca::comm

@@ -1,0 +1,83 @@
+// Deterministic bounded retry with exponential backoff and seeded jitter.
+//
+// Real fabrics need retries (a dial races the listener's bind; a full shm
+// ring needs the consumer to catch up), but naive retry loops make runs
+// timing-dependent. RetryPolicy keeps every *decision* — how many attempts,
+// how long to back off before each — a pure function of (seed, op label,
+// op index, attempt number) via the counter-based Rng streams, so reruns of
+// the same configuration produce byte-identical retry schedules. Only the
+// wall-clock outcome of each attempt (did the peer answer yet?) varies, and
+// that never feeds back into simulation state.
+//
+// The jitter matters operationally, not just cosmetically: when world-many
+// processes dial the rendezvous after a shared failure, deterministic
+// desynchronization spreads the retry storm without sacrificing
+// replayability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fca::comm {
+
+struct RetryPolicy {
+  /// Total tries per operation (first attempt included). 1 = no retries.
+  /// The default is sized so the capped exponential schedule (~35 s of
+  /// cumulative backoff) outlasts the default 30 s io timeout — the
+  /// wall-clock deadline, not the attempt budget, is normally what ends a
+  /// hopeless operation.
+  int max_attempts = 40;
+  /// Backoff before retry k (k >= 1): base * multiplier^(k-1), capped at
+  /// max_backoff_s, then jittered by ±jitter_frac of itself.
+  double base_backoff_s = 0.02;
+  double multiplier = 2.0;
+  double max_backoff_s = 1.0;
+  /// Jitter amplitude as a fraction of the backoff step, in [0, 1].
+  double jitter_frac = 0.25;
+  /// Seed of the jitter stream (independent of experiment and fault seeds).
+  uint64_t seed = 0;
+
+  /// Throws fca::Error on a meaningless policy (attempts < 1, negative or
+  /// non-finite backoff fields, jitter outside [0, 1], ...).
+  void validate() const;
+
+  /// Seconds to sleep before attempt `attempt` (1-based; attempt 0 is the
+  /// initial try and never sleeps) of operation (`op`, `op_index`). Pure
+  /// function of the policy fields — byte-identical across reruns.
+  double backoff_s(std::string_view op, uint64_t op_index, int attempt) const;
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
+/// Iteration helper binding a policy to one operation instance. Usage:
+///
+///   RetrySchedule retry(policy, "tcp.dial", edge_index);
+///   for (;;) {
+///     if (attempt_succeeds()) break;
+///     std::optional<double> d = retry.next_backoff_s();
+///     if (!d.has_value()) throw TransportError(...);   // budget exhausted
+///     sleep(*d);
+///   }
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryPolicy& policy, std::string op, uint64_t op_index)
+      : policy_(policy), op_(std::move(op)), op_index_(op_index) {}
+
+  /// Backoff before the next retry, or std::nullopt once max_attempts tries
+  /// have been granted.
+  std::optional<double> next_backoff_s();
+
+  /// Attempts granted so far (the initial try counts once it is followed by
+  /// a next_backoff_s() call).
+  int attempts() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  std::string op_;
+  uint64_t op_index_;
+  int attempt_ = 0;
+};
+
+}  // namespace fca::comm

@@ -1,20 +1,30 @@
 // Wire framing shared by every transport backend.
 //
-// A message crosses any backend as one frame:
+// A message crosses any backend as one frame (format version 2):
 //
 //   offset  size  field
 //        0     4  magic 0x46434154 ("FCAT") — detects stream desync
-//        4     4  src rank
-//        8     4  dst rank
-//       12     4  tag (two's complement)
-//       16     4  payload length in bytes
-//       20     8  simulated transfer seconds (IEEE-754 bit pattern)
-//       28     n  payload
+//        4     4  frame format version (kFrameVersion)
+//        8     4  src rank
+//       12     4  dst rank
+//       16     4  tag (two's complement)
+//       20     4  payload length in bytes
+//       24     8  simulated transfer seconds (IEEE-754 bit pattern)
+//       32     4  CRC32 over header bytes [0, 32) + the payload
+//       36     n  payload
 //
 // All integers are little-endian and written byte-by-byte, so the format is
 // identical across compilers and both ends of a cross-machine tcp link. The
 // in-process backend never materializes frames but accounts wire bytes with
 // the same frame_size() formula, keeping byte accounting backend-invariant.
+//
+// Integrity (DESIGN.md §12): the CRC32 (shared slice-by-8 kernel,
+// utils/crc32.hpp — same polynomial as the checkpoint container) covers the
+// header up to the CRC field plus the whole payload, so a flipped bit, a
+// truncated write from a killed peer, or a desynchronized stream is
+// *detected and reported* as TransportError{kFrameCorrupt} instead of being
+// parsed as garbage. Version 1 frames (no version/CRC fields) are rejected
+// the same way; cross-version worlds are refused at handshake time.
 //
 // Writer/Reader below are the minimal codec the rendezvous handshake and the
 // FaultConfig/FaultStats serializers build on (ckpt's SectionWriter lives
@@ -25,15 +35,21 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "comm/transport/error.hpp"
+#include "utils/crc32.hpp"
 #include "utils/error.hpp"
 
 namespace fca::comm::framing {
 
 inline constexpr uint32_t kFrameMagic = 0x46434154u;  // "FCAT"
-inline constexpr size_t kHeaderBytes = 28;
+inline constexpr uint32_t kFrameVersion = 2;
+inline constexpr size_t kHeaderBytes = 36;
+/// Bytes of the header covered by the CRC (everything before the CRC field).
+inline constexpr size_t kCrcOffset = 32;
 
 struct FrameHeader {
   int src = 0;
@@ -41,6 +57,10 @@ struct FrameHeader {
   int tag = 0;
   uint32_t payload_len = 0;
   double transfer_s = 0.0;
+  /// CRC32 over header bytes [0, kCrcOffset) + payload, as carried on the
+  /// wire. Filled by decode_header; verified against the payload by
+  /// verify_frame once the payload bytes are available.
+  uint32_t crc = 0;
 };
 
 inline void put_u32(std::byte* p, uint32_t v) {
@@ -71,29 +91,85 @@ inline constexpr uint64_t frame_size(size_t payload_len) {
   return static_cast<uint64_t>(kHeaderBytes) + payload_len;
 }
 
-inline void encode_header(const FrameHeader& h, std::byte* out) {
+/// Encodes the header *and* stamps the CRC over [0, kCrcOffset) + payload.
+/// `out` must hold kHeaderBytes; h.payload_len must equal payload.size().
+inline void encode_header(const FrameHeader& h, std::byte* out,
+                          std::span<const std::byte> payload) {
   put_u32(out, kFrameMagic);
-  put_u32(out + 4, static_cast<uint32_t>(h.src));
-  put_u32(out + 8, static_cast<uint32_t>(h.dst));
-  put_u32(out + 12, static_cast<uint32_t>(h.tag));
-  put_u32(out + 16, h.payload_len);
-  put_u64(out + 20, std::bit_cast<uint64_t>(h.transfer_s));
+  put_u32(out + 4, kFrameVersion);
+  put_u32(out + 8, static_cast<uint32_t>(h.src));
+  put_u32(out + 12, static_cast<uint32_t>(h.dst));
+  put_u32(out + 16, static_cast<uint32_t>(h.tag));
+  put_u32(out + 20, h.payload_len);
+  put_u64(out + 24, std::bit_cast<uint64_t>(h.transfer_s));
+  uint32_t c = crc32_init();
+  c = crc32_update(c, std::span<const std::byte>(out, kCrcOffset));
+  c = crc32_update(c, payload);
+  put_u32(out + kCrcOffset, crc32_final(c));
 }
 
-/// Decodes 28 header bytes; throws on a bad magic (stream desync or a
-/// foreign writer in the shared region).
+[[noreturn]] inline void fail_corrupt(const std::string& what) {
+  throw TransportError(TransportErrc::kFrameCorrupt, TransportError::kNoPeer,
+                       what + " — transport stream desynchronized or frame "
+                              "corrupted in flight");
+}
+
+/// Decodes kHeaderBytes header bytes; throws TransportError{kFrameCorrupt}
+/// on a bad magic or an unknown format version (stream desync, a foreign or
+/// cross-version writer, corruption landing in the first 8 bytes).
 inline FrameHeader decode_header(const std::byte* p) {
   const uint32_t magic = get_u32(p);
-  FCA_CHECK_MSG(magic == kFrameMagic,
-                "bad frame magic 0x" << std::hex << magic
-                                     << " — transport stream desynchronized");
+  if (magic != kFrameMagic) {
+    std::ostringstream os;
+    os << "bad frame magic 0x" << std::hex << magic;
+    fail_corrupt(os.str());
+  }
+  const uint32_t version = get_u32(p + 4);
+  if (version != kFrameVersion) {
+    std::ostringstream os;
+    os << "frame format version " << version << ", expected " << kFrameVersion;
+    fail_corrupt(os.str());
+  }
   FrameHeader h;
-  h.src = static_cast<int>(get_u32(p + 4));
-  h.dst = static_cast<int>(get_u32(p + 8));
-  h.tag = static_cast<int>(get_u32(p + 12));
-  h.payload_len = get_u32(p + 16);
-  h.transfer_s = std::bit_cast<double>(get_u64(p + 20));
+  h.src = static_cast<int>(get_u32(p + 8));
+  h.dst = static_cast<int>(get_u32(p + 12));
+  h.tag = static_cast<int>(get_u32(p + 16));
+  h.payload_len = get_u32(p + 20);
+  h.transfer_s = std::bit_cast<double>(get_u64(p + 24));
+  h.crc = get_u32(p + kCrcOffset);
   return h;
+}
+
+/// Verifies the carried CRC against the raw header bytes and the payload;
+/// throws TransportError{kFrameCorrupt} on mismatch. `header_raw` is the
+/// same kHeaderBytes block decode_header consumed.
+inline void verify_frame(const FrameHeader& h, const std::byte* header_raw,
+                         std::span<const std::byte> payload) {
+  uint32_t c = crc32_init();
+  c = crc32_update(c, std::span<const std::byte>(header_raw, kCrcOffset));
+  c = crc32_update(c, payload);
+  const uint32_t actual = crc32_final(c);
+  if (actual != h.crc) {
+    std::ostringstream os;
+    os << "frame CRC mismatch: carried 0x" << std::hex << h.crc
+       << ", computed 0x" << actual << std::dec << " over "
+       << payload.size() << " payload byte(s) (" << h.src << " -> " << h.dst
+       << " tag " << h.tag << ")";
+    fail_corrupt(os.str());
+  }
+}
+
+/// Appends one complete, CRC-stamped frame for `msg`-shaped fields onto
+/// `out` (the shared encode path of the stream backends).
+inline void append_frame(std::vector<std::byte>& out, int src, int dst,
+                         int tag, double transfer_s,
+                         std::span<const std::byte> payload) {
+  const size_t at = out.size();
+  out.resize(at + kHeaderBytes);
+  encode_header({src, dst, tag, static_cast<uint32_t>(payload.size()),
+                 transfer_s, 0},
+                out.data() + at, payload);
+  out.insert(out.end(), payload.begin(), payload.end());
 }
 
 /// Append-only little-endian writer for handshake/control payloads.

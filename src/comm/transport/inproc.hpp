@@ -40,6 +40,10 @@ class InprocTransport : public Transport {
     reset_pending_counters();
   }
 
+  void discard_peer(int rank) override {
+    note_consumed_frames(boxes_.erase_rank(rank));
+  }
+
   std::string describe_pending(int dst, int src) override {
     return boxes_.describe(dst, src);
   }

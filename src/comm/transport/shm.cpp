@@ -7,10 +7,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 #include <new>
+#include <sstream>
 
+#include "comm/transport/error.hpp"
 #include "comm/transport/framing.hpp"
 #include "comm/transport/handshake.hpp"
 #include "utils/error.hpp"
@@ -20,7 +23,10 @@ namespace fca::comm {
 namespace {
 
 constexpr uint32_t kRegionMagic = 0x4643534Du;  // "FCSM"
-constexpr uint32_t kRegionVersion = 1;
+// v2: the frames inside the rings carry a format version + CRC32
+// (framing.hpp), so a v1 process must be refused at attach time — its frames
+// would all fail integrity checks anyway.
+constexpr uint32_t kRegionVersion = 2;
 constexpr size_t kMaxHandshakeBytes = 4096;
 /// Auto ring sizing: a fixed region budget divided across world^2 rings,
 /// clamped so tiny worlds get roomy rings and huge worlds stay mappable.
@@ -49,6 +55,14 @@ void sleep_briefly() {
   nanosleep(&ts, nullptr);
 }
 
+void sleep_seconds(double s) {
+  if (s <= 0.0) return;
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
 double monotonic_seconds() {
   timespec ts{};
   clock_gettime(CLOCK_MONOTONIC, &ts);
@@ -58,7 +72,22 @@ double monotonic_seconds() {
 size_t auto_ring_capacity(int world) {
   const size_t rings = static_cast<size_t>(world) * static_cast<size_t>(world);
   const size_t per = kRegionBudgetBytes / std::max<size_t>(rings, 1);
-  return std::clamp(align_up(per, 4096), kMinRingCapacity, kMaxRingCapacity);
+  // bit_floor keeps the auto size a power of two (the modular-arithmetic
+  // requirement explicit capacities are validated against).
+  return std::clamp(std::bit_floor(per), kMinRingCapacity, kMaxRingCapacity);
+}
+
+/// The configured retry policy rescaled to ring-full stalls: a healthy
+/// consumer drains in microseconds, so the backoff starts at 200 µs and caps
+/// at 5 ms, and the attempt budget is effectively unbounded — the io
+/// timeout, not the attempt count, decides when the consumer is declared
+/// dead.
+RetryPolicy stall_policy(const RetryPolicy& base) {
+  RetryPolicy p = base;
+  p.max_attempts = 1 << 30;
+  p.base_backoff_s = 200e-6;
+  p.max_backoff_s = 5e-3;
+  return p;
 }
 
 }  // namespace
@@ -67,12 +96,23 @@ ShmTransport::ShmTransport(const TransportOptions& options, int world,
                            Handshake* handshake)
     : Transport(world, options.self_rank),
       shm_name_(options.shm_name),
-      io_timeout_s_(options.io_timeout_s) {
-  ring_capacity_ = options.shm_ring_capacity != 0
-                       ? align_up(options.shm_ring_capacity, 64)
-                       : auto_ring_capacity(world);
-  FCA_CHECK_MSG(ring_capacity_ >= framing::kHeaderBytes + 64,
-                "shm ring capacity " << ring_capacity_ << " is too small");
+      io_timeout_s_(options.io_timeout_s),
+      stall_retry_(stall_policy(options.retry)) {
+  stall_retry_.validate();
+  if (options.shm_ring_capacity != 0) {
+    const size_t cap = options.shm_ring_capacity;
+    FCA_CHECK_MSG(std::has_single_bit(cap),
+                  "shm ring capacity " << cap << " is not a power of two");
+    FCA_CHECK_MSG(
+        cap >= kMinShmRingCapacity && cap <= kMaxShmRingCapacity,
+        "shm ring capacity " << cap << " outside [" << kMinShmRingCapacity
+                             << ", " << kMaxShmRingCapacity
+                             << "] — set FCA_SHM_RING_CAPACITY to a power of "
+                                "two in range, or unset it for auto sizing");
+    ring_capacity_ = cap;
+  } else {
+    ring_capacity_ = auto_ring_capacity(world);
+  }
   ring_stride_ = align_up(sizeof(RingHeader), 64) + ring_capacity_;
   rings_offset_ = align_up(sizeof(RegionHeader), 64);
   const size_t rings =
@@ -115,8 +155,12 @@ ShmTransport::ShmTransport(const TransportOptions& options, int world,
         close(fd_);
         fd_ = -1;
       }
-      FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                    "timed out attaching to shm region " << shm_name_);
+      if (monotonic_seconds() >= deadline) {
+        std::ostringstream os;
+        os << "timed out attaching to shm region " << shm_name_
+           << " — did the creator (rank 0) start?";
+        throw TransportError(TransportErrc::kPeerUnreachable, 0, os.str());
+      }
       sleep_briefly();
     }
     map_ = mmap(nullptr, map_size_, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
@@ -148,22 +192,38 @@ ShmTransport::ShmTransport(const TransportOptions& options, int world,
   } else {
     const double deadline = monotonic_seconds() + io_timeout_s_;
     while (header->ready.load(std::memory_order_acquire) == 0) {
-      FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                    "shm region " << shm_name_ << " never became ready");
+      if (monotonic_seconds() >= deadline) {
+        std::ostringstream os;
+        os << "shm region " << shm_name_ << " never became ready";
+        throw TransportError(TransportErrc::kTimeout, 0, os.str());
+      }
       sleep_briefly();
     }
-    FCA_CHECK_MSG(header->magic == kRegionMagic,
-                  "shm region " << shm_name_ << " has a foreign magic");
-    FCA_CHECK_MSG(header->version == kRegionVersion,
-                  "shm region version " << header->version << ", expected "
-                                        << kRegionVersion);
-    FCA_CHECK_MSG(header->world == static_cast<uint32_t>(world),
-                  "shm region world " << header->world << ", expected "
-                                      << world);
-    FCA_CHECK_MSG(header->ring_capacity == ring_capacity_,
-                  "shm ring capacity mismatch: region "
-                      << header->ring_capacity << ", local " << ring_capacity_
-                      << " — both sides must agree on FCA_SHM_RING_CAPACITY");
+    const auto reject = [](const std::string& what) {
+      throw TransportError(TransportErrc::kHandshakeRejected,
+                           TransportError::kNoPeer, what);
+    };
+    if (header->magic != kRegionMagic) {
+      reject("shm region " + shm_name_ + " has a foreign magic");
+    }
+    if (header->version != kRegionVersion) {
+      std::ostringstream os;
+      os << "shm region version " << header->version << ", expected "
+         << kRegionVersion << " — run the same build on every rank";
+      reject(os.str());
+    }
+    if (header->world != static_cast<uint32_t>(world)) {
+      std::ostringstream os;
+      os << "shm region world " << header->world << ", expected " << world;
+      reject(os.str());
+    }
+    if (header->ring_capacity != ring_capacity_) {
+      std::ostringstream os;
+      os << "shm ring capacity mismatch: region " << header->ring_capacity
+         << ", local " << ring_capacity_
+         << " — both sides must agree on FCA_SHM_RING_CAPACITY";
+      reject(os.str());
+    }
     if (handshake != nullptr && header->handshake_len > 0) {
       *handshake = Handshake::parse(std::span<const std::byte>(
           header->handshake, header->handshake_len));
@@ -200,9 +260,9 @@ bool ShmTransport::ring_write(int src, int dst, const WireMessage& msg) {
 
   scratch_.resize(framing::kHeaderBytes);
   framing::encode_header(
-      {msg.src, msg.dst, msg.tag,
-       static_cast<uint32_t>(msg.payload.size()), msg.transfer_s},
-      scratch_.data());
+      {msg.src, msg.dst, msg.tag, static_cast<uint32_t>(msg.payload.size()),
+       msg.transfer_s, 0},
+      scratch_.data(), msg.payload);
   std::byte* data = ring_data(src, dst);
   auto copy_in = [&](uint64_t at, const std::byte* p, size_t n) {
     const size_t pos = static_cast<size_t>(at % ring_capacity_);
@@ -231,23 +291,40 @@ void ShmTransport::drain_ring(int src, int dst) {
   };
   // The producer publishes head only after the whole frame is in the
   // buffer, so everything below head parses as complete frames.
-  while (head - tail >= framing::kHeaderBytes) {
-    std::byte raw[framing::kHeaderBytes];
-    copy_out(tail, raw, framing::kHeaderBytes);
-    const framing::FrameHeader h = framing::decode_header(raw);
-    FCA_CHECK_MSG(h.src == src && h.dst == dst,
-                  "frame addressed (" << h.src << " -> " << h.dst
-                                      << ") found in ring (" << src << " -> "
-                                      << dst << ")");
-    WireMessage msg;
-    msg.src = h.src;
-    msg.dst = h.dst;
-    msg.tag = h.tag;
-    msg.transfer_s = h.transfer_s;
-    msg.payload.resize(h.payload_len);
-    copy_out(tail + framing::kHeaderBytes, msg.payload.data(), h.payload_len);
-    tail += framing::frame_size(h.payload_len);
-    queues_.push(std::move(msg));
+  try {
+    while (head - tail >= framing::kHeaderBytes) {
+      std::byte raw[framing::kHeaderBytes];
+      copy_out(tail, raw, framing::kHeaderBytes);
+      const framing::FrameHeader h = framing::decode_header(raw);
+      if (h.src != src || h.dst != dst) {
+        std::ostringstream os;
+        os << "frame addressed (" << h.src << " -> " << h.dst
+           << ") found in ring (" << src << " -> " << dst << ")";
+        framing::fail_corrupt(os.str());
+      }
+      if (framing::frame_size(h.payload_len) > head - tail) {
+        std::ostringstream os;
+        os << "frame claims " << h.payload_len
+           << " payload byte(s) beyond the published ring contents";
+        framing::fail_corrupt(os.str());
+      }
+      WireMessage msg;
+      msg.src = h.src;
+      msg.dst = h.dst;
+      msg.tag = h.tag;
+      msg.transfer_s = h.transfer_s;
+      msg.payload.resize(h.payload_len);
+      copy_out(tail + framing::kHeaderBytes, msg.payload.data(),
+               h.payload_len);
+      framing::verify_frame(h, raw, msg.payload);
+      tail += framing::frame_size(h.payload_len);
+      queues_.push(std::move(msg));
+    }
+  } catch (const TransportError& e) {
+    // Keep the frames consumed before the bad one, then condemn the
+    // producer: nothing after a desynchronized frame can be trusted.
+    r.tail.store(head, std::memory_order_release);
+    throw TransportError(e, src);
   }
   r.tail.store(tail, std::memory_order_release);
 }
@@ -270,6 +347,7 @@ void ShmTransport::send(WireMessage msg) {
                     << " — raise FCA_SHM_RING_CAPACITY");
   note_sent_frame(msg.payload.size());
   const double deadline = monotonic_seconds() + io_timeout_s_;
+  std::optional<RetrySchedule> stall;
   while (!ring_write(msg.src, msg.dst, msg)) {
     if (consumes(msg.dst)) {
       // All-local world: the consumer is this very process, so waiting
@@ -277,11 +355,20 @@ void ShmTransport::send(WireMessage msg) {
       drain_ring(msg.src, msg.dst);
       continue;
     }
-    FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                  "shm ring (" << msg.src << " -> " << msg.dst
-                               << ") stayed full for " << io_timeout_s_
-                               << "s — is the peer process alive?");
-    sleep_briefly();
+    if (!stall.has_value()) {
+      stall.emplace(stall_retry_, "shm.ring_full", stall_episodes_++);
+    }
+    const std::optional<double> backoff = stall->next_backoff_s();
+    if (!backoff.has_value() || monotonic_seconds() >= deadline) {
+      std::ostringstream os;
+      os << "shm ring (" << msg.src << " -> " << msg.dst
+         << ") stayed full for " << io_timeout_s_ << "s ("
+         << stall->attempts()
+         << " backoff(s)) — is the peer process alive?";
+      throw TransportError(TransportErrc::kRingStalled, msg.dst, os.str());
+    }
+    note_retry();
+    sleep_seconds(*backoff);
   }
 }
 
@@ -319,6 +406,21 @@ void ShmTransport::clear_pending() {
   drain_all_inbound();
   queues_.clear();
   reset_pending_counters();
+}
+
+void ShmTransport::discard_peer(int rank) {
+  // Pull whatever the condemned rank already published (complete frames
+  // only — head is release-published per frame), then drop it along with
+  // anything queued for the rank. A desynchronized ring from a peer that
+  // died mid-corruption is already condemned; swallow it here.
+  for (int d = 0; d < world_; ++d) {
+    if (!consumes(d)) continue;
+    try {
+      drain_ring(rank, d);
+    } catch (const TransportError&) {
+    }
+  }
+  note_consumed_frames(queues_.erase_rank(rank));
 }
 
 std::string ShmTransport::describe_pending(int dst, int src) {

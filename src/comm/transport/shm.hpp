@@ -48,6 +48,7 @@ class ShmTransport : public Transport {
   bool has_message(int dst, int src, int tag) override;
   std::optional<WireMessage> wait_recv(int dst, int src, int tag) override;
   void clear_pending() override;
+  void discard_peer(int rank) override;
   std::string describe_pending(int dst, int src) override;
 
   size_t ring_capacity() const { return ring_capacity_; }
@@ -82,6 +83,11 @@ class ShmTransport : public Transport {
   size_t ring_stride_ = 0;   // header + capacity, 64-byte aligned
   size_t rings_offset_ = 0;  // first ring block within the region
   double io_timeout_s_ = 30.0;
+  /// Ring-full stall schedule: the configured retry policy with the backoff
+  /// scaled down to ring timescales (a consumer drains in microseconds, not
+  /// the tens of milliseconds a TCP dial needs).
+  RetryPolicy stall_retry_;
+  uint64_t stall_episodes_ = 0;
   MailboxSet queues_;
   Bytes scratch_;  // frame assembly/drain buffer, reused across calls
 };

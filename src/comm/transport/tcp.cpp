@@ -13,8 +13,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
+#include "comm/transport/error.hpp"
 #include "comm/transport/framing.hpp"
 #include "comm/transport/handshake.hpp"
 #include "utils/error.hpp"
@@ -26,7 +28,9 @@ namespace {
 constexpr uint32_t kHelloMagic = 0x4643484Cu;    // "FCHL"
 constexpr uint32_t kWelcomeMagic = 0x4643574Cu;  // "FCWL"
 constexpr uint32_t kConnectMagic = 0x4643434Eu;  // "FCCN"
-constexpr uint32_t kProtocolVersion = 1;
+// v2: frames carry a format version + CRC32 (framing.hpp). The rendezvous
+// version gate below rejects cross-version worlds up front.
+constexpr uint32_t kProtocolVersion = 2;
 constexpr size_t kGreetingBytes = 8;  // magic + rank
 constexpr size_t kReadChunk = 64u << 10;
 constexpr uint32_t kMaxFramePayload = 1u << 30;
@@ -106,6 +110,11 @@ int make_listener(const std::string& host, int port, int* actual_port) {
   return fd;
 }
 
+[[noreturn]] void throw_typed(TransportErrc code, int peer,
+                              const std::string& what) {
+  throw TransportError(code, peer, what);
+}
+
 /// Blocking-with-deadline exact read for the rendezvous control phase.
 void read_exact(int fd, std::byte* out, size_t n, double deadline,
                 const char* what) {
@@ -116,11 +125,19 @@ void read_exact(int fd, std::byte* out, size_t n, double deadline,
       got += static_cast<size_t>(rc);
       continue;
     }
-    FCA_CHECK_MSG(rc != 0, "peer closed during " << what);
-    FCA_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
-                  what << " read failed: " << std::strerror(errno));
-    FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                  "timed out during " << what);
+    if (rc == 0) {
+      throw_typed(TransportErrc::kPeerReset, TransportError::kNoPeer,
+                  std::string("peer closed during ") + what);
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      throw_typed(TransportErrc::kPeerReset, TransportError::kNoPeer,
+                  std::string(what) + " read failed: " +
+                      std::strerror(errno));
+    }
+    if (monotonic_seconds() >= deadline) {
+      throw_typed(TransportErrc::kTimeout, TransportError::kNoPeer,
+                  std::string("timed out during ") + what);
+    }
     pollfd p{fd, POLLIN, 0};
     poll(&p, 1, 50);
   }
@@ -135,42 +152,44 @@ void write_all(int fd, const std::byte* data, size_t n, double deadline,
       sent += static_cast<size_t>(rc);
       continue;
     }
-    FCA_CHECK_MSG(rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
-                             errno == EINTR),
-                  what << " write failed: " << std::strerror(errno));
-    FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                  "timed out during " << what);
+    if (rc == 0 ||
+        (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      throw_typed(TransportErrc::kPeerReset, TransportError::kNoPeer,
+                  std::string(what) + " write failed: " +
+                      std::strerror(errno));
+    }
+    if (monotonic_seconds() >= deadline) {
+      throw_typed(TransportErrc::kTimeout, TransportError::kNoPeer,
+                  std::string("timed out during ") + what);
+    }
     pollfd p{fd, POLLOUT, 0};
     poll(&p, 1, 50);
   }
 }
 
-/// Dials host:port, retrying refusals until the deadline (the peer may not
-/// have bound its listener yet). Returns a connected non-blocking fd.
-int dial(const std::string& host, int port, double deadline,
-         const char* what) {
-  const sockaddr_in addr = resolve(host, port);
-  while (true) {
-    const int fd = socket(AF_INET, SOCK_STREAM, 0);
-    FCA_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
-    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) == 0) {
-      set_nonblocking(fd);
-      set_nodelay(fd);
-      return fd;
-    }
-    const int err = errno;
-    close(fd);
-    FCA_CHECK_MSG(err == ECONNREFUSED || err == ETIMEDOUT || err == EINTR ||
-                      err == EAGAIN,
-                  what << ": connect(" << host << ":" << port
-                       << ") failed: " << std::strerror(err));
-    FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                  what << ": no listener at " << host << ":" << port
-                       << " within the io timeout");
-    timespec ts{0, 20 * 1000 * 1000};  // 20 ms between dial attempts
-    nanosleep(&ts, nullptr);
+/// One non-blocking connect attempt; returns the connected fd or -1 with
+/// `*err` holding the (retryable or not) errno.
+int try_connect_once(const sockaddr_in& addr, int* err) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  FCA_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    *err = 0;
+    return fd;
   }
+  *err = errno;
+  close(fd);
+  return -1;
+}
+
+void sleep_seconds(double s) {
+  if (s <= 0.0) return;
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
 }
 
 std::string peer_host_of(int fd) {
@@ -184,10 +203,50 @@ std::string peer_host_of(int fd) {
 
 }  // namespace
 
+int TcpTransport::dial(const std::string& host, int port, double deadline,
+                       const char* what, uint64_t op_index) {
+  const sockaddr_in addr = resolve(host, port);
+  RetrySchedule schedule(retry_, std::string("tcp.dial/") + what, op_index);
+  int err = 0;
+  while (true) {
+    const int fd = try_connect_once(addr, &err);
+    if (fd >= 0) return fd;
+    if (err != ECONNREFUSED && err != ETIMEDOUT && err != EINTR &&
+        err != EAGAIN) {
+      std::ostringstream os;
+      os << what << ": connect(" << host << ":" << port
+         << ") failed: " << std::strerror(err);
+      throw_typed(TransportErrc::kPeerUnreachable, TransportError::kNoPeer,
+                  os.str());
+    }
+    const std::optional<double> backoff = schedule.next_backoff_s();
+    if (!backoff.has_value()) {
+      std::ostringstream os;
+      os << what << ": " << host << ":" << port << " refused "
+         << schedule.attempts() << " dial attempt(s) ("
+         << std::strerror(err) << ")";
+      throw_typed(TransportErrc::kPeerUnreachable, TransportError::kNoPeer,
+                  os.str());
+    }
+    if (monotonic_seconds() + *backoff >= deadline) {
+      std::ostringstream os;
+      os << what << ": no listener at " << host << ":" << port
+         << " within the io timeout (" << schedule.attempts()
+         << " dial attempt(s))";
+      throw_typed(TransportErrc::kTimeout, TransportError::kNoPeer,
+                  os.str());
+    }
+    note_retry();
+    sleep_seconds(*backoff);
+  }
+}
+
 TcpTransport::TcpTransport(const TransportOptions& options, int world,
                            Handshake* handshake)
     : Transport(world, options.self_rank),
-      io_timeout_s_(options.io_timeout_s) {
+      io_timeout_s_(options.io_timeout_s),
+      retry_(options.retry) {
+  retry_.validate();
   if (self_rank_ == TransportOptions::kAllRanks) {
     setup_all_local();
     return;
@@ -256,10 +315,13 @@ void TcpTransport::setup_root(const TransportOptions& options,
     if (fd < 0) {
       FCA_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
                     "rendezvous accept failed: " << std::strerror(errno));
-      FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                    "rendezvous timed out: " << joined << " of " << world_ - 1
-                                             << " peer(s) joined within "
-                                             << io_timeout_s_ << "s");
+      if (monotonic_seconds() >= deadline) {
+        std::ostringstream os;
+        os << "rendezvous timed out: " << joined << " of " << world_ - 1
+           << " peer(s) joined within " << io_timeout_s_ << "s";
+        throw_typed(TransportErrc::kTimeout, TransportError::kNoPeer,
+                    os.str());
+      }
       pollfd p{listen_fd_, POLLIN, 0};
       poll(&p, 1, 50);
       continue;
@@ -267,21 +329,39 @@ void TcpTransport::setup_root(const TransportOptions& options,
     set_nonblocking(fd);
     std::byte hello[16];
     read_exact(fd, hello, sizeof(hello), deadline, "rendezvous HELLO");
-    FCA_CHECK_MSG(framing::get_u32(hello) == kHelloMagic,
-                  "rendezvous peer sent a non-HELLO greeting");
-    FCA_CHECK_MSG(framing::get_u32(hello + 4) == kProtocolVersion,
-                  "rendezvous protocol version mismatch");
+    if (framing::get_u32(hello) != kHelloMagic) {
+      throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                  "rendezvous peer sent a non-HELLO greeting (foreign "
+                  "client or corrupted stream)");
+    }
+    const uint32_t peer_version = framing::get_u32(hello + 4);
+    if (peer_version != kProtocolVersion) {
+      std::ostringstream os;
+      os << "rendezvous peer speaks protocol version " << peer_version
+         << ", this build speaks " << kProtocolVersion
+         << " — run the same build on every rank";
+      throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                  os.str());
+    }
     const int rank = static_cast<int>(framing::get_u32(hello + 8));
     const int p2p_port = static_cast<int>(framing::get_u32(hello + 12));
-    FCA_CHECK_MSG(rank >= 1 && rank < world_,
-                  "rendezvous peer claims rank " << rank << " outside [1, "
-                                                 << world_ << ")");
-    FCA_CHECK_MSG(peer_addrs_[static_cast<size_t>(rank)].second == 0,
-                  "two rendezvous peers claim rank " << rank);
+    if (rank < 1 || rank >= world_) {
+      std::ostringstream os;
+      os << "rendezvous peer claims rank " << rank << " outside [1, "
+         << world_ << ")";
+      throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                  os.str());
+    }
+    if (peer_addrs_[static_cast<size_t>(rank)].second != 0) {
+      std::ostringstream os;
+      os << "two rendezvous peers claim rank " << rank;
+      throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                  os.str());
+    }
     peer_addrs_[static_cast<size_t>(rank)] = {peer_host_of(fd), p2p_port};
     edge_conn_[{0, rank}] = conns_.size();
     edge_conn_[{rank, 0}] = conns_.size();
-    register_conn(fd);
+    register_conn(fd).peer = rank;
     ++joined;
   }
 
@@ -316,7 +396,8 @@ void TcpTransport::setup_peer(const TransportOptions& options,
   listen_fd_ = make_listener("", 0, &listen_port_);
 
   const auto [root_host, root_port] = parse_host_port(options.connect_address);
-  const int fd = dial(root_host, root_port, deadline, "rendezvous");
+  const int fd = dial(root_host, root_port, deadline, "rendezvous",
+                      static_cast<uint64_t>(self_rank_));
   std::byte hello[16];
   framing::put_u32(hello, kHelloMagic);
   framing::put_u32(hello + 4, kProtocolVersion);
@@ -327,22 +408,44 @@ void TcpTransport::setup_peer(const TransportOptions& options,
   std::byte lenbuf[4];
   read_exact(fd, lenbuf, 4, deadline, "rendezvous WELCOME");
   const uint32_t body_len = framing::get_u32(lenbuf);
-  FCA_CHECK_MSG(body_len >= 16 && body_len <= (1u << 20),
-                "rendezvous WELCOME has implausible length " << body_len);
+  if (body_len < 16 || body_len > (1u << 20)) {
+    std::ostringstream os;
+    os << "rendezvous WELCOME has implausible length " << body_len;
+    throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                os.str());
+  }
   Bytes body(body_len);
   read_exact(fd, body.data(), body_len, deadline, "rendezvous WELCOME");
   framing::Reader r(body);
-  FCA_CHECK_MSG(r.u32() == kWelcomeMagic, "expected a WELCOME from rank 0");
-  FCA_CHECK_MSG(r.u32() == kProtocolVersion,
-                "rendezvous protocol version mismatch");
+  if (r.u32() != kWelcomeMagic) {
+    throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                "expected a WELCOME from rank 0 (is --connect pointing at "
+                "the rendezvous listener?)");
+  }
+  const uint32_t root_version = r.u32();
+  if (root_version != kProtocolVersion) {
+    std::ostringstream os;
+    os << "rendezvous root speaks protocol version " << root_version
+       << ", this build speaks " << kProtocolVersion
+       << " — run the same build on every rank";
+    throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                os.str());
+  }
   const int rank = static_cast<int>(r.u32());
-  FCA_CHECK_MSG(rank == self_rank_,
-                "root assigned rank " << rank << ", we are configured as "
-                                      << self_rank_);
+  if (rank != self_rank_) {
+    std::ostringstream os;
+    os << "root assigned rank " << rank << ", we are configured as "
+       << self_rank_;
+    throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                os.str());
+  }
   const int world = static_cast<int>(r.u32());
-  FCA_CHECK_MSG(world == world_, "root runs a world of " << world
-                                                         << ", we expect "
-                                                         << world_);
+  if (world != world_) {
+    std::ostringstream os;
+    os << "root runs a world of " << world << ", we expect " << world_;
+    throw_typed(TransportErrc::kHandshakeRejected, TransportError::kNoPeer,
+                os.str());
+  }
   const Bytes blob = r.bytes();
   if (handshake != nullptr) *handshake = Handshake::parse(blob);
   peer_addrs_.assign(static_cast<size_t>(world_), {"", 0});
@@ -356,13 +459,17 @@ void TcpTransport::setup_peer(const TransportOptions& options,
 
   edge_conn_[{self_rank_, 0}] = conns_.size();
   edge_conn_[{0, self_rank_}] = conns_.size();
-  register_conn(fd);
+  register_conn(fd).peer = 0;
 }
 
 void TcpTransport::ensure_local_edge(int a, int b) {
   if (edge_conn_.count({a, b}) != 0) return;
   const double deadline = monotonic_seconds() + io_timeout_s_;
-  const int out = dial("127.0.0.1", listen_port_, deadline, "local edge");
+  const uint64_t edge_index = static_cast<uint64_t>(a) *
+                                  static_cast<uint64_t>(world_) +
+                              static_cast<uint64_t>(b);
+  const int out =
+      dial("127.0.0.1", listen_port_, deadline, "local edge", edge_index);
   int in = -1;
   while (in < 0) {
     in = accept(listen_fd_, nullptr, nullptr);
@@ -391,21 +498,31 @@ void TcpTransport::ensure_peer_stream(int peer) {
   if (self_rank_ < peer) {
     const auto& [host, port] = peer_addrs_.at(static_cast<size_t>(peer));
     FCA_CHECK_MSG(port != 0, "no advertised address for rank " << peer);
-    const int fd = dial(host, port, deadline, "peer stream");
+    int fd = -1;
+    try {
+      fd = dial(host, port, deadline, "peer stream",
+                static_cast<uint64_t>(peer));
+    } catch (const TransportError& e) {
+      // Attribute the failure to the rank we were dialing.
+      throw TransportError(e, peer);
+    }
     std::byte greeting[kGreetingBytes];
     framing::put_u32(greeting, kConnectMagic);
     framing::put_u32(greeting + 4, static_cast<uint32_t>(self_rank_));
     write_all(fd, greeting, sizeof(greeting), deadline, "peer CONNECT");
     edge_conn_[{self_rank_, peer}] = conns_.size();
     edge_conn_[{peer, self_rank_}] = conns_.size();
-    register_conn(fd);
+    register_conn(fd).peer = peer;
     return;
   }
   // The lower rank dials; we wait for its CONNECT greeting to arrive.
   while (edge_conn_.count({self_rank_, peer}) == 0) {
-    FCA_CHECK_MSG(monotonic_seconds() < deadline,
-                  "rank " << peer << " never opened a stream to rank "
-                          << self_rank_);
+    if (monotonic_seconds() >= deadline) {
+      std::ostringstream os;
+      os << "rank " << peer << " never opened a stream to rank "
+         << self_rank_;
+      throw_typed(TransportErrc::kPeerUnreachable, peer, os.str());
+    }
     pump(0.05);
   }
 }
@@ -445,18 +562,33 @@ void TcpTransport::parse_frames(Conn& conn) {
       continue;
     }
     if (avail < framing::kHeaderBytes) break;
-    const framing::FrameHeader h =
-        framing::decode_header(conn.inbuf.data() + conn.inpos);
-    FCA_CHECK_MSG(h.payload_len <= kMaxFramePayload,
-                  "frame claims " << h.payload_len << " payload bytes");
-    if (avail < framing::frame_size(h.payload_len)) break;
+    const std::byte* raw = conn.inbuf.data() + conn.inpos;
+    framing::FrameHeader h;
+    try {
+      h = framing::decode_header(raw);
+      if (h.payload_len > kMaxFramePayload) {
+        std::ostringstream os;
+        os << "frame claims " << h.payload_len << " payload bytes";
+        framing::fail_corrupt(os.str());
+      }
+      if (avail < framing::frame_size(h.payload_len)) break;
+      framing::verify_frame(
+          h, raw,
+          std::span<const std::byte>(raw + framing::kHeaderBytes,
+                                     h.payload_len));
+    } catch (const TransportError& e) {
+      // A corrupt frame desynchronizes the byte stream: nothing after it can
+      // be trusted, so the whole connection is condemned.
+      conn.closed = true;
+      if (conn.peer != Conn::kNoPeer) throw TransportError(e, conn.peer);
+      throw;
+    }
     WireMessage msg;
     msg.src = h.src;
     msg.dst = h.dst;
     msg.tag = h.tag;
     msg.transfer_s = h.transfer_s;
-    const std::byte* payload =
-        conn.inbuf.data() + conn.inpos + framing::kHeaderBytes;
+    const std::byte* payload = raw + framing::kHeaderBytes;
     msg.payload.assign(payload, payload + h.payload_len);
     conn.inpos += framing::frame_size(h.payload_len);
     queues_.push(std::move(msg));
@@ -497,10 +629,14 @@ bool TcpTransport::pump_once() {
         progress = true;
         continue;
       }
-      FCA_CHECK_MSG(rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
-                               errno == EINTR),
-                    "tcp send failed: " << std::strerror(errno));
-      break;
+      if (rc < 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        break;
+      }
+      conn.closed = true;
+      throw_stream_dead(conn, Conn::kNoPeer,
+                        std::string("tcp send failed: ") +
+                            std::strerror(errno));
     }
     if (conn.outpos == conn.outbuf.size() && !conn.outbuf.empty()) {
       conn.outbuf.clear();
@@ -519,11 +655,23 @@ bool TcpTransport::pump_once() {
       conn.inbuf.resize(old);
       if (rc == 0) {
         conn.closed = true;
+        // A clean close with a partial frame buffered means the peer died
+        // mid-write (e.g. SIGKILL between write() calls): the leftover bytes
+        // can never complete, and silently dropping them would hide the
+        // death from the round driver.
+        if (conn.inbuf.size() - conn.inpos > 0) {
+          std::ostringstream os;
+          os << "peer closed its stream mid-frame ("
+             << conn.inbuf.size() - conn.inpos << " orphaned byte(s))";
+          throw_stream_dead(conn, Conn::kNoPeer, os.str());
+        }
         break;
       }
-      FCA_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
-                    "tcp read failed: " << std::strerror(errno));
-      break;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      conn.closed = true;
+      throw_stream_dead(conn, Conn::kNoPeer,
+                        std::string("tcp read failed: ") +
+                            std::strerror(errno));
     }
   }
   return progress;
@@ -555,16 +703,13 @@ void TcpTransport::send(WireMessage msg) {
   check_rank_pair(msg.dst, msg.src);
   const size_t index = conn_for_edge(msg.src, msg.dst);
   Conn& conn = conns_[index];
-  FCA_CHECK_MSG(!conn.closed, "tcp stream (" << msg.src << " -> " << msg.dst
-                                             << ") is closed");
-  const size_t old = conn.outbuf.size();
-  conn.outbuf.resize(old + framing::kHeaderBytes);
-  framing::encode_header(
-      {msg.src, msg.dst, msg.tag,
-       static_cast<uint32_t>(msg.payload.size()), msg.transfer_s},
-      conn.outbuf.data() + old);
-  conn.outbuf.insert(conn.outbuf.end(), msg.payload.begin(),
-                     msg.payload.end());
+  if (conn.closed) {
+    std::ostringstream os;
+    os << "tcp stream (" << msg.src << " -> " << msg.dst << ") is closed";
+    throw_stream_dead(conn, msg.dst, os.str());
+  }
+  framing::append_frame(conn.outbuf, msg.src, msg.dst, msg.tag,
+                        msg.transfer_s, msg.payload);
   note_sent_frame(msg.payload.size());
   pump_once();  // opportunistic flush keeps socket buffers from backing up
 }
@@ -607,6 +752,34 @@ void TcpTransport::clear_pending() {
 std::string TcpTransport::describe_pending(int dst, int src) {
   pump(0.0);
   return queues_.describe(dst, src);
+}
+
+void TcpTransport::throw_stream_dead(const Conn& conn, int fallback_peer,
+                                     const std::string& what) const {
+  const int peer = conn.peer != Conn::kNoPeer ? conn.peer : fallback_peer;
+  throw TransportError(TransportErrc::kPeerReset, peer, what);
+}
+
+void TcpTransport::discard_peer(int rank) {
+  // Forget the condemned rank's streams: a half-open socket must not feed
+  // later rounds, and in the all-local world a loopback stream pair carries
+  // exactly one edge, so closing both directions is safe.
+  for (auto it = edge_conn_.begin(); it != edge_conn_.end();) {
+    if (it->first.first == rank || it->first.second == rank) {
+      Conn& conn = conns_[it->second];
+      if (!conn.closed) {
+        conn.closed = true;
+        if (conn.fd >= 0) {
+          close(conn.fd);
+          conn.fd = -1;
+        }
+      }
+      it = edge_conn_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  note_consumed_frames(queues_.erase_rank(rank));
 }
 
 }  // namespace fca::comm

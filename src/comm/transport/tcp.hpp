@@ -45,12 +45,17 @@ class TcpTransport : public Transport {
   std::optional<WireMessage> wait_recv(int dst, int src, int tag) override;
   bool has_message(int dst, int src, int tag) override;
   void clear_pending() override;
+  void discard_peer(int rank) override;
   std::string describe_pending(int dst, int src) override;
 
  private:
   struct Conn {
     int fd = -1;
     bool closed = false;
+    /// Fabric rank on the far side, once known (multi-process mode);
+    /// kNoPeer for all-local loopback streams, which carry any edge.
+    static constexpr int kNoPeer = -1;
+    int peer = kNoPeer;
     /// Multi-process accepted connection whose CONNECT greeting (peer rank)
     /// has not arrived yet.
     bool awaiting_greeting = false;
@@ -66,6 +71,12 @@ class TcpTransport : public Transport {
   void setup_peer(const TransportOptions& options, Handshake* handshake);
   /// All-local: wires the loopback stream pair for edge {a, b}.
   void ensure_local_edge(int a, int b);
+  /// Dials host:port under the deterministic retry policy (refusals back
+  /// off and retry — the peer may not have bound its listener yet) and the
+  /// wall-clock deadline. Throws TransportError{kPeerUnreachable} when the
+  /// retry budget is exhausted, {kTimeout} when the deadline passes first.
+  int dial(const std::string& host, int port, double deadline,
+           const char* what, uint64_t op_index);
   /// Multi-process: stream to `peer` (dial if lower rank, else wait for its
   /// CONNECT greeting).
   void ensure_peer_stream(int peer);
@@ -81,8 +92,13 @@ class TcpTransport : public Transport {
 
   size_t conn_for_edge(int src, int dst);
   Conn& register_conn(int fd);
+  /// Throws TransportError{kPeerReset} attributing a dead stream to its
+  /// peer rank (or to `fallback_peer` for all-local streams).
+  [[noreturn]] void throw_stream_dead(const Conn& conn, int fallback_peer,
+                                      const std::string& what) const;
 
   double io_timeout_s_ = 30.0;
+  RetryPolicy retry_;
   int listen_fd_ = -1;       // loopback (all-local) or p2p/rendezvous listener
   int listen_port_ = 0;
   std::vector<Conn> conns_;

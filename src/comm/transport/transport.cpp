@@ -1,10 +1,13 @@
 #include "comm/transport/transport.hpp"
 
+#include <bit>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <utility>
 
+#include "comm/transport/chaos.hpp"
 #include "comm/transport/framing.hpp"
 #include "comm/transport/inproc.hpp"
 #include "comm/transport/shm.hpp"
@@ -57,6 +60,37 @@ void MailboxSet::clear() {
   count_ = 0;
 }
 
+size_t MailboxSet::erase_rank(int rank) {
+  size_t removed = 0;
+  for (auto it = boxes_.begin(); it != boxes_.end();) {
+    if (it->first.src == rank || it->first.dst == rank) {
+      removed += it->second.size();
+      it = boxes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  count_ -= removed;
+  return removed;
+}
+
+void ChaosConfig::validate() const {
+  const auto check_rate = [](double rate, const char* what) {
+    FCA_CHECK_MSG(std::isfinite(rate) && rate >= 0.0 && rate <= 1.0,
+                  "chaos " << what << " must be in [0, 1], got " << rate);
+  };
+  check_rate(corrupt_rate, "corrupt rate");
+  check_rate(truncate_rate, "truncate rate");
+  check_rate(duplicate_rate, "duplicate rate");
+  check_rate(delay_rate, "delay rate");
+  FCA_CHECK_MSG(std::isfinite(delay_s) && delay_s >= 0.0,
+                "chaos delay must be finite and non-negative, got "
+                    << delay_s);
+  FCA_CHECK_MSG(kill_from_round >= 0,
+                "chaos kill_from_round must be non-negative, got "
+                    << kill_from_round);
+}
+
 std::string MailboxSet::describe(int dst, int src) const {
   for (const auto& [key, box] : boxes_) {
     if (box.empty()) continue;
@@ -107,6 +141,12 @@ WireMessage Transport::recv(int dst, int src, int tag) {
     os << "recv with no matching send: src=" << src << " dst=" << dst
        << " tag=" << tag << "; " << pending_messages()
        << " message(s) pending fabric-wide" << describe_pending(dst, src);
+    if (fallible()) {
+      // On a fabric where a remote sender can genuinely die or stall, a
+      // drained io timeout is an operational failure attributable to the
+      // sender, not a protocol bug — surface it as recoverable.
+      throw TransportError(TransportErrc::kTimeout, src, os.str());
+    }
     throw Error(os.str());
   }
   return std::move(*msg);
@@ -135,18 +175,41 @@ std::optional<WireMessage> Transport::recv_with_deadline(int dst, int src,
 std::unique_ptr<Transport> make_transport(const TransportOptions& options,
                                           int world_size,
                                           Handshake* handshake) {
+  options.retry.validate();
+  options.chaos.validate();
+  std::unique_ptr<Transport> built;
   switch (options.kind) {
     case TransportKind::kInproc:
       FCA_CHECK_MSG(options.self_rank == TransportOptions::kAllRanks,
                     "the inproc transport cannot span processes; use shm or "
                     "tcp for a multi-process world");
-      return std::make_unique<InprocTransport>(world_size);
+      built = std::make_unique<InprocTransport>(world_size);
+      break;
     case TransportKind::kShm:
-      return std::make_unique<ShmTransport>(options, world_size, handshake);
+      built = std::make_unique<ShmTransport>(options, world_size, handshake);
+      break;
     case TransportKind::kTcp:
-      return std::make_unique<TcpTransport>(options, world_size, handshake);
+      built = std::make_unique<TcpTransport>(options, world_size, handshake);
+      break;
   }
-  throw Error("unreachable transport kind");
+  FCA_CHECK_MSG(built != nullptr, "unreachable transport kind");
+  if (options.chaos.enabled()) {
+    built = std::make_unique<ChaosTransport>(std::move(built), options.chaos);
+  }
+  return built;
+}
+
+/// Strict size_t parse for capacity-style environment values: the whole
+/// string must be digits (no sign, no suffix, no trailing junk).
+static size_t parse_env_size(const char* value, const char* var) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  FCA_CHECK_MSG(end != value && *end == '\0' && errno == 0 &&
+                    *value != '-' && *value != '+',
+                var << "='" << value
+                    << "' is not a plain decimal byte count");
+  return static_cast<size_t>(parsed);
 }
 
 TransportOptions transport_options_from_env(TransportOptions base) {
@@ -156,7 +219,23 @@ TransportOptions transport_options_from_env(TransportOptions base) {
   }
   const char* cap = std::getenv("FCA_SHM_RING_CAPACITY");
   if (cap != nullptr && *cap != '\0') {
-    base.shm_ring_capacity = static_cast<size_t>(std::strtoull(cap, nullptr, 10));
+    const size_t capacity = parse_env_size(cap, "FCA_SHM_RING_CAPACITY");
+    // Reject obviously broken sizes here, at the configuration boundary,
+    // with actionable messages; ShmTransport re-validates (same rules) for
+    // programmatic callers.
+    FCA_CHECK_MSG(capacity != 0,
+                  "FCA_SHM_RING_CAPACITY=0 would make every ring zero-sized; "
+                  "unset it for auto sizing or pass a power of two >= "
+                      << kMinShmRingCapacity);
+    FCA_CHECK_MSG(std::has_single_bit(capacity),
+                  "FCA_SHM_RING_CAPACITY=" << capacity
+                                           << " is not a power of two");
+    FCA_CHECK_MSG(capacity >= kMinShmRingCapacity &&
+                      capacity <= kMaxShmRingCapacity,
+                  "FCA_SHM_RING_CAPACITY=" << capacity << " outside ["
+                                           << kMinShmRingCapacity << ", "
+                                           << kMaxShmRingCapacity << "]");
+    base.shm_ring_capacity = capacity;
   }
   return base;
 }

@@ -34,6 +34,8 @@
 #include <string_view>
 #include <vector>
 
+#include "comm/retry.hpp"
+
 namespace fca::comm {
 
 using Bytes = std::vector<std::byte>;
@@ -56,6 +58,55 @@ enum class TransportKind { kInproc, kShm, kTcp };
 TransportKind parse_transport_kind(std::string_view name);
 std::string_view to_string(TransportKind kind);
 
+/// Deterministic failure injection below the policy layer: when enabled,
+/// make_transport wraps the configured backend in a ChaosTransport
+/// (transport/chaos.hpp) that corrupts, truncates, duplicates, delays or
+/// kills traffic by pure functions of (seed, edge, per-edge sequence
+/// number). This is how the recoverable-error paths are actually tested —
+/// the PR 3 FaultPlan injects *pretend* faults above the fabric; chaos
+/// injects *real* wire-level ones below it.
+struct ChaosConfig {
+  uint64_t seed = 0;
+  /// Per-message probability that the delivered frame has one byte flipped
+  /// at a seeded offset (must be detected as kFrameCorrupt — the chaos test
+  /// tier asserts zero silent acceptance).
+  double corrupt_rate = 0.0;
+  /// Per-message probability that the frame is cut short at a seeded offset
+  /// (a peer killed mid-write), surfacing as kPeerReset.
+  double truncate_rate = 0.0;
+  /// Per-message probability that the frame is delivered twice (an
+  /// at-least-once fabric after a retransmit race).
+  double duplicate_rate = 0.0;
+  /// Per-message probability of adding delay_s simulated transfer seconds
+  /// (interacts with recv_with_deadline exactly like a straggler).
+  double delay_rate = 0.0;
+  double delay_s = 0.0;
+  /// Kill the link to this rank once kill_after_bytes wire bytes have moved
+  /// to/from it: the next operation touching the rank throws kPeerReset,
+  /// later ones kPeerUnreachable. kNoKill = never.
+  static constexpr int kNoKill = -1;
+  int kill_peer = kNoKill;
+  uint64_t kill_after_bytes = 0;
+  /// Arm the kill only from this communication round on (via begin_round;
+  /// round 0 = also outside rounds). Lets a test kill a link at an exact,
+  /// deterministic round boundary regardless of byte totals.
+  int kill_from_round = 0;
+
+  bool enabled() const {
+    return corrupt_rate > 0.0 || truncate_rate > 0.0 ||
+           duplicate_rate > 0.0 || delay_rate > 0.0 || kill_peer != kNoKill;
+  }
+  /// Throws fca::Error on rates outside [0, 1] or a negative delay.
+  void validate() const;
+};
+
+/// Explicit shm ring capacities must be powers of two in this range: a
+/// power of two keeps the monotonic-cursor modular arithmetic exact for the
+/// whole uint64 cursor range, and the bounds reject typo'd sizes (0, a few
+/// bytes, terabytes) with a clear diagnostic instead of an OOM or wedge.
+inline constexpr size_t kMinShmRingCapacity = 4096;
+inline constexpr size_t kMaxShmRingCapacity = 1u << 30;
+
 struct TransportOptions {
   /// Whole world driven by this process (the simulation default).
   static constexpr int kAllRanks = -1;
@@ -74,7 +125,8 @@ struct TransportOptions {
   /// false = attach to an existing region and wait for it to become ready.
   bool shm_create = true;
   /// Bytes per (src, dst) ring; 0 = auto (a fixed region budget divided by
-  /// world^2, clamped to [64 KiB, 1 MiB]).
+  /// world^2, clamped to [64 KiB, 1 MiB]). Explicit values must be powers
+  /// of two in [kMinShmRingCapacity, kMaxShmRingCapacity].
   size_t shm_ring_capacity = 0;
 
   // -- tcp backend -----------------------------------------------------------
@@ -87,6 +139,15 @@ struct TransportOptions {
   /// Wall-clock budget for blocking progress against remote peers
   /// (rendezvous, a recv whose sender is another process, a full ring).
   double io_timeout_s = 30.0;
+
+  /// Bounded deterministic retry/backoff applied to TCP dials and
+  /// reconnects and to shm ring-full stalls (comm/retry.hpp). Decisions are
+  /// pure functions of the policy seed, so reruns retry identically.
+  RetryPolicy retry;
+
+  /// Optional deterministic wire-level failure injection (ChaosTransport
+  /// decorator around the configured backend).
+  ChaosConfig chaos;
 };
 
 /// Per-(src, dst, tag) FIFO store used by the inproc backend directly and by
@@ -99,6 +160,9 @@ class MailboxSet {
   bool has(int dst, int src, int tag) const;
   size_t size() const { return count_; }
   void clear();
+  /// Drops every queued message sent by or addressed to `rank` (peer-death
+  /// degradation); returns how many were removed.
+  size_t erase_rank(int rank);
   /// Diagnostic suffix for a recv-with-no-send error: the nearest non-empty
   /// mailbox for (src, dst), or the reverse direction when that hints at
   /// swapped arguments. Empty when nothing relevant is pending.
@@ -146,14 +210,41 @@ class Transport {
                                                 bool* missed);
 
   virtual bool has_message(int dst, int src, int tag) = 0;
+
+  /// Backend hook behind the blocking recv(): default = one try_recv (right
+  /// for in-process worlds, where a missing message can never arrive
+  /// later). Public so decorators (ChaosTransport) can delegate to it.
+  virtual std::optional<WireMessage> wait_recv(int dst, int src, int tag) {
+    return try_recv(dst, src, tag);
+  }
+
   /// Frames handed to send() and not yet consumed — for a single-process
   /// world the exact undelivered-message count; for a multi-process world
   /// this rank's local view.
-  size_t pending_messages() const {
+  virtual size_t pending_messages() const {
     return static_cast<size_t>(sent_frames_ - consumed_frames_);
   }
   /// Discards every locally visible undelivered message (crash recovery).
   virtual void clear_pending() = 0;
+
+  /// Peer-death degradation hook: drops every locally queued message sent
+  /// by or addressed to `rank` and forgets its streams, so a condemned
+  /// peer's half-delivered traffic cannot satisfy the end-of-run
+  /// zero-pending invariant or leak into later rounds.
+  virtual void discard_peer(int rank) { (void)rank; }
+
+  /// True when operations on this transport can fail for real (remote
+  /// peers, chaos injection) rather than only by protocol bug. The round
+  /// driver uses this to choose the fault-tolerant gather path even
+  /// without an injected FaultPlan.
+  virtual bool fallible() const {
+    return self_rank_ != TransportOptions::kAllRanks;
+  }
+
+  /// Backoff sleeps taken by the deterministic retry machinery so far
+  /// (dial retries, ring-full stalls) — observability for tests and probe
+  /// diagnostics. Virtual so decorators report the wrapped backend's count.
+  virtual uint64_t retry_events() const { return retry_events_; }
 
   /// Round scoping, mirrored from Network::begin_round/end_round. The
   /// current backends deliver identically inside and outside rounds; the
@@ -163,7 +254,8 @@ class Transport {
 
   /// Bytes this process moved over the backend (frame headers + payloads,
   /// the frame_size() formula — backend-invariant for the same traffic).
-  uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Virtual so decorators report the wrapped backend's count.
+  virtual uint64_t wire_bytes() const { return wire_bytes_; }
 
   /// Diagnostic suffix describing pending traffic near (dst, src).
   virtual std::string describe_pending(int dst, int src) = 0;
@@ -171,14 +263,10 @@ class Transport {
  protected:
   Transport(int world, int self_rank);
 
-  /// Backend hook behind the blocking recv(): default = one try_recv (right
-  /// for in-process worlds, where a missing message can never arrive later).
-  virtual std::optional<WireMessage> wait_recv(int dst, int src, int tag) {
-    return try_recv(dst, src, tag);
-  }
-
   void note_sent_frame(size_t payload_len);
   void note_consumed_frame() { ++consumed_frames_; }
+  void note_consumed_frames(size_t n) { consumed_frames_ += n; }
+  void note_retry() { ++retry_events_; }
   /// Marks every sent frame consumed (clear_pending implementations).
   void reset_pending_counters() { consumed_frames_ = sent_frames_; }
   void check_rank_pair(int dst, int src) const;
@@ -188,6 +276,7 @@ class Transport {
   uint64_t sent_frames_ = 0;
   uint64_t consumed_frames_ = 0;
   uint64_t wire_bytes_ = 0;
+  uint64_t retry_events_ = 0;
 };
 
 /// Rank assignment plus the run context the root shares at rendezvous so

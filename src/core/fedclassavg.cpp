@@ -65,11 +65,30 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
         models::serialize_tensors(models::snapshot_values(
             shared_params(run.client(k), config_.share_all_weights))));
   }
-  const std::vector<double> weights = run.data_weights(all);
+  // The initialization barrier degrades like a round (DESIGN.md §12): on a
+  // fabric that can actually lose a peer, a client whose init upload dies
+  // is condemned by the network and excluded from C^1, with the eq. 1
+  // weights renormalized over the clients that reported. Endpoint::try_recv
+  // keeps the strict protocol-bug check on a reliable fabric.
+  std::vector<int> contributors;
+  std::vector<comm::Bytes> uploads;
+  contributors.reserve(all.size());
+  uploads.reserve(all.size());
+  for (int k : all) {
+    std::optional<comm::Bytes> up =
+        run.server_endpoint().try_recv(k + 1, fl::kTagModelUp);
+    if (up.has_value()) {
+      contributors.push_back(k);
+      uploads.push_back(std::move(*up));
+    }
+  }
+  FCA_CHECK_MSG(!contributors.empty(),
+                "no client survived initialization: every init upload was "
+                "lost to transport failures");
+  const std::vector<double> weights = run.data_weights(contributors);
   global_.clear();
-  for (size_t i = 0; i < all.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(all[i] + 1, fl::kTagModelUp));
+  for (size_t i = 0; i < contributors.size(); ++i) {
+    const std::vector<Tensor> up = models::deserialize_tensors(uploads[i]);
     if (global_.empty()) {
       for (const Tensor& t : up) global_.emplace_back(t.shape());
     }
@@ -79,12 +98,18 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
     }
   }
   const comm::Bytes payload = models::serialize_tensors(global_);
+  // Condemned ranks are short-circuited by the network, so the broadcast
+  // still targets everyone.
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
                                    fl::kTagModelDown, payload);
   run.executor().for_each(all, [&](int k) {
+    const std::optional<comm::Bytes> down =
+        run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
+    // A client cut off during initialization keeps its local init weights;
+    // it is already condemned, so later rounds exclude it anyway.
+    if (!down.has_value()) return;
     models::restore_values(
-        models::deserialize_tensors(
-            run.client_endpoint(k).recv(0, fl::kTagModelDown)),
+        models::deserialize_tensors(*down),
         shared_params(run.client(k), config_.share_all_weights));
   });
 }

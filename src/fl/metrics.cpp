@@ -23,8 +23,9 @@ double std_of(const std::vector<double>& values) {
 }
 
 std::vector<std::string> curve_csv_columns() {
-  return {"round",       "local_epochs", "mean_acc",  "std_acc",
-          "round_bytes", "selected",     "survivors", "fault_events"};
+  return {"round",    "local_epochs", "mean_acc",     "std_acc",
+          "round_bytes", "selected",  "survivors",    "fault_events",
+          "real_faults"};
 }
 
 std::vector<std::string> curve_csv_row(const RoundMetrics& m) {
@@ -35,7 +36,8 @@ std::vector<std::string> curve_csv_row(const RoundMetrics& m) {
           std::to_string(m.round_bytes),
           std::to_string(m.selected_count),
           std::to_string(m.survivor_count),
-          std::to_string(m.fault_events)};
+          std::to_string(m.fault_events),
+          std::to_string(m.real_fault_events)};
 }
 
 }  // namespace fca::fl

@@ -28,6 +28,11 @@ struct RoundMetrics {
   /// rounds) since the previous metrics row — same delta semantics as
   /// round_bytes.
   uint64_t fault_events = 0;
+  /// Peers condemned by *real* transport failures (peer reset, corrupt
+  /// frame, drained timeout) since the previous metrics row. Separate from
+  /// fault_events so a chaos run can tell discovered faults from injected
+  /// ones.
+  uint64_t real_fault_events = 0;
   /// Raw per-client test accuracies behind mean/std (index = client id).
   std::vector<double> client_accuracies;
 };
@@ -53,8 +58,8 @@ double std_of(const std::vector<double>& values);
 
 /// Canonical learning-curve CSV schema shared by the figure benches and
 /// fca_cli --save-curve: round, local_epochs, mean_acc, std_acc,
-/// round_bytes, selected, survivors, fault_events. Callers prefix their own
-/// key columns (the benches add dataset and method).
+/// round_bytes, selected, survivors, fault_events, real_faults. Callers
+/// prefix their own key columns (the benches add dataset and method).
 std::vector<std::string> curve_csv_columns();
 /// One CSV row for `m`, cells in curve_csv_columns() order (accuracies at
 /// 6 decimals).

@@ -88,19 +88,25 @@ std::vector<double> FederatedRun::data_weights(
 std::vector<int> FederatedRun::live_clients(int round,
                                             const std::vector<int>& selected) {
   const comm::FaultPlan& plan = network_->fault_plan();
-  if (!plan.enabled()) return selected;
+  if (!plan.enabled() && !network_->degraded()) return selected;
   std::vector<int> live;
   live.reserve(selected.size());
   uint64_t crashed = 0;
   uint64_t rejoins = 0;
   for (int k : selected) {
-    if (plan.crashed(round, k + 1)) {
+    if (!network_->peer_alive(k + 1)) {
+      // Condemned by a real transport failure (counted once, at
+      // condemnation): excluded like an injected crash, but a real death is
+      // permanent — there is no rejoin.
+      continue;
+    }
+    if (plan.enabled() && plan.crashed(round, k + 1)) {
       ++crashed;
     } else {
       live.push_back(k);
       // A rejoin is a sampled client that was down last round and is back:
       // its next downlink re-syncs it with the current global state.
-      if (plan.rejoined(round, k + 1)) ++rejoins;
+      if (plan.enabled() && plan.rejoined(round, k + 1)) ++rejoins;
     }
   }
   if (crashed > 0 || rejoins > 0) {
@@ -116,7 +122,10 @@ FederatedRun::SurvivorGather FederatedRun::gather_survivors(
   SurvivorGather g;
   g.survivors.reserve(expected.size());
   g.payloads.reserve(expected.size());
-  const bool faulty = network_->fault_plan().enabled();
+  // Fault-tolerant gathers are used whenever a round can actually lose a
+  // client: an injected FaultPlan, a transport that can fail for real
+  // (remote peers, chaos injection), or a peer already condemned.
+  const bool faulty = network_->lossy();
   for (int k : expected) {
     std::optional<comm::Bytes> payload =
         faulty ? server_ep_->recv_with_deadline(k + 1, tag, round_deadline())
@@ -177,6 +186,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
   int participating_rounds_total = 0;
   uint64_t bytes_before = 0;
   uint64_t faults_before = 0;
+  uint64_t real_faults_before = 0;
   if (resume != nullptr) {
     FCA_CHECK_MSG(resume->next_round >= 1 &&
                       resume->next_round <= config_.rounds + 1,
@@ -190,8 +200,15 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     participating_rounds_total = resume->participating_rounds_total;
     bytes_before = resume->bytes_marker;
     faults_before = resume->fault_marker;
+    real_faults_before = resume->real_fault_marker;
     result.curve = resume->curve;
   } else {
+    // The real-fault watermark precedes initialize(): a peer condemned
+    // during the initialization barrier lands in round 1's
+    // real_fault_events row, so the curve column always decomposes the run
+    // total exactly. (Init traffic stays excluded from round_bytes — those
+    // watermarks are taken after.)
+    real_faults_before = network_->fault_stats().real_peer_faults;
     strategy.initialize(*this);
     bytes_before = network_->total_stats().payload_bytes;
     faults_before = network_->fault_stats().injected_total();
@@ -239,6 +256,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       participating_rounds_total = recovered->participating_rounds_total;
       bytes_before = recovered->bytes_marker;
       faults_before = recovered->fault_marker;
+      real_faults_before = recovered->real_fault_marker;
       result.curve = recovered->curve;
       round = recovered->next_round - 1;  // loop increment lands on it
       continue;
@@ -266,6 +284,9 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       const uint64_t faults_now = network_->fault_stats().injected_total();
       m.fault_events = faults_now - faults_before;
       faults_before = faults_now;
+      const uint64_t real_now = network_->fault_stats().real_peer_faults;
+      m.real_fault_events = real_now - real_faults_before;
+      real_faults_before = real_now;
       result.curve.push_back(m);
       FCA_LOG_INFO << strategy.name() << " round " << round << "/"
                    << config_.rounds << ": acc " << m.mean_accuracy << " ± "
@@ -282,6 +303,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       cursor.participating_rounds_total = participating_rounds_total;
       cursor.bytes_marker = bytes_before;
       cursor.fault_marker = faults_before;
+      cursor.real_fault_marker = real_faults_before;
       cursor.curve = result.curve;
       hook->after_round(*this, strategy, cursor);
     }

@@ -99,6 +99,7 @@ struct ResumeState {
   int participating_rounds_total = 0;  // sum of cohort sizes so far
   uint64_t bytes_marker = 0;           // traffic watermark of the last eval
   uint64_t fault_marker = 0;           // fault-event watermark of last eval
+  uint64_t real_fault_marker = 0;      // real-peer-fault watermark, ditto
   std::vector<RoundMetrics> curve;     // metrics recorded so far
 };
 

@@ -1,0 +1,173 @@
+#include "utils/crc32.hpp"
+
+#include <array>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FCA_CRC32_CLMUL 1
+#include <immintrin.h>
+#endif
+
+namespace fca {
+
+namespace {
+
+// Eight derived tables: table[0] is the classic byte-at-a-time table for
+// poly 0xEDB88320; table[k][b] extends a byte's contribution through k more
+// zero bytes, letting eight input bytes fold in parallel per iteration.
+using CrcTables = std::array<std::array<uint32_t, 256>, 8>;
+
+CrcTables make_tables() {
+  CrcTables t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = t[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[k][i] = c;
+    }
+  }
+  return t;
+}
+
+const CrcTables& tables() {
+  static const CrcTables t = make_tables();
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32_update_portable(uint32_t crc, std::span<const std::byte> data) {
+  const CrcTables& t = tables();
+  const std::byte* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    // Byte-by-byte loads keep the fold endian- and alignment-agnostic; the
+    // compiler turns them into one unaligned 64-bit load on little-endian.
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               (static_cast<uint32_t>(p[1]) << 8) |
+                               (static_cast<uint32_t>(p[2]) << 16) |
+                               (static_cast<uint32_t>(p[3]) << 24));
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        (static_cast<uint32_t>(p[5]) << 8) |
+                        (static_cast<uint32_t>(p[6]) << 16) |
+                        (static_cast<uint32_t>(p[7]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ static_cast<uint32_t>(*p)) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+#if defined(FCA_CRC32_CLMUL)
+
+namespace {
+
+// PCLMULQDQ folding over the reflected polynomial. The constants are
+// K(n) = reflect32(x^n mod P) << 1 with P = 0x104C11DB7 — the multiplier
+// that advances a reflected 64-bit polynomial by n bits under a carry-less
+// multiply. K(512±32) folds one 16-byte lane across a 64-byte stride (four
+// lanes run in parallel for ILP); K(128±32) folds lane into lane (and
+// handles the 16-byte stride once the lanes merge). All four values match
+// the published IEEE-CRC32 folding constants and are cross-checked against
+// the table implementation by the Crc32 parity tests.
+inline constexpr long long kFold512Hi = 0x0154442bd4;  // K(544)
+inline constexpr long long kFold512Lo = 0x01c6e41596;  // K(480)
+inline constexpr long long kFold128Hi = 0x01751997d0;  // K(160)
+inline constexpr long long kFold128Lo = 0x00ccaa009e;  // K(96)
+
+__attribute__((target("pclmul,sse4.1"))) inline __m128i fold16(__m128i x,
+                                                               __m128i k,
+                                                               __m128i next) {
+  return _mm_xor_si128(_mm_xor_si128(_mm_clmulepi64_si128(x, k, 0x00),
+                                     _mm_clmulepi64_si128(x, k, 0x11)),
+                       next);
+}
+
+// Requires n >= 64. Folds the bulk with carry-less multiplies, then hands
+// the 16-byte residual state plus the sub-16-byte tail to the table path:
+// the folded state is maintained *as bytes* (the stream prefix reduced to
+// 16 bytes with the same streaming CRC), so no Barrett reduction is needed
+// and the two paths share one finalization.
+__attribute__((target("pclmul,sse4.1"))) uint32_t crc32_update_clmul(
+    uint32_t crc, const std::byte* p, size_t n) {
+  const __m128i k512 = _mm_set_epi64x(kFold512Lo, kFold512Hi);
+  const __m128i k128 = _mm_set_epi64x(kFold128Lo, kFold128Hi);
+  const auto load = [](const std::byte* q) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(q));
+  };
+  __m128i x0 = _mm_xor_si128(load(p), _mm_cvtsi32_si128(static_cast<int>(crc)));
+  __m128i x1 = load(p + 16);
+  __m128i x2 = load(p + 32);
+  __m128i x3 = load(p + 48);
+  p += 64;
+  n -= 64;
+  while (n >= 64) {
+    x0 = fold16(x0, k512, load(p));
+    x1 = fold16(x1, k512, load(p + 16));
+    x2 = fold16(x2, k512, load(p + 32));
+    x3 = fold16(x3, k512, load(p + 48));
+    p += 64;
+    n -= 64;
+  }
+  __m128i x = fold16(x0, k128, x1);
+  x = fold16(x, k128, x2);
+  x = fold16(x, k128, x3);
+  while (n >= 16) {
+    x = fold16(x, k128, load(p));
+    p += 16;
+    n -= 16;
+  }
+  alignas(16) std::byte state[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), x);
+  crc = crc32_update_portable(0, std::span<const std::byte>(state, 16));
+  return crc32_update_portable(crc, std::span<const std::byte>(p, n));
+}
+
+bool clmul_supported() {
+  static const bool ok = __builtin_cpu_supports("pclmul") &&
+                         __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+
+}  // namespace
+
+bool crc32_accelerated() { return clmul_supported(); }
+
+uint32_t crc32_update(uint32_t crc, std::span<const std::byte> data) {
+  // Below 64 bytes (frame headers, section names) the folding setup costs
+  // more than it saves; the table path wins.
+  if (data.size() >= 64 && clmul_supported()) {
+    return crc32_update_clmul(crc, data.data(), data.size());
+  }
+  return crc32_update_portable(crc, data);
+}
+
+#else  // !FCA_CRC32_CLMUL
+
+bool crc32_accelerated() { return false; }
+
+uint32_t crc32_update(uint32_t crc, std::span<const std::byte> data) {
+  return crc32_update_portable(crc, data);
+}
+
+#endif
+
+uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace fca

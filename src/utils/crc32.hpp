@@ -1,0 +1,47 @@
+// Shared CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) used by the
+// checkpoint container and the transport frame integrity check.
+//
+// Lives in fca_utils — the bottom of the dependency order — because both
+// src/ckpt (above comm) and src/comm (below ckpt) need the identical
+// polynomial: checkpoint sections and wire frames written by one build must
+// verify under another. Two implementations, bit-identical by the Crc32
+// parity tests: a portable slice-by-8 (eight table lookups per 8-byte
+// chunk, ~1.5 GB/s), and a PCLMULQDQ folding path (~10x faster) selected
+// at runtime on x86-64 cores that advertise carry-less multiply, so frame
+// checksums on megabyte model payloads stay a small fraction of the
+// memcpy cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fca {
+
+/// CRC32 of `data` (init/final XOR 0xFFFFFFFF — the zlib/PNG convention).
+uint32_t crc32(std::span<const std::byte> data);
+
+/// Streaming form: fold `data` into a running checksum without
+/// concatenating buffers. Start from crc32_init(), fold each chunk, then
+/// finalize:
+///
+///   uint32_t c = crc32_init();
+///   c = crc32_update(c, header);
+///   c = crc32_update(c, payload);
+///   c = crc32_final(c);   // == crc32(header + payload)
+inline constexpr uint32_t crc32_init() { return 0xFFFFFFFFu; }
+uint32_t crc32_update(uint32_t crc, std::span<const std::byte> data);
+inline constexpr uint32_t crc32_final(uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// The portable slice-by-8 reference path, always available. crc32_update
+/// dispatches away from it on CPUs with carry-less multiply; tests compare
+/// the two bit-for-bit across lengths and alignments.
+uint32_t crc32_update_portable(uint32_t crc, std::span<const std::byte> data);
+
+/// True when crc32_update folds with PCLMULQDQ on this machine. The result
+/// is identical either way; this only reports which kernel runs.
+bool crc32_accelerated();
+
+}  // namespace fca

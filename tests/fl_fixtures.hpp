@@ -50,6 +50,8 @@ inline void expect_bit_identical(const fl::RunResult& a,
         << "round " << a.curve[i].round;
     EXPECT_EQ(a.curve[i].fault_events, b.curve[i].fault_events)
         << "round " << a.curve[i].round;
+    EXPECT_EQ(a.curve[i].real_fault_events, b.curve[i].real_fault_events)
+        << "round " << a.curve[i].round;
     ASSERT_EQ(a.curve[i].client_accuracies.size(),
               b.curve[i].client_accuracies.size());
     for (size_t k = 0; k < a.curve[i].client_accuracies.size(); ++k) {

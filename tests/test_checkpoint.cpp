@@ -15,6 +15,7 @@
 #include "fl_fixtures.hpp"
 #include "models/serialize.hpp"
 #include "utils/atomic_io.hpp"
+#include "utils/crc32.hpp"
 #include "utils/error.hpp"
 
 namespace fca {
@@ -84,6 +85,44 @@ TEST(CkptFormat, Crc32MatchesKnownVector) {
                 reinterpret_cast<const std::byte*>(s), 9)),
             0xCBF43926u);
   EXPECT_EQ(ckpt::crc32({}), 0u);
+}
+
+TEST(CkptFormat, Crc32AcceleratedPathMatchesPortable) {
+  // crc32_update may dispatch to a PCLMULQDQ folding kernel on x86-64; it
+  // must be bit-identical to the portable slice-by-8 path for every
+  // length (exhaustively through several fold strides), alignment, and
+  // running-state value. On machines without carry-less multiply both
+  // calls take the same path and the test is a tautology.
+  std::vector<std::byte> buf(4096 + 7);
+  uint32_t x = 0x12345678u;
+  for (std::byte& b : buf) {  // xorshift32 keeps the data seed-stable
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    b = static_cast<std::byte>(x & 0xFFu);
+  }
+  for (size_t len : {size_t{0},  size_t{1},   size_t{15},  size_t{16},
+                     size_t{63}, size_t{64},  size_t{65},  size_t{127},
+                     size_t{128}, size_t{129}, size_t{1000}, size_t{4096}}) {
+    for (size_t off = 0; off < 4; ++off) {
+      const std::span<const std::byte> s(buf.data() + off, len);
+      const uint32_t init =
+          crc32_init() ^ static_cast<uint32_t>(len * 2654435761u);
+      EXPECT_EQ(crc32_update(init, s), crc32_update_portable(init, s))
+          << "len=" << len << " off=" << off
+          << " accelerated=" << crc32_accelerated();
+    }
+  }
+  // Streaming across an arbitrary split equals one-shot over the whole
+  // buffer regardless of which kernel each chunk lands on.
+  const std::span<const std::byte> whole(buf.data(), buf.size());
+  const uint32_t one_shot = crc32_update(crc32_init(), whole);
+  for (size_t split : {size_t{1}, size_t{63}, size_t{64}, size_t{1200}}) {
+    uint32_t c = crc32_init();
+    c = crc32_update(c, whole.subspan(0, split));
+    c = crc32_update(c, whole.subspan(split));
+    EXPECT_EQ(c, one_shot) << "split=" << split;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +390,7 @@ void downgrade_to_v1(const std::string& path, int num_clients) {
     out.u64(r.u64());  // bytes marker
     out.i64(r.i64());  // participating rounds
     (void)r.u64();     // v2's fault marker
+    (void)r.u64();     // v3's real-fault marker
     r.expect_done();
     w.add("meta", out.take());
   }
@@ -369,7 +409,7 @@ void downgrade_to_v1(const std::string& path, int num_clients) {
       out.u64(r.u64());  // payload bytes
       out.f64(r.f64());  // sim seconds
     }
-    for (int i = 0; i < 7; ++i) (void)r.u64();  // v2's FaultStats block
+    for (int i = 0; i < 8; ++i) (void)r.u64();  // v2+v3 FaultStats block
     r.expect_done();
     w.add("network", out.take());
   }
@@ -389,6 +429,7 @@ void downgrade_to_v1(const std::string& path, int num_clients) {
       (void)r.i64();     // v2's selected count
       (void)r.i64();     // v2's survivor count
       (void)r.u64();     // v2's fault events
+      (void)r.u64();     // v3's real fault events
       const uint32_t n = r.u32();
       out.u32(n);
       for (uint32_t j = 0; j < n; ++j) out.f64(r.f64());

@@ -78,7 +78,8 @@ namespace {
 TEST(CurveCsvSchema, ColumnsAndRowCellsAreStable) {
   const std::vector<std::string> expected = {
       "round",       "local_epochs", "mean_acc",  "std_acc",
-      "round_bytes", "selected",     "survivors", "fault_events"};
+      "round_bytes", "selected",     "survivors", "fault_events",
+      "real_faults"};
   EXPECT_EQ(fl::curve_csv_columns(), expected);
 
   fl::RoundMetrics m;
@@ -90,6 +91,7 @@ TEST(CurveCsvSchema, ColumnsAndRowCellsAreStable) {
   m.selected_count = 4;
   m.survivor_count = 3;
   m.fault_events = 2;
+  m.real_fault_events = 1;
   const std::vector<std::string> row = fl::curve_csv_row(m);
   ASSERT_EQ(row.size(), expected.size()) << "row arity must match header";
   EXPECT_EQ(row[0], "7");
@@ -100,6 +102,7 @@ TEST(CurveCsvSchema, ColumnsAndRowCellsAreStable) {
   EXPECT_EQ(row[5], "4");
   EXPECT_EQ(row[6], "3");
   EXPECT_EQ(row[7], "2");
+  EXPECT_EQ(row[8], "1");
 }
 
 /// Tiny run with one scheduled outage: client rank 2 is down in round 2 and
