@@ -69,6 +69,23 @@ void print_help() {
       "  --client-parallelism N  concurrent client updates per round:\n"
       "                      1 serial (default), N>1 bounded fan-out, 0 auto.\n"
       "                      Results are bit-identical at any value\n"
+      "  --max-resident-clients N  cap on clients held in memory at once\n"
+      "                      (O(active-cohort) memory; DESIGN.md §13). Idle\n"
+      "                      clients page to disk and restore bit-identically\n"
+      "                      on reselection. 0 (default) keeps the whole\n"
+      "                      population resident; N must be at least\n"
+      "                      --client-parallelism + 1. The env var\n"
+      "                      FCA_MAX_RESIDENT_CLIENTS overrides\n"
+      "  --page-dir D        directory for paged client state (default: a\n"
+      "                      fresh directory under the system temp dir,\n"
+      "                      cleaned up when the run ends)\n"
+      "  --lazy-init         skip the all-population init sweep; clients are\n"
+      "                      built on first selection from a bootstrap\n"
+      "                      payload. Curve bit-identical to eager init;\n"
+      "                      total traffic is smaller (init broadcasts\n"
+      "                      skipped). Supported by every built-in algorithm\n"
+      "  --eval-clients N    evaluate only clients [0, N) per eval round\n"
+      "                      (0 = all; bounds eval cost at massive scale)\n"
       "  --save-curve PATH   write the learning curve as CSV\n"
       "  --checkpoint-dir D  checkpoint directory (enables checkpointing)\n"
       "  --checkpoint-every N  save every N rounds (default 1)\n"
@@ -143,7 +160,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv) {
       throw Error("unexpected argument: " + key + " (see --help)");
     }
     key = key.substr(2);
-    if (key == "help" || key == "resume" || key == "profile") {
+    if (key == "help" || key == "resume" || key == "profile" ||
+        key == "lazy-init") {
       // value-less flags
       flags[key] = "1";
       continue;
@@ -421,6 +439,11 @@ int main(int argc, char** argv) {
     config.train_per_class = std::stoi(get("train-per-class", "25"));
     config.seed = std::stoull(get("seed", "42"));
     config.client_parallelism = std::stoi(get("client-parallelism", "1"));
+    config.max_resident_clients =
+        std::stoi(get("max-resident-clients", "0"));
+    config.page_dir = get("page-dir", "");
+    config.lazy_init = flags.count("lazy-init") != 0;
+    config.eval_clients = std::stoi(get("eval-clients", "0"));
     config.faults = fault_config_from_flags(flags);
     config.quorum = std::stoi(get("quorum", "1"));
     config.transport.kind =

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "ckpt/format.hpp"
+#include "fl/client_state.hpp"
 #include "models/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,44 +21,26 @@ constexpr char kFileSuffix[] = ".fckpt";
 
 std::string client_section(int k) { return "client/" + std::to_string(k); }
 
-std::vector<std::byte> encode_client(fl::Client& client) {
+// The per-client payload lives in fl/client_state.hpp (shared with the
+// client store's page files). v4 files carry sections only for the store's
+// checkpoint_clients() set plus a "clients" index listing them; clients not
+// listed were clean (pure factory + bootstrap output) and are re-derived on
+// resume instead of being stored. v1..v3 files carry every client and no
+// index.
+std::vector<std::byte> encode_client_index(const std::vector<int>& ids) {
   ByteWriter w;
-  w.blob(models::serialize_state(client.model()));
-  // Optimizer: scalar state (e.g. Adam's step count) + slot tensors.
-  const std::vector<int64_t> scalars = client.optimizer().scalar_state();
-  w.u32(static_cast<uint32_t>(scalars.size()));
-  for (int64_t s : scalars) w.i64(s);
-  std::vector<Tensor> slots;
-  for (Tensor* t : client.optimizer().state_tensors()) {
-    slots.push_back(t->clone());
-  }
-  w.blob(models::serialize_tensors(slots));
-  w.u64(client.rng().state());
+  w.u32(static_cast<uint32_t>(ids.size()));
+  for (int k : ids) w.u32(static_cast<uint32_t>(k));
   return w.take();
 }
 
-void decode_client(std::span<const std::byte> bytes, fl::Client& client) {
+std::vector<int> decode_client_index(std::span<const std::byte> bytes) {
   ByteReader r(bytes);
-  const std::vector<std::byte> model_state = r.blob();
-  models::deserialize_state(model_state, client.model());
-  const uint32_t scalar_count = r.u32();
-  std::vector<int64_t> scalars(scalar_count);
-  for (uint32_t i = 0; i < scalar_count; ++i) scalars[i] = r.i64();
-  client.optimizer().restore_scalar_state(scalars);
-  const std::vector<std::byte> slot_bytes = r.blob();
-  const std::vector<Tensor> slots = models::deserialize_tensors(slot_bytes);
-  const std::vector<Tensor*> targets = client.optimizer().state_tensors();
-  FCA_CHECK_MSG(slots.size() == targets.size(),
-                "optimizer slot count mismatch for client " << client.id()
-                    << ": checkpoint has " << slots.size() << ", live has "
-                    << targets.size());
-  for (size_t i = 0; i < slots.size(); ++i) {
-    FCA_CHECK_MSG(slots[i].same_shape(*targets[i]),
-                  "optimizer slot shape mismatch for client " << client.id());
-    std::copy_n(slots[i].data(), slots[i].numel(), targets[i]->data());
-  }
-  client.rng().restore(r.u64());
+  const uint32_t count = r.u32();
+  std::vector<int> ids(count);
+  for (uint32_t i = 0; i < count; ++i) ids[i] = static_cast<int>(r.u32());
   r.expect_done();
+  return ids;
 }
 
 std::vector<std::byte> encode_metrics(
@@ -187,8 +170,20 @@ void CheckpointManager::save(fl::FederatedRun& run,
   meta.u64(cursor.real_fault_marker);
   w.add("meta", meta.take());
   w.add("strategy", strategy.save_state());
-  for (int k = 0; k < run.num_clients(); ++k) {
-    w.add(client_section(k), encode_client(run.client(k)));
+  // Dirty clients only (every client on a resident store): serialized_state
+  // lifts paged-out clients straight from their page files without
+  // materializing them, so a checkpoint's cost is O(dirty state), not
+  // O(population).
+  const std::vector<int> recorded = run.store().checkpoint_clients();
+  w.add("clients", encode_client_index(recorded));
+  for (int k : recorded) {
+    w.add(client_section(k), run.store().serialized_state(k));
+  }
+  if (run.store().bootstrap_armed()) {
+    // Lazy-init runs: clients re-derived on resume need the same bootstrap
+    // payload the original run armed.
+    const comm::Bytes& boot = run.store().bootstrap_payload();
+    w.add("bootstrap", std::vector<std::byte>(boot.begin(), boot.end()));
   }
   ByteWriter net;
   const int ranks = run.network().size();
@@ -275,8 +270,39 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
       meta.expect_done();
 
       strategy.load_state(reader.section("strategy"));
-      for (int k = 0; k < run.num_clients(); ++k) {
-        decode_client(reader.section(client_section(k)), run.client(k));
+      fl::ClientStore& store = run.store();
+      // v1..v3 recorded every client and no index.
+      std::vector<int> recorded;
+      if (reader.version() >= 4) {
+        recorded = decode_client_index(reader.section("clients"));
+        FCA_CHECK_MSG(
+            store.rederivable() ||
+                static_cast<int>(recorded.size()) == run.num_clients(),
+            "checkpoint records " << recorded.size() << " of "
+                << run.num_clients() << " clients; the rest were clean and "
+                << "re-derivable, which an all-resident store cannot do");
+      } else {
+        for (int k = 0; k < run.num_clients(); ++k) recorded.push_back(k);
+      }
+      // Roll the store back to factory state, re-arm the lazy-init
+      // bootstrap (clean clients must re-derive exactly as in the original
+      // run), then overlay the recorded clients. On a resident store
+      // reset() is a no-op and every client is overwritten in place.
+      store.reset();
+      if (reader.version() >= 4 && reader.has("bootstrap")) {
+        const std::span<const std::byte> boot = reader.section("bootstrap");
+        if (store.rederivable()) {
+          store.arm_bootstrap(&run, &strategy,
+                              comm::Bytes(boot.begin(), boot.end()));
+        }
+      } else if (run.config().lazy_init) {
+        FCA_CHECK_MSG(false,
+                      "resuming a lazy-init run, but " << path
+                          << " carries no bootstrap section (checkpoint "
+                             "was written by an eager-init run)");
+      }
+      for (int k : recorded) {
+        store.restore_serialized_state(k, reader.section(client_section(k)));
       }
 
       ByteReader net(reader.section("network"));
@@ -343,8 +369,17 @@ void CheckpointManager::restore_client(fl::FederatedRun& run, int client_id) {
     const std::string path = checkpoint_path(options_.dir, *it);
     try {
       SectionReader reader(path);
-      decode_client(reader.section(client_section(client_id)),
-                    run.client(client_id));
+      if (reader.has(client_section(client_id))) {
+        run.store().restore_serialized_state(
+            client_id, reader.section(client_section(client_id)));
+      } else if (reader.version() >= 4 && run.store().rederivable()) {
+        // Recorded clean: the checkpoint's word is that this client equals
+        // factory + bootstrap output, so forgetting its current state IS
+        // the restore.
+        run.store().invalidate(client_id);
+      } else {
+        (void)reader.section(client_section(client_id));  // throws: missing
+      }
       FCA_LOG_INFO << "restored client " << client_id << " from " << path;
       return;
     } catch (const std::exception& e) {

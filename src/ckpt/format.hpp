@@ -39,7 +39,12 @@ namespace fca::ckpt {
 // v3: real (non-injected) transport-fault accounting — meta gained the
 // real-fault marker, FaultStats gained real_peer_faults, and metrics rows
 // gained real_fault_events.
-inline constexpr uint32_t kFormatVersion = 3;
+// v4: O(active-cohort) checkpoints — client sections are written only for
+// the store's dirty set, a "clients" index section lists which ids are
+// present, and lazy-init runs add a "bootstrap" section so re-derived clean
+// clients start from the armed payload. v1..v3 readers treat a missing
+// index as "every client recorded".
+inline constexpr uint32_t kFormatVersion = 4;
 
 /// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `data`.
 uint32_t crc32(std::span<const std::byte> data);

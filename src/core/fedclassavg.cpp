@@ -103,6 +103,7 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
                                    fl::kTagModelDown, payload);
   run.executor().for_each(all, [&](int k) {
+    const fl::ClientStore::Lease lease = run.lease_client(k);
     const std::optional<comm::Bytes> down =
         run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
     // A client cut off during initialization keeps its local init weights;
@@ -110,8 +111,37 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
     if (!down.has_value()) return;
     models::restore_values(
         models::deserialize_tensors(*down),
-        shared_params(run.client(k), config_.share_all_weights));
+        shared_params(*lease, config_.share_all_weights));
   });
+}
+
+comm::Bytes FedClassAvg::initialize_lazy(fl::FederatedRun& run) {
+  std::vector<int> all;
+  for (int k = 0; k < run.num_clients(); ++k) all.push_back(k);
+  const std::vector<double> weights = run.data_weights(all);
+  global_.clear();
+  for (int k : all) {
+    // One client at a time: under a paged store the sweep's footprint is
+    // O(1) clients, not O(population).
+    const std::vector<Tensor> up = models::snapshot_values(
+        shared_params(run.client_readonly(k), config_.share_all_weights));
+    if (global_.empty()) {
+      for (const Tensor& t : up) global_.emplace_back(t.shape());
+    }
+    FCA_CHECK(up.size() == global_.size());
+    for (size_t t = 0; t < up.size(); ++t) {
+      axpy_(global_[t], static_cast<float>(weights[static_cast<size_t>(k)]),
+            up[t]);
+    }
+  }
+  return models::serialize_tensors(global_);
+}
+
+void FedClassAvg::bootstrap_client(fl::FederatedRun& run, fl::Client& client,
+                                   const comm::Bytes& payload) {
+  (void)run;
+  models::restore_values(models::deserialize_tensors(payload),
+                         shared_params(client, config_.share_all_weights));
 }
 
 comm::Bytes FedClassAvg::save_state() const {
@@ -211,7 +241,8 @@ float FedClassAvg::execute_round(fl::FederatedRun& run, int round,
   // any client_parallelism yields the serial sweep's bits. A lost downlink
   // means the client sits the round out (NaN, excluded from the mean).
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
-    fl::Client& c = run.client(k);
+    const fl::ClientStore::Lease lease = run.lease_client(k);
+    fl::Client& c = *lease;
     const std::optional<comm::Bytes> down_bytes =
         run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
     if (!down_bytes.has_value()) {

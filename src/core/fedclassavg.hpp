@@ -47,6 +47,17 @@ class FedClassAvg : public fl::RoundStrategy {
   void initialize(fl::FederatedRun& run) override;
   float execute_round(fl::FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// Lazy init streams every client through a read-only touch in id order,
+  /// accumulating the same data-weighted C^1 the eager barrier gathers
+  /// (identical arithmetic: weights from run.data_weights over all ids,
+  /// axpy in the same order), and returns C^1 as the bootstrap payload —
+  /// each client's first materialization then restores it, exactly like the
+  /// eager re-sync broadcast. No fabric traffic, so there is no init-time
+  /// condemnation: lazy init is the reliable-fabric path.
+  bool supports_lazy_init() const override { return true; }
+  comm::Bytes initialize_lazy(fl::FederatedRun& run) override;
+  void bootstrap_client(fl::FederatedRun& run, fl::Client& client,
+                        const comm::Bytes& payload) override;
   comm::Bytes save_state() const override;
   void load_state(std::span<const std::byte> state) override;
 

@@ -106,15 +106,47 @@ void FedClassAvgProto::initialize(fl::FederatedRun& run) {
   run.server_endpoint().bcast_send(fl::FederatedRun::ranks_of(all),
                                    fl::kTagModelDown, payload);
   run.executor().for_each(all, [&run](int k) {
+    const fl::ClientStore::Lease lease = run.lease_client(k);
     models::restore_values(
         models::deserialize_tensors(
             run.client_endpoint(k).recv(0, fl::kTagModelDown)),
-        run.client(k).model().classifier_parameters());
+        lease->model().classifier_parameters());
   });
   const int64_t num_classes = run.client(0).model().num_classes();
   const int64_t d = run.client(0).model().feature_dim();
   global_protos_ = Tensor({num_classes, d});
   valid_.assign(static_cast<size_t>(num_classes), false);
+}
+
+comm::Bytes FedClassAvgProto::initialize_lazy(fl::FederatedRun& run) {
+  std::vector<int> all;
+  for (int k = 0; k < run.num_clients(); ++k) all.push_back(k);
+  const std::vector<double> weights = run.data_weights(all);
+  global_.clear();
+  for (int k : all) {
+    const std::vector<Tensor> up = models::snapshot_values(
+        run.client_readonly(k).model().classifier_parameters());
+    if (global_.empty()) {
+      for (const Tensor& t : up) global_.emplace_back(t.shape());
+    }
+    for (size_t t = 0; t < up.size(); ++t) {
+      axpy_(global_[t], static_cast<float>(weights[static_cast<size_t>(k)]),
+            up[t]);
+    }
+  }
+  const int64_t num_classes = run.client_readonly(0).model().num_classes();
+  const int64_t d = run.client_readonly(0).model().feature_dim();
+  global_protos_ = Tensor({num_classes, d});
+  valid_.assign(static_cast<size_t>(num_classes), false);
+  return models::serialize_tensors(global_);
+}
+
+void FedClassAvgProto::bootstrap_client(fl::FederatedRun& run,
+                                        fl::Client& client,
+                                        const comm::Bytes& payload) {
+  (void)run;
+  models::restore_values(models::deserialize_tensors(payload),
+                         client.model().classifier_parameters());
 }
 
 float FedClassAvgProto::train_epoch(fl::Client& client,
@@ -200,8 +232,8 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
                                       const std::vector<int>& selected) {
   const bool proto_active = round > config_.warmup_rounds;
   FCA_CHECK_MSG(!global_.empty(), "initialize() was not called");
-  const int64_t num_classes = run.client(0).model().num_classes();
-  const int64_t d = run.client(0).model().feature_dim();
+  const int64_t num_classes = run.client_readonly(0).model().num_classes();
+  const int64_t d = run.client_readonly(0).model().feature_dim();
 
   // Down: classifier + prototypes (+ validity).
   Tensor valid_t({num_classes});
@@ -224,7 +256,8 @@ float FedClassAvgProto::execute_round(fl::FederatedRun& run, int round,
   }
 
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
-    fl::Client& c = run.client(k);
+    const fl::ClientStore::Lease lease = run.lease_client(k);
+    fl::Client& c = *lease;
     const std::optional<comm::Bytes> down_bytes =
         run.client_endpoint(k).try_recv(0, fl::kTagModelDown);
     if (!down_bytes.has_value()) {

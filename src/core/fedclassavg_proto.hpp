@@ -38,6 +38,13 @@ class FedClassAvgProto : public fl::RoundStrategy {
   void initialize(fl::FederatedRun& run) override;
   float execute_round(fl::FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// Same streamed C^1 computation as FedClassAvg::initialize_lazy, plus
+  /// the zero-prototype setup; the bootstrap restores the averaged
+  /// classifier into each client at first materialization.
+  bool supports_lazy_init() const override { return true; }
+  comm::Bytes initialize_lazy(fl::FederatedRun& run) override;
+  void bootstrap_client(fl::FederatedRun& run, fl::Client& client,
+                        const comm::Bytes& payload) override;
   comm::Bytes save_state() const override;
   void load_state(std::span<const std::byte> state) override;
 

@@ -1,5 +1,11 @@
 #include "core/trainer.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+
 #include "fl/obs_hook.hpp"
 #include "obs/metrics.hpp"
 #include "utils/error.hpp"
@@ -80,8 +86,7 @@ std::unique_ptr<models::SplitModel> Experiment::build_model(
   return models::build_model(model_config(client_id), rng);
 }
 
-std::vector<fl::ClientPtr> Experiment::build_clients() const {
-  const Rng root(config_.seed);
+fl::ClientPtr Experiment::build_client(int client_id) const {
   fl::ClientConfig cc;
   cc.batch_size = config_.batch_size;
   cc.lr = config_.lr;
@@ -91,18 +96,59 @@ std::vector<fl::ClientPtr> Experiment::build_clients() const {
   cc.augment.noise_std = 0.05f;
   cc.augment.cutout_size = 3;
 
+  const auto k = static_cast<size_t>(client_id);
+  data::Dataset local_train = train_.subset(partition_.client_indices[k]);
+  data::Dataset local_test = test_.subset(test_split_[k]);
+  return std::make_unique<fl::Client>(
+      client_id, build_model(client_id), std::move(local_train),
+      std::move(local_test), cc,
+      Rng(config_.seed)
+          .fork_indexed("client-rng/", static_cast<uint64_t>(client_id)));
+}
+
+std::vector<fl::ClientPtr> Experiment::build_clients() const {
   std::vector<fl::ClientPtr> clients;
   clients.reserve(static_cast<size_t>(config_.num_clients));
   for (int k = 0; k < config_.num_clients; ++k) {
-    data::Dataset local_train =
-        train_.subset(partition_.client_indices[static_cast<size_t>(k)]);
-    data::Dataset local_test =
-        test_.subset(test_split_[static_cast<size_t>(k)]);
-    clients.push_back(std::make_unique<fl::Client>(
-        k, build_model(k), std::move(local_train), std::move(local_test), cc,
-        root.fork_indexed("client-rng/", static_cast<uint64_t>(k))));
+    clients.push_back(build_client(k));
   }
   return clients;
+}
+
+std::unique_ptr<fl::ClientStore> Experiment::build_store() const {
+  int budget = config_.max_resident_clients;
+  if (const char* env = std::getenv("FCA_MAX_RESIDENT_CLIENTS")) {
+    if (*env != '\0') budget = std::atoi(env);
+  }
+  if (budget <= 0 && !config_.lazy_init) {
+    // Historical behavior: the whole population resident for the run.
+    return std::make_unique<fl::ClientStore>(build_clients());
+  }
+  std::vector<int64_t> sizes;
+  sizes.reserve(static_cast<size_t>(config_.num_clients));
+  for (int k = 0; k < config_.num_clients; ++k) {
+    sizes.push_back(static_cast<int64_t>(
+        partition_.client_indices[static_cast<size_t>(k)].size()));
+  }
+  fl::ClientStoreOptions opts;
+  opts.max_resident = std::max(budget, 0);
+  if (opts.max_resident > 0) {
+    if (!config_.page_dir.empty()) {
+      opts.page_dir = config_.page_dir;
+    } else {
+      // Fresh per-store directory: concurrent runs (tests, parameter
+      // sweeps) must not collide on page files.
+      static std::atomic<uint64_t> counter{0};
+      opts.page_dir =
+          (std::filesystem::temp_directory_path() /
+           ("fca_pages_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1))))
+              .string();
+    }
+  }
+  return std::make_unique<fl::ClientStore>(
+      config_.num_clients, [this](int k) { return build_client(k); },
+      std::move(sizes), std::move(opts));
 }
 
 fl::FLConfig Experiment::fl_config() const {
@@ -117,6 +163,8 @@ fl::FLConfig Experiment::fl_config() const {
   fc.faults = config_.faults;
   fc.quorum = config_.quorum;
   fc.transport = config_.transport;
+  fc.lazy_init = config_.lazy_init;
+  fc.eval_clients = config_.eval_clients;
   return fc;
 }
 
@@ -124,7 +172,7 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy) const {
   FCA_LOG_INFO << "experiment " << config_.dataset << " x "
                << strategy.name() << " (" << config_.num_clients
                << " clients, " << config_.rounds << " rounds)";
-  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  auto run = std::make_unique<fl::FederatedRun>(build_store(), fl_config());
   // Keep the no-hook fast path when metrics are off: a non-null hook makes
   // the driver assemble a full resume cursor every round.
   fl::MetricsRoundHook metrics_hook;
@@ -139,7 +187,7 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy,
                << " (" << config_.num_clients << " clients, "
                << config_.rounds << " rounds, checkpointing to "
                << options.dir << " every " << options.every << ")";
-  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  auto run = std::make_unique<fl::FederatedRun>(build_store(), fl_config());
   ckpt::CheckpointManager manager(options);
   fl::MetricsRoundHook metrics_hook;
   fl::RoundHookChain hooks;
@@ -153,7 +201,7 @@ CompletedRun Experiment::resume(fl::RoundStrategy& strategy,
                                 const ckpt::Options& options) const {
   FCA_LOG_INFO << "experiment " << config_.dataset << " x " << strategy.name()
                << ": resuming from " << options.dir;
-  auto run = std::make_unique<fl::FederatedRun>(build_clients(), fl_config());
+  auto run = std::make_unique<fl::FederatedRun>(build_store(), fl_config());
   ckpt::CheckpointManager manager(options);
   const fl::ResumeState cursor = manager.resume(*run, strategy);
   fl::MetricsRoundHook metrics_hook;

@@ -1,0 +1,51 @@
+#include "fl/client_state.hpp"
+
+#include <algorithm>
+
+#include "ckpt/format.hpp"
+#include "models/serialize.hpp"
+#include "utils/error.hpp"
+
+namespace fca::fl {
+
+std::vector<std::byte> encode_client_state(Client& client) {
+  ckpt::ByteWriter w;
+  w.blob(models::serialize_state(client.model()));
+  // Optimizer: scalar state (e.g. Adam's step count) + slot tensors.
+  const std::vector<int64_t> scalars = client.optimizer().scalar_state();
+  w.u32(static_cast<uint32_t>(scalars.size()));
+  for (int64_t s : scalars) w.i64(s);
+  std::vector<Tensor> slots;
+  for (Tensor* t : client.optimizer().state_tensors()) {
+    slots.push_back(t->clone());
+  }
+  w.blob(models::serialize_tensors(slots));
+  w.u64(client.rng().state());
+  return w.take();
+}
+
+void decode_client_state(std::span<const std::byte> bytes, Client& client) {
+  ckpt::ByteReader r(bytes);
+  const std::vector<std::byte> model_state = r.blob();
+  models::deserialize_state(model_state, client.model());
+  const uint32_t scalar_count = r.u32();
+  std::vector<int64_t> scalars(scalar_count);
+  for (uint32_t i = 0; i < scalar_count; ++i) scalars[i] = r.i64();
+  client.optimizer().restore_scalar_state(scalars);
+  const std::vector<std::byte> slot_bytes = r.blob();
+  const std::vector<Tensor> slots = models::deserialize_tensors(slot_bytes);
+  const std::vector<Tensor*> targets = client.optimizer().state_tensors();
+  FCA_CHECK_MSG(slots.size() == targets.size(),
+                "optimizer slot count mismatch for client " << client.id()
+                    << ": serialized state has " << slots.size()
+                    << ", live has " << targets.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    FCA_CHECK_MSG(slots[i].same_shape(*targets[i]),
+                  "optimizer slot shape mismatch for client " << client.id());
+    std::copy_n(slots[i].data(), slots[i].numel(), targets[i]->data());
+  }
+  client.rng().restore(r.u64());
+  r.expect_done();
+}
+
+}  // namespace fca::fl

@@ -19,11 +19,26 @@ void FedAvg::initialize(FederatedRun& run) {
   run.server_endpoint().bcast_send(FederatedRun::ranks_of(all), kTagModelDown,
                                    payload);
   run.executor().for_each(all, [&run](int k) {
+    const ClientStore::Lease lease = run.lease_client(k);
     const comm::Bytes down = run.client_endpoint(k).recv(0, kTagModelDown);
     models::restore_values(models::deserialize_tensors(down),
-                           run.client(k).model().parameters());
-    run.client(k).reset_optimizer();
+                           lease->model().parameters());
+    lease->reset_optimizer();
   });
+}
+
+comm::Bytes FedAvg::initialize_lazy(FederatedRun& run) {
+  global_ =
+      models::snapshot_values(run.client_readonly(0).model().parameters());
+  return models::serialize_tensors(global_);
+}
+
+void FedAvg::bootstrap_client(FederatedRun& run, Client& client,
+                              const comm::Bytes& payload) {
+  (void)run;
+  models::restore_values(models::deserialize_tensors(payload),
+                         client.model().parameters());
+  client.reset_optimizer();
 }
 
 comm::Bytes FedAvg::save_state() const {
@@ -57,7 +72,8 @@ float FedAvg::execute_round(FederatedRun& run, int round,
   // participant. A client whose downlink was lost skips the round and
   // reports NaN (excluded from the loss mean).
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
-    Client& c = run.client(k);
+    const ClientStore::Lease lease = run.lease_client(k);
+    Client& c = *lease;
     comm::Endpoint& ep = run.client_endpoint(k);
     const std::optional<comm::Bytes> down_bytes = ep.try_recv(0, kTagModelDown);
     if (!down_bytes.has_value()) {

@@ -16,6 +16,17 @@ class FedAvg : public RoundStrategy {
   void initialize(FederatedRun& run) override;
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// Lazy form of initialize(): snapshots client 0 (read-only touch) as the
+  /// initial global model and returns it as the bootstrap payload — no
+  /// broadcast. bootstrap_client() then restores that payload into each
+  /// client at first materialization. The payload is frozen at arm time, so
+  /// a client first selected in round 10 still starts from the *initial*
+  /// global model, exactly like an eager-init client that was never
+  /// sampled.
+  bool supports_lazy_init() const override { return true; }
+  comm::Bytes initialize_lazy(FederatedRun& run) override;
+  void bootstrap_client(FederatedRun& run, Client& client,
+                        const comm::Bytes& payload) override;
   comm::Bytes save_state() const override;
   void load_state(std::span<const std::byte> state) override;
 

@@ -93,8 +93,9 @@ float FedProto::train_epoch(Client& c, const Tensor& protos,
 
 float FedProto::execute_round(FederatedRun& run, int round,
                               const std::vector<int>& selected) {
-  const int64_t num_classes = run.client(0).model().num_classes();
-  const int64_t d = run.client(0).model().feature_dim();
+  // Architecture metadata only: a read-only touch keeps client 0 clean.
+  const int64_t num_classes = run.client_readonly(0).model().num_classes();
+  const int64_t d = run.client_readonly(0).model().feature_dim();
   if (valid_.empty()) {
     valid_.assign(static_cast<size_t>(num_classes), false);
     global_protos_ = Tensor({num_classes, d});
@@ -121,7 +122,8 @@ float FedProto::execute_round(FederatedRun& run, int round,
   }
 
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
-    Client& c = run.client(k);
+    const ClientStore::Lease lease = run.lease_client(k);
+    Client& c = *lease;
     const std::optional<comm::Bytes> msg_bytes =
         run.client_endpoint(k).try_recv(0, kTagModelDown);
     if (!msg_bytes.has_value()) {

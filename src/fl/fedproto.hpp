@@ -23,6 +23,19 @@ class FedProto : public RoundStrategy {
   std::string name() const override { return "FedProto"; }
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// FedProto has no init sweep (prototypes grow lazily from round 1), so
+  /// lazy mode is the default behavior with an empty bootstrap.
+  bool supports_lazy_init() const override { return true; }
+  comm::Bytes initialize_lazy(FederatedRun& run) override {
+    (void)run;
+    return {};
+  }
+  void bootstrap_client(FederatedRun& run, Client& client,
+                        const comm::Bytes& payload) override {
+    (void)run;
+    (void)client;
+    (void)payload;
+  }
   comm::Bytes save_state() const override;
   void load_state(std::span<const std::byte> state) override;
 

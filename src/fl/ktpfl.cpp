@@ -61,6 +61,12 @@ void KTpFL::initialize(FederatedRun& run) {
   }
 }
 
+comm::Bytes KTpFL::initialize_lazy(FederatedRun& run) {
+  const int k = run.num_clients();
+  coef_ = Tensor({k, k}, 1.0f / static_cast<float>(k));
+  return {};
+}
+
 comm::Bytes KTpFL::save_state() const {
   return models::serialize_tensors({coef_});
 }
@@ -124,7 +130,8 @@ float KTpFL::execute_round(FederatedRun& run, int round,
   // Training needs no downlink, so every live client trains; only its
   // logits upload can be lost.
   const std::vector<double> losses = run.executor().map(live, [&](int k) {
-    Client& c = run.client(k);
+    const ClientStore::Lease lease = run.lease_client(k);
+    Client& c = *lease;
     double loss = 0.0;
     {
       obs::TraceSpan train_span("fl", "local-train",
@@ -174,7 +181,8 @@ float KTpFL::execute_round(FederatedRun& run, int round,
       }
     }
     run.executor().for_each(survivors, [&](int k) {
-      Client& c = run.client(k);
+      const ClientStore::Lease lease = run.lease_client(k);
+      Client& c = *lease;
       const std::optional<comm::Bytes> down_bytes =
           run.client_endpoint(k).try_recv(0, kTagAuxDown);
       if (!down_bytes.has_value()) return;
@@ -203,7 +211,8 @@ float KTpFL::execute_round(FederatedRun& run, int round,
     // in time receives the coefficient-weighted personalized model. A
     // client whose upload or downlink is lost keeps its local model.
     run.executor().for_each(survivors, [&run](int k) {
-      Client& c = run.client(k);
+      const ClientStore::Lease lease = run.lease_client_readonly(k);
+      Client& c = *lease;
       run.client_endpoint(k).send(
           0, kTagModelUp,
           models::serialize_tensors(
@@ -241,7 +250,8 @@ float KTpFL::execute_round(FederatedRun& run, int round,
                                    models::serialize_tensors(personalized));
       }
       run.executor().for_each(gw.survivors, [&run](int k) {
-        Client& c = run.client(k);
+        const ClientStore::Lease lease = run.lease_client(k);
+        Client& c = *lease;
         const std::optional<comm::Bytes> down =
             run.client_endpoint(k).try_recv(0, kTagModelDown);
         if (!down.has_value()) return;

@@ -38,6 +38,20 @@ class KTpFL : public RoundStrategy {
   void initialize(FederatedRun& run) override;
   float execute_round(FederatedRun& run, int round,
                       const std::vector<int>& selected) override;
+  /// Lazy init sets up the coefficient matrix only. The one-time public
+  /// data broadcast is skipped: in this single-process simulation clients
+  /// validate and discard the duplicate payload (the strategy trains them
+  /// on its own public_data_ copy), so skipping it changes total_traffic
+  /// but nothing the clients compute. Note coef_ is K x K — KT-pFL itself
+  /// does not fit massive populations regardless of paging.
+  bool supports_lazy_init() const override { return true; }
+  comm::Bytes initialize_lazy(FederatedRun& run) override;
+  void bootstrap_client(FederatedRun& run, Client& client,
+                        const comm::Bytes& payload) override {
+    (void)run;
+    (void)client;
+    (void)payload;
+  }
   /// The knowledge-coefficient matrix; the public dataset is construction
   /// state and is re-supplied on resume, not checkpointed.
   comm::Bytes save_state() const override;

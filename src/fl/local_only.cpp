@@ -10,7 +10,8 @@ float LocalOnly::execute_round(FederatedRun& run, int round,
   // performs no local work this round.
   const std::vector<int> live = run.live_clients(round, selected);
   const std::vector<double> losses = run.executor().map(live, [&run](int k) {
-    Client& c = run.client(k);
+    const ClientStore::Lease lease = run.lease_client(k);
+    Client& c = *lease;
     obs::TraceSpan train_span("fl", "local-train", run.config().local_epochs);
     double loss = 0.0;
     for (int e = 0; e < run.config().local_epochs; ++e) {

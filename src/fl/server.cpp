@@ -16,16 +16,42 @@ void RoundStrategy::load_state(std::span<const std::byte> state) {
                             << state.size() << " bytes");
 }
 
+comm::Bytes RoundStrategy::initialize_lazy(FederatedRun& run) {
+  (void)run;
+  FCA_CHECK_MSG(false, "strategy " << name()
+                                   << " does not support lazy "
+                                      "initialization (--lazy-init)");
+  return {};
+}
+
+void RoundStrategy::bootstrap_client(FederatedRun& run, Client& client,
+                                     const comm::Bytes& payload) {
+  (void)run;
+  (void)client;
+  FCA_CHECK_MSG(payload.empty(),
+                "strategy " << name() << " has no client bootstrap, got "
+                            << payload.size() << " payload bytes");
+}
+
 FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
-    : clients_(std::move(clients)), config_(config) {
-  FCA_CHECK_MSG(!clients_.empty(), "FederatedRun needs at least one client");
+    : FederatedRun(std::make_unique<ClientStore>(std::move(clients)),
+                   std::move(config)) {}
+
+FederatedRun::FederatedRun(std::unique_ptr<ClientStore> store,
+                           FLConfig config)
+    : store_(std::move(store)), config_(config) {
+  FCA_CHECK_MSG(store_ != nullptr, "FederatedRun needs a client store");
   FCA_CHECK(config_.rounds >= 1 && config_.local_epochs >= 1 &&
             config_.sample_rate > 0.0 && config_.sample_rate <= 1.0 &&
             config_.eval_every >= 1 && config_.client_parallelism >= 0);
-  FCA_CHECK_MSG(config_.quorum >= 1 &&
-                    config_.quorum <= static_cast<int>(clients_.size()),
+  FCA_CHECK_MSG(config_.quorum >= 1 && config_.quorum <= num_clients(),
                 "quorum " << config_.quorum << " outside [1, "
-                          << clients_.size() << "]");
+                          << num_clients() << "]");
+  if (config_.lazy_init) {
+    FCA_CHECK_MSG(store_->rederivable(),
+                  "--lazy-init needs a factory-backed client store (clients "
+                  "must be re-derivable at first selection)");
+  }
   // On single-core hosts the process-wide kernel pool has zero workers and
   // the executor would quietly degrade to serial. An explicit
   // client_parallelism > 1 is a request for real concurrency — back it with
@@ -42,6 +68,18 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
                       << " (--round-deadline)");
   }
   executor_ = RoundExecutor(config_.client_parallelism, lane_pool_.get());
+  if (store_->paged()) {
+    // Every executor lane pins one client while the driver's most recent
+    // touch must stay resident too, so the budget needs lanes + 1 slots or
+    // a concurrent round body would find every resident client pinned.
+    int lanes = config_.client_parallelism;
+    if (lanes == 0) lanes = static_cast<int>(global_pool().size()) + 1;
+    FCA_CHECK_MSG(
+        store_->max_resident() >= lanes + 1,
+        "--max-resident-clients " << store_->max_resident()
+                                  << " cannot back client parallelism "
+                                  << lanes << "; need at least " << lanes + 1);
+  }
   // The backend is swappable (FCA_TRANSPORT=inproc|shm|tcp), the topology is
   // not: this driver runs every rank in-process, so multi-process options
   // (--rank/--connect) belong to the fabric probe (fca_cli probe), not here.
@@ -55,11 +93,9 @@ FederatedRun::FederatedRun(std::vector<ClientPtr> clients, FLConfig config)
       num_clients() + 1, config_.cost, config_.faults,
       comm::make_transport(topts, num_clients() + 1));
   server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
-  client_eps_.reserve(clients_.size());
-  for (int k = 0; k < num_clients(); ++k) {
-    client_eps_.push_back(
-        std::make_unique<comm::Endpoint>(*network_, k + 1));
-  }
+  // Endpoints register lazily (see client_endpoint()); only the slots are
+  // allocated up front.
+  client_eps_.resize(static_cast<size_t>(num_clients()));
 }
 
 std::vector<int> FederatedRun::ranks_of(const std::vector<int>& clients) {
@@ -76,8 +112,9 @@ std::vector<double> FederatedRun::data_weights(
   w.reserve(selected.size());
   double total = 0.0;
   for (int k : selected) {
-    const auto n = static_cast<double>(
-        clients_.at(static_cast<size_t>(k))->train_size());
+    // Shard sizes come from the store's cache: weighing a 100k-client
+    // cohort must not materialize anyone.
+    const auto n = static_cast<double>(store_->train_size(k));
     w.push_back(n);
     total += n;
   }
@@ -169,11 +206,36 @@ float FederatedRun::mean_finite(const std::vector<double>& values,
 std::vector<double> FederatedRun::evaluate_all() {
   // Evaluation is deterministic per client (eval mode, no RNG draws), so it
   // rides the same executor as training; results land by client index.
-  std::vector<int> all(clients_.size());
-  for (int k = 0; k < num_clients(); ++k) all[static_cast<size_t>(k)] = k;
-  return executor_.map(all, [this](int k) {
-    return static_cast<double>(client(k).evaluate());
-  });
+  // Touches stay clean: evaluating a never-trained client must not turn it
+  // into page traffic.
+  const int n_eval = num_eval_clients();
+  std::vector<int> cohort(static_cast<size_t>(n_eval));
+  for (int k = 0; k < n_eval; ++k) cohort[static_cast<size_t>(k)] = k;
+  if (!store_->paged()) {
+    return executor_.map(cohort, [this](int k) {
+      return static_cast<double>(store_->touch(k, false).evaluate());
+    });
+  }
+  // Paged: stream the cohort in waves of leases so the resident set stays
+  // within budget (one slot is kept free for the MRU entry).
+  std::vector<double> acc;
+  acc.reserve(cohort.size());
+  const int wave_size = store_->max_resident() - 1;
+  for (const std::vector<int>& wave : cohort_waves(cohort, wave_size)) {
+    std::vector<ClientStore::Lease> leases;
+    leases.reserve(wave.size());
+    for (int k : wave) leases.push_back(store_->lease(k, false));
+    // The eval cohort is the contiguous prefix, so each wave is a
+    // contiguous id range: mapping over the ids themselves keeps the
+    // executor's per-client trace coordinates intact.
+    const int base = wave.front();
+    const std::vector<double> vals = executor_.map(wave, [&](int k) {
+      return static_cast<double>(
+          leases[static_cast<size_t>(k - base)]->evaluate());
+    });
+    acc.insert(acc.end(), vals.begin(), vals.end());
+  }
+  return acc;
 }
 
 RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
@@ -209,7 +271,19 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
     // total exactly. (Init traffic stays excluded from round_bytes — those
     // watermarks are taken after.)
     real_faults_before = network_->fault_stats().real_peer_faults;
-    strategy.initialize(*this);
+    if (config_.lazy_init) {
+      // Lazy initialization: no all-population sweep. The strategy derives
+      // its server state from read-only touches and the store applies the
+      // returned bootstrap at every clean first materialization, so round 1
+      // sees each client exactly as the eager sweep would have left it.
+      FCA_CHECK_MSG(strategy.supports_lazy_init(),
+                    "strategy " << strategy.name()
+                                << " does not support --lazy-init");
+      comm::Bytes payload = strategy.initialize_lazy(*this);
+      store_->arm_bootstrap(this, &strategy, std::move(payload));
+    } else {
+      strategy.initialize(*this);
+    }
     bytes_before = network_->total_stats().payload_bytes;
     faults_before = network_->fault_stats().injected_total();
   }
@@ -268,7 +342,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       m.cumulative_local_epochs = round * config_.local_epochs;
       std::vector<double> acc;
       {
-        obs::TraceSpan eval_span("fl", "eval", num_clients());
+        obs::TraceSpan eval_span("fl", "eval", num_eval_clients());
         acc = evaluate_all();
       }
       m.mean_accuracy = mean_of(acc);

@@ -20,6 +20,7 @@
 
 #include "comm/endpoint.hpp"
 #include "fl/client.hpp"
+#include "fl/client_store.hpp"
 #include "fl/executor.hpp"
 #include "fl/metrics.hpp"
 #include "fl/sampling.hpp"
@@ -56,6 +57,22 @@ struct FLConfig {
   /// determinism tier exercises. FCA_TRANSPORT overrides the kind at run
   /// construction (see comm::transport_options_from_env).
   comm::TransportOptions transport;
+  /// Replace the strategy's all-population initialize() sweep with
+  /// RoundStrategy::initialize_lazy(): the strategy computes its server
+  /// state from read-only client snapshots and a per-client bootstrap is
+  /// applied at each client's first materialization instead of a broadcast.
+  /// Requires a factory-backed ClientStore and a strategy whose
+  /// supports_lazy_init() is true. The metric curve is bit-identical to the
+  /// eager run (round_bytes watermarks already exclude init traffic);
+  /// RunResult::total_traffic is smaller because O(population) init
+  /// broadcasts never happen — which is the point at 100k clients.
+  bool lazy_init = false;
+  /// Evaluate only clients [0, eval_clients) each eval round; 0 = all. At
+  /// massive populations a full-population eval sweep dominates the run, so
+  /// large-scale configs evaluate a fixed prefix (the curve then reports
+  /// that cohort's accuracy — comparable across runs of any population that
+  /// share the prefix's data partition).
+  int eval_clients = 0;
 };
 
 /// Message tags on the fabric.
@@ -79,6 +96,23 @@ class RoundStrategy {
   /// mean local training loss across participants.
   virtual float execute_round(FederatedRun& run, int round,
                               const std::vector<int>& selected) = 0;
+
+  /// Lazy-initialization contract (FLConfig::lazy_init). A strategy that
+  /// opts in must make the pair (initialize_lazy, bootstrap_client)
+  /// semantically equal to initialize(): running initialize_lazy() once and
+  /// then bootstrap_client() on every client at its first materialization
+  /// must leave each client bit-identical to the eager sweep. The driver
+  /// calls initialize_lazy() before round 1; it may read clients through
+  /// FederatedRun::client_readonly() (touches stay clean) and returns the
+  /// payload the store passes back to every bootstrap_client() call.
+  virtual bool supports_lazy_init() const { return false; }
+  virtual comm::Bytes initialize_lazy(FederatedRun& run);
+  /// Applied to one freshly-factory-built client under the ClientStore's
+  /// lock: must be a pure function of (payload, client state) — it must not
+  /// touch the store, the network, or any other client, and must not leave
+  /// the result dependent on materialization order.
+  virtual void bootstrap_client(FederatedRun& run, Client& client,
+                                const comm::Bytes& payload);
 
   /// Serializes the strategy's server-side state (global classifier,
   /// prototypes, knowledge coefficients, ...) at a round boundary. The
@@ -150,6 +184,12 @@ class RoundHookChain : public RoundHook {
 
 class FederatedRun {
  public:
+  /// Store-backed construction: the run drives whatever population the
+  /// store exposes; under a paged store the resident set stays within the
+  /// store's budget for the whole run.
+  FederatedRun(std::unique_ptr<ClientStore> store, FLConfig config);
+  /// Historical all-resident construction; wraps the vector in a resident
+  /// ClientStore.
   FederatedRun(std::vector<ClientPtr> clients, FLConfig config);
 
   /// Runs the federated protocol and returns the metric record.
@@ -162,9 +202,23 @@ class FederatedRun {
   RunResult execute(RoundStrategy& strategy, RoundHook* hook = nullptr,
                     const ResumeState* resume = nullptr);
 
-  int num_clients() const { return static_cast<int>(clients_.size()); }
-  Client& client(int k) { return *clients_.at(static_cast<size_t>(k)); }
-  std::vector<ClientPtr>& clients() { return clients_; }
+  int num_clients() const { return store_->population(); }
+  /// Materializes (if paged out) and returns client k, marked dirty; the
+  /// reference stays valid until the next store access. Serial call sites
+  /// only — executor bodies must hold a lease_client() pin instead.
+  Client& client(int k) { return store_->touch(k, /*mark_dirty=*/true); }
+  /// Like client(), but the touch stays clean: a never-mutated client
+  /// remains re-derivable (dropped, not paged, on eviction). For snapshots
+  /// of initial weights, metadata reads and evaluation.
+  Client& client_readonly(int k) { return store_->touch(k, false); }
+  /// Pinned access for concurrent round bodies: the client cannot be
+  /// evicted while the lease is alive, and at most one lease per executor
+  /// lane is alive at a time, so pins never exceed the residency budget.
+  ClientStore::Lease lease_client(int k) { return store_->lease(k, true); }
+  ClientStore::Lease lease_client_readonly(int k) {
+    return store_->lease(k, false);
+  }
+  ClientStore& store() { return *store_; }
   const FLConfig& config() const { return config_; }
 
   /// Executor strategies use to fan per-client round work out; configured
@@ -173,8 +227,17 @@ class FederatedRun {
 
   comm::Network& network() { return *network_; }
   comm::Endpoint& server_endpoint() { return *server_ep_; }
+  /// Client k's fabric endpoint, registered lazily on first use so a 100k
+  /// population does not pay 100k Endpoint constructions up front. Distinct
+  /// k's occupy distinct pre-sized slots and concurrent executor bodies
+  /// each own their k exclusively, so no locking is needed.
   comm::Endpoint& client_endpoint(int k) {
-    return *client_eps_.at(static_cast<size_t>(k));
+    std::unique_ptr<comm::Endpoint>& slot =
+        client_eps_.at(static_cast<size_t>(k));
+    if (slot == nullptr) {
+      slot = std::make_unique<comm::Endpoint>(*network_, k + 1);
+    }
+    return *slot;
   }
   /// Fabric ranks of a client list (client k lives on rank k + 1).
   static std::vector<int> ranks_of(const std::vector<int>& clients);
@@ -182,8 +245,17 @@ class FederatedRun {
   /// Normalized |D_k| / sum(|D_j|, j in selected) aggregation weights.
   std::vector<double> data_weights(const std::vector<int>& selected) const;
 
-  /// Mean test accuracy across all clients (and per-client values).
+  /// Per-client test accuracy over the eval cohort (all clients, or the
+  /// [0, eval_clients) prefix when FLConfig::eval_clients > 0). Under a
+  /// paged store the cohort streams through the executor in waves of at
+  /// most max_resident - 1 leases (fl::cohort_waves).
   std::vector<double> evaluate_all();
+  /// Size of the cohort evaluate_all() sweeps.
+  int num_eval_clients() const {
+    return config_.eval_clients > 0
+               ? std::min(config_.eval_clients, num_clients())
+               : num_clients();
+  }
 
   // -- fault-tolerant round primitives (used by every RoundStrategy) --------
 
@@ -237,7 +309,7 @@ class FederatedRun {
     bool aborted = false;  // quorum abort already recorded this round
   };
 
-  std::vector<ClientPtr> clients_;
+  std::unique_ptr<ClientStore> store_;
   FLConfig config_;
   RoundReport report_;
   /// Lane pool for client fan-out on hosts whose process-wide kernel pool

@@ -5,6 +5,7 @@
 // resume must fall back to an older one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -365,6 +366,113 @@ TEST(CheckpointResume, RestoreClientRecoversPerturbedState) {
   ckpt::CheckpointManager manager(opts);
   manager.restore_client(run, 0);
   EXPECT_EQ(models::serialize_state(run.client(0).model()), before);
+}
+
+// ---------------------------------------------------------------------------
+// Paged (O(active-cohort)) checkpoint/resume
+
+/// Paged lazy-init configuration with partial participation: clients leave
+/// and re-enter the resident set across rounds, so a resume must rebuild a
+/// cold ClientStore from the checkpoint's sparse client set + bootstrap.
+core::ExperimentConfig paged_resume_config(int rounds) {
+  core::ExperimentConfig cfg = tiny_experiment_config(6);
+  cfg.rounds = rounds;
+  cfg.sample_rate = 0.5;
+  cfg.max_resident_clients = 3;
+  cfg.client_parallelism = 2;
+  cfg.lazy_init = true;
+  return cfg;
+}
+
+TEST(CheckpointResume, PagedSplitRunMatchesStraightPagedRun) {
+  const std::string dir = scratch_dir("paged_resume");
+
+  // Uninterrupted paged reference: 8 rounds under the same budget.
+  core::Experiment straight_exp(paged_resume_config(8));
+  core::FedClassAvg straight(straight_exp.fedclassavg_config());
+  const core::CompletedRun reference = straight_exp.execute(straight);
+
+  // And the historical all-resident eager run: the paged lazy curve must
+  // match it row for row (traffic totals differ by the skipped init sweep).
+  core::ExperimentConfig eager_cfg = paged_resume_config(8);
+  eager_cfg.max_resident_clients = 0;
+  eager_cfg.lazy_init = false;
+  core::Experiment eager_exp(eager_cfg);
+  core::FedClassAvg eager(eager_exp.fedclassavg_config());
+  const core::CompletedRun all_resident = eager_exp.execute(eager);
+  test::expect_curve_identical(all_resident.result, reference.result);
+
+  // Phase 1: stop after 4 rounds, checkpointed.
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 4;
+  core::Experiment first_exp(paged_resume_config(4));
+  core::FedClassAvg first(first_exp.fedclassavg_config());
+  first_exp.execute(first, opts);
+
+  // Phase 2: fresh process state — in particular a *cold* ClientStore whose
+  // page directory starts empty — resumed to round 8.
+  core::Experiment second_exp(paged_resume_config(8));
+  core::FedClassAvg second(second_exp.fedclassavg_config());
+  const core::CompletedRun resumed = second_exp.resume(second, opts);
+  EXPECT_EQ(resumed.checkpoint_stats.loads, 1);
+
+  expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(CheckpointResume, V4CheckpointRecordsSparseClientSetAndBootstrap) {
+  const std::string dir = scratch_dir("paged_sections");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 1;
+
+  core::Experiment exp(paged_resume_config(1));
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  const core::CompletedRun done = exp.execute(strat, opts);
+
+  const ckpt::SectionReader reader(
+      ckpt::CheckpointManager::checkpoint_path(dir, 1));
+  EXPECT_EQ(reader.version(), ckpt::kFormatVersion);
+  ASSERT_TRUE(reader.has("clients"));
+  ASSERT_TRUE(reader.has("bootstrap"));  // lazy-init run
+
+  // The index lists exactly the dirty set — with sample_rate 0.5 and one
+  // round, that is the 3 selected clients, not the population of 6 — and a
+  // client section exists iff the index lists it.
+  ckpt::ByteReader index(reader.section("clients"));
+  const uint32_t count = index.u32();
+  EXPECT_EQ(count, 3u);
+  std::vector<int> recorded;
+  for (uint32_t i = 0; i < count; ++i) {
+    recorded.push_back(static_cast<int>(index.u32()));
+  }
+  index.expect_done();
+  for (int k = 0; k < exp.config().num_clients; ++k) {
+    const bool listed =
+        std::find(recorded.begin(), recorded.end(), k) != recorded.end();
+    EXPECT_EQ(reader.has("client/" + std::to_string(k)), listed)
+        << "client " << k;
+  }
+  EXPECT_EQ(recorded, done.run->store().checkpoint_clients());
+}
+
+TEST(CheckpointResume, LazyResumeFromEagerCheckpointRejected) {
+  // An eager-init run's checkpoint carries no bootstrap payload, so a
+  // lazy-init resume cannot rebuild clean clients from it and must say so.
+  const std::string dir = scratch_dir("eager_to_lazy");
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 2;
+
+  core::ExperimentConfig eager_cfg = paged_resume_config(2);
+  eager_cfg.lazy_init = false;
+  core::Experiment eager_exp(eager_cfg);
+  core::FedClassAvg eager(eager_exp.fedclassavg_config());
+  eager_exp.execute(eager, opts);
+
+  core::Experiment lazy_exp(paged_resume_config(4));
+  core::FedClassAvg lazy(lazy_exp.fedclassavg_config());
+  EXPECT_THROW(lazy_exp.resume(lazy, opts), Error);
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include "comm/fault.hpp"
 #include "core/fedclassavg.hpp"
 #include "core/trainer.hpp"
+#include "fl/local_only.hpp"
 #include "fl_fixtures.hpp"
 #include "models/serialize.hpp"
 
@@ -132,6 +133,108 @@ TEST(FaultDeterminism, CheckpointSplitFaultyRunIsBitIdentical) {
   const core::CompletedRun resumed = rest_exp.resume(rest_strat, opts);
 
   expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(FaultDeterminism, PagedFaultyRunMatchesResidentBitForBit) {
+  // Paging reorders client instantiation (evicted clients re-materialize on
+  // reselection, endpoints register lazily), but fault schedules are pure
+  // functions of (fault seed, round, rank, send sequence) — so a faulty run
+  // under a resident budget must stay bit-identical, crashes included.
+  const FaultyRun resident = run_faulty(faulty_config(7));
+  EXPECT_GT(resident.result.total_faults.injected_total(), 0u);
+
+  core::ExperimentConfig paged_cfg = faulty_config(7);
+  paged_cfg.max_resident_clients = 3;  // population 4: forces evictions
+  const FaultyRun paged = run_faulty(paged_cfg);
+
+  expect_bit_identical(resident.result, paged.result);
+  ASSERT_EQ(resident.models.size(), paged.models.size());
+  for (size_t k = 0; k < resident.models.size(); ++k) {
+    EXPECT_EQ(resident.models[k], paged.models[k]) << "client " << k;
+  }
+}
+
+TEST(FaultDeterminism, CrashedPagedClientsPageOutAndBackConsistently) {
+  // A client that crashed mid-run (schedule "2@2") and was later evicted
+  // must round-trip through its page file like any other: paging out the
+  // whole population and walking it back changes nothing.
+  core::ExperimentConfig cfg = faulty_config(7);
+  cfg.max_resident_clients = 3;
+  core::Experiment exp(cfg);
+  core::FedClassAvg strat(exp.fedclassavg_config());
+  core::CompletedRun done = exp.execute(strat);
+
+  std::vector<std::vector<std::byte>> before;
+  for (int k = 0; k < done.run->num_clients(); ++k) {
+    before.push_back(
+        models::serialize_state(done.run->client_readonly(k).model()));
+  }
+  done.run->store().evict_idle();
+  EXPECT_EQ(done.run->store().resident_count(), 0);
+  for (int k = 0; k < done.run->num_clients(); ++k) {
+    EXPECT_EQ(models::serialize_state(done.run->client_readonly(k).model()),
+              before[static_cast<size_t>(k)])
+        << "client " << k;
+  }
+}
+
+TEST(FaultDeterminism, PagedFaultySplitRunIsBitIdentical) {
+  // Checkpoint/resume x paging x faults together: the resumed half starts
+  // with a cold store whose clients come back from checkpoint sections, yet
+  // the fault schedule and the curve must continue bit-exactly.
+  const std::string dir = testing::TempDir() + "fca_fault_paged_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  core::ExperimentConfig cfg = faulty_config(7);
+  cfg.max_resident_clients = 3;
+  const FaultyRun reference = run_faulty(cfg);
+
+  ckpt::Options opts;
+  opts.dir = dir;
+  opts.every = 3;
+  core::ExperimentConfig half_cfg = cfg;
+  half_cfg.rounds = 3;
+  core::Experiment half_exp(half_cfg);
+  core::FedClassAvg half_strat(half_exp.fedclassavg_config());
+  half_exp.execute(half_strat, opts);
+
+  core::Experiment rest_exp(cfg);
+  core::FedClassAvg rest_strat(rest_exp.fedclassavg_config());
+  const core::CompletedRun resumed = rest_exp.resume(rest_strat, opts);
+
+  expect_bit_identical(reference.result, resumed.result);
+}
+
+TEST(FaultDeterminism, ThousandClientPagedFaultySmoke) {
+  // The population-parameterized fixture at 1k clients: partial
+  // participation, a tight residency budget, crash + drop injection, and a
+  // bounded eval cohort. Proves the O(active-cohort) machinery and the
+  // fault fabric compose at four-digit populations in test time.
+  core::ExperimentConfig cfg = tiny_experiment_config(1000);
+  cfg.rounds = 2;
+  cfg.sample_rate = 0.01;  // 10 clients per round
+  cfg.max_resident_clients = 6;
+  cfg.client_parallelism = 2;
+  cfg.lazy_init = true;
+  cfg.eval_clients = 8;
+  cfg.faults.drop_rate = 0.1;
+  cfg.faults.crash_schedule = comm::parse_crash_schedule("3@1");
+  cfg.faults.fault_seed = 7;
+
+  core::Experiment exp(cfg);
+  fl::LocalOnly strat;
+  const core::CompletedRun done = exp.execute(strat);
+  ASSERT_EQ(static_cast<int>(done.result.curve.size()), 2);
+  for (const fl::RoundMetrics& row : done.result.curve) {
+    EXPECT_EQ(row.selected_count, 10);
+    EXPECT_EQ(static_cast<int>(row.client_accuracies.size()), 8);
+  }
+  const fl::ClientStoreStats stats = done.run->store().stats();
+  EXPECT_LE(stats.peak_resident, cfg.max_resident_clients);
+  // Only touched clients were ever built: 2 rounds x 10 selected + the
+  // 8-client eval cohort bounds materializations far below the population.
+  EXPECT_LE(stats.materializations, 80u);
 }
 
 TEST(FaultDeterminism, ModerateLossDegradesGracefully) {
