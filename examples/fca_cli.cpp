@@ -118,6 +118,18 @@ void print_help() {
       "  --io-backoff S      base backoff seconds before the first retry;\n"
       "                      doubles per attempt, capped, seeded jitter\n"
       "                      (default 0.02). See DESIGN.md §12\n"
+      "\nMulti-process run (one OS process per fabric rank; DESIGN.md §14):\n"
+      "  --rank N            run this process as fabric rank N: 0 hosts the\n"
+      "                      server (aggregation, eval, checkpoints, curve),\n"
+      "                      rank k+1 runs client k. Launch clients+1\n"
+      "                      processes with the same experiment flags and\n"
+      "                      distinct ranks; curves and checkpoints are\n"
+      "                      byte-identical to the single-process run\n"
+      "  --world-size N      total processes; must equal --clients + 1\n"
+      "  --bind HOST:PORT    tcp rank 0: rendezvous listener address\n"
+      "  --connect HOST:PORT tcp rank >0: rank 0's rendezvous address\n"
+      "  (--resume works too: every rank reads the shared --checkpoint-dir\n"
+      "  and the rendezvous handshake rejects stale checkpoint views)\n"
       "\nFabric probe (multi-process transport smoke test):\n"
       "  probe               first positional arg: run the probe instead of\n"
       "                      an experiment. Each participating process runs\n"
@@ -339,7 +351,18 @@ int run_probe(const std::map<std::string, std::string>& flags) {
   FCA_CHECK_MSG(flags.count("rank") != 0, "probe needs --rank (0 = root)");
   topts.self_rank = std::stoi(flags.at("rank"));
   const int world = std::stoi(get_flag(flags, "world-size", "2"));
-  FCA_CHECK_MSG(world >= 2, "probe needs --world-size >= 2");
+  if (world < 2) {
+    // A 1-rank (or smaller) world has no peers: rank 0 would block at
+    // rendezvous forever waiting for joiners that cannot exist. Diagnose it
+    // as the typed connectivity failure it is instead of hanging.
+    const comm::TransportError err(
+        comm::TransportErrc::kPeerUnreachable, comm::TransportError::kNoPeer,
+        "--world-size " + std::to_string(world) +
+            " leaves no peers to probe; a multi-process world needs at "
+            "least 2 ranks (one root + one joiner)");
+    std::fprintf(stderr, "probe: connectivity failure: %s\n", err.what());
+    return 2;
+  }
   FCA_CHECK_MSG(topts.self_rank >= 0 && topts.self_rank < world,
                 "--rank outside [0, world-size)");
   topts.shm_name = get_flag(flags, "shm-name", "/fca_probe");
@@ -456,6 +479,33 @@ int main(int argc, char** argv) {
             std::isfinite(config.transport.io_timeout_s),
         "--io-timeout must be a positive finite number of seconds, got "
             << config.transport.io_timeout_s);
+    // Multi-process run (DESIGN.md §14): --rank pins this process to one
+    // fabric rank; every participating process runs the same command line
+    // with its own --rank. World shape is clients + 1 (rank 0 = server,
+    // rank k+1 = client k), checked here so a typo fails before rendezvous.
+    const bool scoped_run = flags.count("rank") != 0;
+    if (scoped_run) {
+      config.transport.self_rank = std::stoi(flags.at("rank"));
+      const int world = std::stoi(
+          get("world-size", std::to_string(config.num_clients + 1)));
+      FCA_CHECK_MSG(world == config.num_clients + 1,
+                    "--world-size " << world << " must equal --clients + 1 = "
+                                    << config.num_clients + 1
+                                    << " (one process per fabric rank)");
+      FCA_CHECK_MSG(config.transport.self_rank >= 0 &&
+                        config.transport.self_rank < world,
+                    "--rank " << config.transport.self_rank
+                              << " outside [0, " << world << ")");
+      FCA_CHECK_MSG(config.transport.kind != comm::TransportKind::kInproc,
+                    "a multi-process run spans processes; use --transport "
+                    "shm or tcp");
+      if (config.transport.shm_name.empty()) {
+        config.transport.shm_name = "/fca_run";
+      }
+      config.transport.shm_create = config.transport.self_rank == 0;
+      config.transport.bind_address = get("bind", "");
+      config.transport.connect_address = get("connect", "");
+    }
     const std::string partition = get("partition", "dirichlet");
     if (partition == "skewed") {
       config.partition = core::PartitionScheme::kSkewed;
@@ -492,6 +542,21 @@ int main(int argc, char** argv) {
     if (profile) obs::set_kernel_tracing(true);
     if (!metrics_path.empty()) obs::set_metrics(true);
 
+    const std::string ckpt_dir = get("checkpoint-dir", "");
+    const bool resume = flags.count("resume") != 0;
+    if (resume && ckpt_dir.empty()) {
+      throw Error("--resume requires --checkpoint-dir");
+    }
+    if (scoped_run && resume) {
+      // Every rank derives the resume round from the shared checkpoint
+      // directory before rendezvous; the handshake then pins it, so a rank
+      // looking at a stale directory is rejected instead of silently
+      // training from the wrong round.
+      const std::vector<int> rounds =
+          ckpt::CheckpointManager::available_rounds(ckpt_dir);
+      if (!rounds.empty()) config.resume_next_round = rounds.back() + 1;
+    }
+
     core::Experiment experiment(config);
     auto strategy = make_strategy(algorithm, experiment);
     std::printf("running %s on %s (%d clients, %d rounds, %s, models=%s)\n",
@@ -499,11 +564,6 @@ int main(int argc, char** argv) {
                 config.num_clients, config.rounds, partition.c_str(),
                 models.c_str());
 
-    const std::string ckpt_dir = get("checkpoint-dir", "");
-    const bool resume = flags.count("resume") != 0;
-    if (resume && ckpt_dir.empty()) {
-      throw Error("--resume requires --checkpoint-dir");
-    }
     core::CompletedRun done;
     if (!ckpt_dir.empty()) {
       ckpt::Options opts;
@@ -512,12 +572,22 @@ int main(int argc, char** argv) {
       opts.keep_last = std::stoi(get("checkpoint-keep", "2"));
       done = resume ? experiment.execute_or_resume(*strategy, opts)
                     : experiment.execute(*strategy, opts);
-      std::printf("checkpoints: %d saved (%.1f ms total, newest %.1f KB)\n",
-                  done.checkpoint_stats.saves,
-                  done.checkpoint_stats.save_seconds * 1e3,
-                  done.checkpoint_stats.last_file_bytes / 1024.0);
+      if (done.run->is_root()) {
+        std::printf("checkpoints: %d saved (%.1f ms total, newest %.1f KB)\n",
+                    done.checkpoint_stats.saves,
+                    done.checkpoint_stats.save_seconds * 1e3,
+                    done.checkpoint_stats.last_file_bytes / 1024.0);
+      }
     } else {
       done = experiment.execute(*strategy);
+    }
+
+    if (!done.run->is_root()) {
+      // The curve, checkpoints and merged trace all live on rank 0; a
+      // joiner's job was its clients' bodies, now synced to the root. Exit
+      // quietly so per-rank logs compose.
+      std::printf("joiner rank %d finished\n", done.run->self_rank());
+      return 0;
     }
 
     const bool faulty = config.faults.enabled();

@@ -328,7 +328,12 @@ fl::ResumeState CheckpointManager::resume(fl::FederatedRun& run,
         if (reader.version() >= 3) faults.real_peer_faults = net.u64();
       }
       net.expect_done();
-      run.network().clear_pending();
+      // All-local hygiene: a recovery replay must restart from an empty
+      // fabric. A scoped rank must NOT purge its rings — peers resume at
+      // unsynchronized times, and a faster rank's first-round traffic may
+      // already be queued here; discarding it would stall this rank's first
+      // recv until the io timeout condemns a healthy peer.
+      if (!run.network().scoped()) run.network().clear_pending();
       run.network().restore_stats(sent);
       run.network().restore_fault_stats(faults);
 

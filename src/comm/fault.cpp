@@ -50,6 +50,14 @@ FaultConfig parse_fault_config(std::span<const std::byte> blob) {
   config.crash_rate = r.f64();
   config.crash_rounds = r.i32();
   const uint32_t windows = r.u32();
+  // Each window is three i32s plus the trailing seed; bound the count by the
+  // bytes actually present before sizing the vector, so a corrupted count
+  // from the wire is a parse error — not a multi-gigabyte allocation.
+  FCA_CHECK_MSG(static_cast<uint64_t>(windows) * 12 + 8 <= r.remaining(),
+                "fault config claims " << windows
+                                       << " crash windows but only "
+                                       << r.remaining()
+                                       << " payload bytes remain");
   config.crash_schedule.resize(windows);
   for (uint32_t i = 0; i < windows; ++i) {
     config.crash_schedule[i].rank = r.i32();

@@ -1,10 +1,12 @@
 #include "comm/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <string>
 #include <utility>
 
+#include "comm/transport/framing.hpp"
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 
@@ -20,6 +22,25 @@ void add_checked(uint64_t& acc, uint64_t delta, const char* what) {
                 "uint64 overflow accumulating " << what << ": " << acc
                                                 << " + " << delta);
   acc += delta;
+}
+
+// Scoped-mode data-plane envelope. The sender runs the oracle's metering
+// and fault decisions; the receiver cannot re-derive them (it never sees
+// the sender's running send count), so the frame carries them: a 28-byte
+// little-endian header followed by the raw payload.
+constexpr uint32_t kEnvTombstone = 1u << 0;
+constexpr uint32_t kEnvDelayed = 1u << 1;
+constexpr size_t kEnvHeaderBytes = 28;
+
+Bytes envelope_wrap(uint32_t flags, uint64_t orig_size, double base_s,
+                    double extra_s, const Bytes& payload) {
+  Bytes out(kEnvHeaderBytes + payload.size());
+  framing::put_u32(out.data(), flags);
+  framing::put_u64(out.data() + 4, orig_size);
+  framing::put_u64(out.data() + 12, std::bit_cast<uint64_t>(base_s));
+  framing::put_u64(out.data() + 20, std::bit_cast<uint64_t>(extra_s));
+  std::copy(payload.begin(), payload.end(), out.begin() + kEnvHeaderBytes);
+  return out;
 }
 
 }  // namespace
@@ -61,6 +82,13 @@ Network::Network(int ranks, CostModel cost, FaultConfig faults,
   FCA_CHECK_MSG(transport_->world_size() == ranks_,
                 "transport spans " << transport_->world_size()
                                    << " rank(s), network needs " << ranks_);
+  self_rank_ = transport_->self_rank();
+  scoped_ = self_rank_ != TransportOptions::kAllRanks;
+  if (scoped_) {
+    FCA_CHECK_MSG(self_rank_ >= 0 && self_rank_ < ranks_,
+                  "scoped rank " << self_rank_ << " outside world [0, "
+                                 << ranks_ << ")");
+  }
 }
 
 void Network::check_rank(int rank) const {
@@ -130,7 +158,15 @@ Network::EdgeCounters& Network::edge_counters_locked(int src, int dst) {
 void Network::send(int src, int dst, int tag, Bytes payload) {
   check_rank(src);
   check_rank(dst);
+  FCA_CHECK_MSG(tag < kOobTagBase,
+                "data-plane tag 0x" << std::hex << tag
+                                    << " collides with the control plane");
   std::lock_guard lk(mu_);
+  if (scoped_ && src != self_rank_) {
+    // Another process owns this send: it runs the oracle path over there and
+    // ships the metering alongside the bytes (consume_wire_locked).
+    return;
+  }
   TrafficStats& s = sent_[static_cast<size_t>(src)];
   add_checked(s.messages, 1, "rank messages");
   add_checked(s.payload_bytes, static_cast<uint64_t>(payload.size()),
@@ -147,36 +183,124 @@ void Network::send(int src, int dst, int tag, Bytes payload) {
     total_msgs->add();
     total_bytes->add(static_cast<uint64_t>(payload.size()));
   }
-  double transfer = cost_.transfer_seconds(payload.size());
+  const uint64_t orig_size = static_cast<uint64_t>(payload.size());
+  const double base_transfer = cost_.transfer_seconds(payload.size());
+  double transfer = base_transfer;
+  double extra = 0.0;
   s.sim_seconds += transfer;
+  bool dropped = false;    // any in-flight loss (the sender paid anyway)
+  bool tombstone = false;  // a loss whose receiver would otherwise block
   if (plan_.injecting()) {
     // seq = this rank's running send count (just incremented): stable under
     // any lane scheduling and restored with TrafficStats on resume, so the
     // drop pattern replays identically.
     const uint64_t seq = s.messages;
     const int round = plan_.round();
-    if (plan_.crashed(round, src) || plan_.crashed(round, dst) ||
-        plan_.drop_message(src, dst, tag, seq)) {
-      add_checked(faults_.dropped_messages, 1, "dropped messages");
-      add_checked(faults_.dropped_bytes, static_cast<uint64_t>(payload.size()),
-                  "dropped bytes");
-      return;  // lost in flight; the sender still paid for the bytes
-    }
-    if (plan_.straggling(round, src)) {
-      const double extra = plan_.config().straggler_delay_s;
+    if (plan_.crashed(round, src) || plan_.crashed(round, dst)) {
+      // Crashed link: the counterpart's round body is skipped too, so
+      // nothing waits on this message — no frame at all.
+      dropped = true;
+    } else if (plan_.drop_message(src, dst, tag, seq)) {
+      // Message-level drop: in scoped mode the receiver is a live process
+      // that would block for this frame, so ship a tombstone instead.
+      dropped = true;
+      tombstone = true;
+    } else if (plan_.straggling(round, src)) {
+      extra = plan_.config().straggler_delay_s;
       transfer += extra;
       s.sim_seconds += extra;
       add_checked(faults_.delayed_messages, 1, "delayed messages");
     }
+    if (dropped) {
+      add_checked(faults_.dropped_messages, 1, "dropped messages");
+      add_checked(faults_.dropped_bytes, orig_size, "dropped bytes");
+    }
   }
+  if (!scoped_) {
+    if (dropped) return;  // lost in flight; the sender still paid
+    if (peer_dead_[static_cast<size_t>(dst)] != 0 ||
+        peer_dead_[static_cast<size_t>(src)] != 0) {
+      return;  // link already condemned; the message is lost like any drop
+    }
+    try {
+      transport_->send(
+          WireMessage{src, dst, tag, transfer, std::move(payload)});
+    } catch (const TransportError& e) {
+      degrade_locked(e, dst);  // rethrows when not peer-scoped
+    }
+    return;
+  }
+  // Scoped wire path: wrap payload + metering record in an envelope. A
+  // tombstone ships an empty payload (the bytes were lost; only the
+  // accounting record travels).
+  if (dropped && !tombstone) return;
   if (peer_dead_[static_cast<size_t>(dst)] != 0 ||
       peer_dead_[static_cast<size_t>(src)] != 0) {
-    return;  // link already condemned; the message is lost like any drop
+    return;
   }
+  uint32_t flags = 0;
+  double wire_transfer = transfer;
+  if (tombstone) {
+    flags |= kEnvTombstone;
+    wire_transfer = 0.0;
+    payload.clear();
+  }
+  if (extra > 0.0) flags |= kEnvDelayed;
+  Bytes wrapped =
+      envelope_wrap(flags, orig_size, base_transfer, extra, payload);
   try {
-    transport_->send(WireMessage{src, dst, tag, transfer, std::move(payload)});
+    transport_->send(
+        WireMessage{src, dst, tag, wire_transfer, std::move(wrapped)});
   } catch (const TransportError& e) {
     degrade_locked(e, dst);  // rethrows when not peer-scoped
+  }
+}
+
+std::optional<Bytes> Network::consume_wire_locked(int src, WireMessage msg) {
+  const Bytes& env = msg.payload;
+  FCA_CHECK_MSG(env.size() >= kEnvHeaderBytes,
+                "scoped envelope from rank " << src << " truncated: "
+                                             << env.size() << " bytes");
+  const uint32_t flags = framing::get_u32(env.data());
+  const uint64_t orig_size = framing::get_u64(env.data() + 4);
+  const double base_s =
+      std::bit_cast<double>(framing::get_u64(env.data() + 12));
+  const double extra_s =
+      std::bit_cast<double>(framing::get_u64(env.data() + 20));
+  // Replay the sender's metering into this rank's ledger so rank 0's totals
+  // (own sends + consumed envelopes — the star topology routes every uplink
+  // here) equal the all-local oracle's. Registry counters are per-process
+  // observability, not compared across modes, so they are not replayed.
+  TrafficStats& s = sent_[static_cast<size_t>(src)];
+  add_checked(s.messages, 1, "rank messages");
+  add_checked(s.payload_bytes, orig_size, "rank payload bytes");
+  s.sim_seconds += base_s;
+  if ((flags & kEnvDelayed) != 0) {
+    s.sim_seconds += extra_s;
+    add_checked(faults_.delayed_messages, 1, "delayed messages");
+  }
+  if ((flags & kEnvTombstone) != 0) {
+    add_checked(faults_.dropped_messages, 1, "dropped messages");
+    add_checked(faults_.dropped_bytes, orig_size, "dropped bytes");
+    return std::nullopt;
+  }
+  Bytes payload(env.begin() + static_cast<std::ptrdiff_t>(kEnvHeaderBytes),
+                env.end());
+  return payload;
+}
+
+std::optional<Bytes> Network::scoped_wait_consume_locked(int dst, int src,
+                                                         int tag) {
+  try {
+    std::optional<WireMessage> msg = transport_->wait_recv(dst, src, tag);
+    if (!msg.has_value()) {
+      condemn_locked(src, "io timeout draining scoped frame");
+      return std::nullopt;
+    }
+    return consume_wire_locked(src, std::move(*msg));
+  } catch (const TransportError& e) {
+    degrade_locked(e, src);  // rethrows when not peer-scoped
+    return std::nullopt;
   }
 }
 
@@ -184,6 +308,29 @@ Bytes Network::recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (scoped_ && dst != self_rank_) {
+    // Another process owns this receive and consumes the real frame there.
+    // The only callers reaching here discard the value (symmetric drain
+    // loops over all ranks), so an empty payload stands in for it.
+    return Bytes{};
+  }
+  if (scoped_ && src != self_rank_) {
+    try {
+      std::optional<Bytes> payload =
+          consume_wire_locked(src, transport_->recv(dst, src, tag));
+      // A tombstone on the strict path is a protocol bug: strict receives
+      // are reserved for traffic the fault plan never targets.
+      FCA_CHECK_MSG(payload.has_value(),
+                    "strict recv consumed a tombstone from rank " << src);
+      return std::move(*payload);
+    } catch (const TransportError& e) {
+      if (e.peer_scoped()) {
+        condemn_locked(e.peer() != TransportError::kNoPeer ? e.peer() : src,
+                       e.what());
+      }
+      throw;
+    }
+  }
   // A strict recv is the no-fault path: a condemned sender means the caller
   // should have degraded to try_recv/recv_within, so the error propagates
   // (after the condemnation is recorded) instead of being swallowed.
@@ -202,7 +349,28 @@ std::optional<Bytes> Network::try_recv(int dst, int src, int tag) {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (scoped_ && dst != self_rank_) return std::nullopt;
   if (peer_dead_[static_cast<size_t>(src)] != 0) return std::nullopt;
+  if (scoped_ && src != self_rank_) {
+    if (self_rank_ == 0 && in_round_) {
+      // Root mid-round: non-blocking, like the oracle's mailbox poll. The
+      // per-round barrier (every joiner's control message arrives after its
+      // data sends, per-edge FIFO) guarantees frame-present ⇔ body-sent, so
+      // "nothing there" genuinely means the sender lost or skipped it.
+      try {
+        std::optional<WireMessage> msg = transport_->try_recv(dst, src, tag);
+        if (!msg.has_value()) return std::nullopt;
+        return consume_wire_locked(src, std::move(*msg));
+      } catch (const TransportError& e) {
+        degrade_locked(e, src);
+        return std::nullopt;
+      }
+    }
+    // Joiners (and out-of-round traffic): the frame may simply not have
+    // arrived yet, so block up to the io timeout; a drained timeout is a
+    // real peer fault.
+    return scoped_wait_consume_locked(dst, src, tag);
+  }
   try {
     std::optional<WireMessage> msg = transport_->try_recv(dst, src, tag);
     if (!msg.has_value()) return std::nullopt;
@@ -218,7 +386,36 @@ std::optional<Bytes> Network::recv_within(int dst, int src, int tag,
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (scoped_ && dst != self_rank_) return std::nullopt;
   if (peer_dead_[static_cast<size_t>(src)] != 0) return std::nullopt;
+  if (scoped_ && src != self_rank_) {
+    // The transport's recv_with_deadline consumes a late frame internally,
+    // which would hide its envelope from accounting replay — so unwrap
+    // first and apply the deadline to the replayed transfer time.
+    FCA_CHECK_MSG(deadline_s > 0.0 && !std::isnan(deadline_s),
+                  "recv_within needs a positive deadline, got " << deadline_s);
+    std::optional<WireMessage> msg;
+    try {
+      msg = transport_->try_recv(dst, src, tag);
+    } catch (const TransportError& e) {
+      degrade_locked(e, src);
+      return std::nullopt;
+    }
+    if (!msg.has_value()) return std::nullopt;
+    const Bytes& env = msg->payload;
+    FCA_CHECK_MSG(env.size() >= kEnvHeaderBytes, "scoped envelope truncated");
+    const uint32_t flags = framing::get_u32(env.data());
+    const double total_s =
+        std::bit_cast<double>(framing::get_u64(env.data() + 12)) +
+        std::bit_cast<double>(framing::get_u64(env.data() + 20));
+    std::optional<Bytes> payload = consume_wire_locked(src, std::move(*msg));
+    if (!payload.has_value()) return std::nullopt;  // tombstone, not a miss
+    if ((flags & kEnvTombstone) == 0 && total_s > deadline_s) {
+      add_checked(faults_.deadline_misses, 1, "deadline misses");
+      return std::nullopt;
+    }
+    return payload;
+  }
   bool missed = false;
   std::optional<WireMessage> msg;
   try {
@@ -241,8 +438,44 @@ bool Network::has_message(int dst, int src, int tag) const {
   check_rank(src);
   check_rank(dst);
   std::lock_guard lk(mu_);
+  if (scoped_ && dst != self_rank_) return false;
   if (peer_dead_[static_cast<size_t>(src)] != 0) return false;
   return transport_->has_message(dst, src, tag);
+}
+
+void Network::oob_send(int dst, int tag, Bytes payload) {
+  check_rank(dst);
+  FCA_CHECK_MSG(scoped_, "oob_send is scoped-mode only");
+  FCA_CHECK_MSG(tag >= kOobTagBase, "oob tag 0x" << std::hex << tag
+                                                 << " below kOobTagBase");
+  std::lock_guard lk(mu_);
+  if (peer_dead_[static_cast<size_t>(dst)] != 0) return;
+  try {
+    transport_->send(
+        WireMessage{self_rank_, dst, tag, 0.0, std::move(payload)});
+  } catch (const TransportError& e) {
+    degrade_locked(e, dst);  // rethrows when not peer-scoped
+  }
+}
+
+std::optional<Bytes> Network::oob_recv(int src, int tag, int attempts) {
+  check_rank(src);
+  FCA_CHECK_MSG(scoped_, "oob_recv is scoped-mode only");
+  FCA_CHECK_MSG(attempts >= 1, "oob_recv needs at least one attempt");
+  std::lock_guard lk(mu_);
+  if (peer_dead_[static_cast<size_t>(src)] != 0) return std::nullopt;
+  try {
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      std::optional<WireMessage> msg =
+          transport_->wait_recv(self_rank_, src, tag);
+      if (msg.has_value()) return std::move(msg->payload);
+    }
+    condemn_locked(src, "io timeout waiting for control message");
+    return std::nullopt;
+  } catch (const TransportError& e) {
+    degrade_locked(e, src);  // rethrows when not peer-scoped
+    return std::nullopt;
+  }
 }
 
 size_t Network::pending_messages() const {
@@ -284,12 +517,14 @@ void Network::restore_stats(const std::vector<TrafficStats>& sent) {
 
 void Network::begin_round(int round) {
   std::lock_guard lk(mu_);
+  in_round_ = true;
   plan_.begin_round(round);
   transport_->begin_round(round);
 }
 
 void Network::end_round() {
   std::lock_guard lk(mu_);
+  in_round_ = false;
   plan_.end_round();
   transport_->end_round();
 }

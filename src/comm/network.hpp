@@ -72,6 +72,12 @@ struct CostModel {
 
 class Network {
  public:
+  /// First tag reserved for the multi-process control plane (the rank
+  /// runner's out-of-band mirrors). Data-plane sends must stay below it:
+  /// control traffic is never metered, so letting it share the tag space
+  /// would silently corrupt the byte accounting.
+  static constexpr int kOobTagBase = 0x7F000000;
+
   /// A null `transport` builds the in-process backend (the historical
   /// behavior and the determinism oracle). A supplied transport must span
   /// the same world: `ranks == transport->world_size()`.
@@ -79,6 +85,17 @@ class Network {
                    std::unique_ptr<Transport> transport = nullptr);
 
   int size() const { return ranks_; }
+
+  /// True when this Network drives a single rank of a multi-process world
+  /// (the transport was built with a concrete self_rank). Scoped mode
+  /// changes delivery mechanics — sends whose src is another process are
+  /// no-ops, remote payloads travel in an envelope replaying the sender's
+  /// metering — never what the simulation computes: rank 0's ledgers match
+  /// the all-local oracle bit for bit.
+  bool scoped() const { return scoped_; }
+  /// This process's fabric rank in scoped mode; TransportOptions::kAllRanks
+  /// otherwise.
+  int self_rank() const { return self_rank_; }
 
   /// The backend moving the bytes (never null).
   const Transport& transport() const { return *transport_; }
@@ -166,6 +183,21 @@ class Network {
   /// rank transitioned alive -> dead.
   bool condemn_peer(int rank, const std::string& why);
 
+  // -- scoped-mode control plane (DESIGN.md §14) -----------------------------
+  /// Ships `payload` directly through the transport: no metering, no fault
+  /// injection, no envelope. Only tags >= kOobTagBase are accepted. A dead
+  /// peer is skipped; a transport error condemns the peer instead of
+  /// propagating. Scoped mode only.
+  void oob_send(int dst, int tag, Bytes payload);
+  /// Blocking control-plane receive (up to `attempts` spans of the
+  /// transport's io timeout). std::nullopt means the peer is — now, if not
+  /// before — condemned. Waits on the root use attempts > 1: before
+  /// publishing a mirror the root may spend up to one io timeout per
+  /// newly-dead joiner discovering the deaths, so a joiner waiting with the
+  /// same single timeout would condemn a healthy root. Waits on joiners
+  /// keep attempts == 1 — that timeout IS the death-detection latency.
+  std::optional<Bytes> oob_recv(int src, int tag, int attempts = 1);
+
  private:
   void check_rank(int rank) const;
   /// Shared recovery path: marks the rank dead, counts the real fault once,
@@ -184,6 +216,17 @@ class Network {
   };
   EdgeCounters& edge_counters_locked(int src, int dst);
 
+  /// Unwraps a scoped-mode envelope from `src` and replays the sender's
+  /// metering decisions into this rank's ledgers (the sender made them under
+  /// the deterministic fault plan; replaying keeps every rank's totals equal
+  /// to the oracle's). Returns the payload, or std::nullopt for a tombstone
+  /// — a message the plan dropped, shipped anyway so the receiver both
+  /// accounts for it and knows not to keep waiting. Caller holds mu_.
+  std::optional<Bytes> consume_wire_locked(int src, WireMessage msg);
+  /// Blocking transport receive of one data-plane frame from remote `src`,
+  /// with condemn-on-timeout/-error. Caller holds mu_.
+  std::optional<Bytes> scoped_wait_consume_locked(int dst, int src, int tag);
+
   int ranks_;
   CostModel cost_;
   FaultPlan plan_;
@@ -193,6 +236,9 @@ class Network {
   std::vector<char> peer_dead_;
   FaultStats faults_;
   std::map<std::pair<int, int>, EdgeCounters> edges_;
+  bool scoped_ = false;
+  int self_rank_ = TransportOptions::kAllRanks;
+  bool in_round_ = false;
 };
 
 }  // namespace fca::comm

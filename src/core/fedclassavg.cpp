@@ -68,27 +68,20 @@ void FedClassAvg::initialize(fl::FederatedRun& run) {
   // The initialization barrier degrades like a round (DESIGN.md §12): on a
   // fabric that can actually lose a peer, a client whose init upload dies
   // is condemned by the network and excluded from C^1, with the eq. 1
-  // weights renormalized over the clients that reported. Endpoint::try_recv
-  // keeps the strict protocol-bug check on a reliable fabric.
-  std::vector<int> contributors;
-  std::vector<comm::Bytes> uploads;
-  contributors.reserve(all.size());
-  uploads.reserve(all.size());
-  for (int k : all) {
-    std::optional<comm::Bytes> up =
-        run.server_endpoint().try_recv(k + 1, fl::kTagModelUp);
-    if (up.has_value()) {
-      contributors.push_back(k);
-      uploads.push_back(std::move(*up));
-    }
-  }
+  // weights renormalized over the clients that reported. collect_uploads
+  // keeps the strict protocol-bug check on a reliable fabric and mirrors
+  // the contributor set to every rank of a multi-process world.
+  const fl::FederatedRun::CollectedUploads collected =
+      run.collect_uploads(all, fl::kTagModelUp, /*strict=*/false);
+  const std::vector<int>& contributors = collected.contributors;
   FCA_CHECK_MSG(!contributors.empty(),
                 "no client survived initialization: every init upload was "
                 "lost to transport failures");
   const std::vector<double> weights = run.data_weights(contributors);
   global_.clear();
   for (size_t i = 0; i < contributors.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(uploads[i]);
+    const std::vector<Tensor> up =
+        models::deserialize_tensors(collected.uploads[i]);
     if (global_.empty()) {
       for (const Tensor& t : up) global_.emplace_back(t.shape());
     }

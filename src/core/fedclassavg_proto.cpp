@@ -91,10 +91,15 @@ void FedClassAvgProto::initialize(fl::FederatedRun& run) {
             run.client(k).model().classifier_parameters())));
   }
   const std::vector<double> weights = run.data_weights(all);
+  // Strict collect: on a reliable fabric a lost init upload is a protocol
+  // bug, so contributors == all on return, preserving the weights-over-all
+  // arithmetic. Scoped ranks consume the root's mirror instead.
+  const fl::FederatedRun::CollectedUploads collected =
+      run.collect_uploads(all, fl::kTagModelUp, /*strict=*/true);
   global_.clear();
-  for (size_t i = 0; i < all.size(); ++i) {
-    const std::vector<Tensor> up = models::deserialize_tensors(
-        run.server_endpoint().recv(all[i] + 1, fl::kTagModelUp));
+  for (size_t i = 0; i < collected.uploads.size(); ++i) {
+    const std::vector<Tensor> up =
+        models::deserialize_tensors(collected.uploads[i]);
     if (global_.empty()) {
       for (const Tensor& t : up) global_.emplace_back(t.shape());
     }

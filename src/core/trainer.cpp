@@ -165,6 +165,7 @@ fl::FLConfig Experiment::fl_config() const {
   fc.transport = config_.transport;
   fc.lazy_init = config_.lazy_init;
   fc.eval_clients = config_.eval_clients;
+  fc.resume_next_round = config_.resume_next_round;
   return fc;
 }
 
@@ -191,7 +192,10 @@ CompletedRun Experiment::execute(fl::RoundStrategy& strategy,
   ckpt::CheckpointManager manager(options);
   fl::MetricsRoundHook metrics_hook;
   fl::RoundHookChain hooks;
-  hooks.add(&manager);
+  // Checkpoints are root-written: in a multi-process world only rank 0 —
+  // whose mirror store holds every client's synced state — saves, so joiner
+  // ranks never race it on the shared directory.
+  if (run->is_root()) hooks.add(&manager);
   hooks.add(&metrics_hook);
   fl::RunResult result = run->execute(strategy, &hooks);
   return {std::move(result), std::move(run), manager.stats()};
@@ -203,10 +207,13 @@ CompletedRun Experiment::resume(fl::RoundStrategy& strategy,
                << ": resuming from " << options.dir;
   auto run = std::make_unique<fl::FederatedRun>(build_store(), fl_config());
   ckpt::CheckpointManager manager(options);
+  // Every rank restores from the shared directory (each needs its own
+  // clients' state, the strategy state and the traffic ledgers), but only
+  // the root keeps writing checkpoints as the run continues.
   const fl::ResumeState cursor = manager.resume(*run, strategy);
   fl::MetricsRoundHook metrics_hook;
   fl::RoundHookChain hooks;
-  hooks.add(&manager);
+  if (run->is_root()) hooks.add(&manager);
   hooks.add(&metrics_hook);
   fl::RunResult result = run->execute(strategy, &hooks, &cursor);
   return {std::move(result), std::move(run), manager.stats()};

@@ -82,6 +82,12 @@ struct ExperimentConfig {
   /// Evaluate only clients [0, eval_clients) per eval round; 0 = all
   /// (FLConfig::eval_clients).
   int eval_clients = 0;
+  /// First round a scoped (multi-process) run executes
+  /// (FLConfig::resume_next_round): 1 = fresh; a resuming launcher sets it
+  /// to the shared checkpoint directory's newest round + 1 on every rank so
+  /// the rendezvous handshake can reject a rank with a stale checkpoint
+  /// view. Ignored by all-local runs.
+  int resume_next_round = 1;
 
   uint64_t seed = 42;
 

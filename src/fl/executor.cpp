@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <mutex>
 
@@ -23,6 +24,9 @@ struct MapState {
   std::atomic<size_t> next{0};
   std::vector<double> results;
   std::vector<std::exception_ptr> errors;
+  /// Non-empty in scoped mode: 1 = another process owns this position, the
+  /// slot was pre-filled with NaN and the body must not run here.
+  std::vector<char> skip;
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;
@@ -37,6 +41,11 @@ void run_lane(const std::shared_ptr<MapState>& st) {
   for (;;) {
     const size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
+    if (!st->skip.empty() && st->skip[i] != 0) {
+      std::lock_guard lk(st->mu);
+      if (++st->done == n) st->cv.notify_all();
+      continue;
+    }
     try {
       // The body traces as its client's rank no matter which lane claimed
       // it — the coordinates come from here, not the thread.
@@ -62,6 +71,7 @@ std::vector<double> RoundExecutor::map(
     const std::vector<int>& clients,
     const std::function<double(int)>& body) const {
   const size_t n = clients.size();
+  const bool scoped = scope_armed();
   ThreadPool& pool = pool_ != nullptr ? *pool_ : global_pool();
   size_t lanes = parallelism_ == 0 ? static_cast<size_t>(pool.size()) + 1
                                    : static_cast<size_t>(parallelism_);
@@ -72,9 +82,15 @@ std::vector<double> RoundExecutor::map(
     std::vector<double> out;
     out.reserve(n);
     for (int k : clients) {
+      if (scoped && !scope_.owns(k)) {
+        // Another process runs this body; reconcile() fills the slot.
+        out.push_back(std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
       obs::ContextScope ctx(k + 1);  // same coordinates as the lane path
       out.push_back(body(k));
     }
+    if (scoped) scope_.reconcile(clients, out);
     return out;
   }
 
@@ -83,6 +99,15 @@ std::vector<double> RoundExecutor::map(
   st->body = body;
   st->results.assign(n, 0.0);
   st->errors.assign(n, nullptr);
+  if (scoped) {
+    st->skip.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (!scope_.owns(clients[i])) {
+        st->skip[i] = 1;
+        st->results[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
   for (size_t l = 1; l < lanes; ++l) {
     pool.submit([st] { run_lane(st); });
   }
@@ -96,6 +121,7 @@ std::vector<double> RoundExecutor::map(
   for (size_t i = 0; i < n; ++i) {
     if (st->errors[i]) std::rethrow_exception(st->errors[i]);
   }
+  if (scoped) scope_.reconcile(clients, st->results);
   return std::move(st->results);
 }
 

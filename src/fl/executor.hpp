@@ -37,10 +37,29 @@ namespace fca::fl {
 
 class RoundExecutor {
  public:
+  /// Scoped-mode (multi-process) hooks. When armed, a sweep runs only the
+  /// bodies whose client this rank owns — the other positions' results are
+  /// quiet NaN placeholders — and then calls `reconcile` so the run driver
+  /// can exchange the real values over the fabric. The reconcile call after
+  /// every armed sweep doubles as the per-round cross-rank barrier.
+  struct ScopeHooks {
+    std::function<bool(int)> owns;
+    std::function<void(const std::vector<int>&, std::vector<double>&)>
+        reconcile;
+  };
+
   /// `pool` defaults to fca::global_pool(); tests inject standalone pools.
   explicit RoundExecutor(int parallelism = 1, ThreadPool* pool = nullptr);
 
   int parallelism() const { return parallelism_; }
+
+  /// Installs (once) the scoped-mode hooks; they stay dormant until armed.
+  void install_scope(ScopeHooks hooks) { scope_ = std::move(hooks); }
+  /// Toggles the installed hooks. The run driver arms them only around
+  /// strategy code (initialize / execute_round): evaluation and test
+  /// harness sweeps keep the all-local semantics.
+  void arm_scope(bool armed) { scope_armed_ = armed; }
+  bool scope_armed() const { return scope_armed_ && scope_.owns != nullptr; }
 
   /// Runs body(clients[i]) for every position i and returns the results in
   /// cohort order. Bodies may run concurrently (see class comment); the
@@ -59,6 +78,8 @@ class RoundExecutor {
  private:
   int parallelism_;
   ThreadPool* pool_;
+  ScopeHooks scope_;
+  bool scope_armed_ = false;
 };
 
 }  // namespace fca::fl

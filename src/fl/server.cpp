@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
+#include "fl/rank_runner.hpp"
 #include "obs/trace.hpp"
 #include "utils/error.hpp"
 #include "utils/logging.hpp"
 #include "utils/timer.hpp"
 
 namespace fca::fl {
+
+namespace {
+
+/// FCA_DETERMINISTIC_WALL=1 zeroes the wall-clock column of every metric
+/// row. Wall time is the one field that legitimately differs between a
+/// multi-process run and its all-local oracle; the equivalence tier sets
+/// this in both so checkpoint images compare byte for byte.
+bool deterministic_wall() {
+  static const bool v = [] {
+    const char* e = std::getenv("FCA_DETERMINISTIC_WALL");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }();
+  return v;
+}
+
+/// Arms the executor's scoped hooks around strategy code only: evaluation
+/// and harness sweeps keep all-local semantics on every rank.
+class ScopeArmGuard {
+ public:
+  ScopeArmGuard(RoundExecutor& ex, bool active) : ex_(ex), active_(active) {
+    if (active_) ex_.arm_scope(true);
+  }
+  ~ScopeArmGuard() {
+    if (active_) ex_.arm_scope(false);
+  }
+  ScopeArmGuard(const ScopeArmGuard&) = delete;
+  ScopeArmGuard& operator=(const ScopeArmGuard&) = delete;
+
+ private:
+  RoundExecutor& ex_;
+  bool active_;
+};
+
+}  // namespace
 
 void RoundStrategy::load_state(std::span<const std::byte> state) {
   FCA_CHECK_MSG(state.empty(),
@@ -80,18 +117,40 @@ FederatedRun::FederatedRun(std::unique_ptr<ClientStore> store,
                                   << " cannot back client parallelism "
                                   << lanes << "; need at least " << lanes + 1);
   }
-  // The backend is swappable (FCA_TRANSPORT=inproc|shm|tcp), the topology is
-  // not: this driver runs every rank in-process, so multi-process options
-  // (--rank/--connect) belong to the fabric probe (fca_cli probe), not here.
+  // The backend is swappable (FCA_TRANSPORT=inproc|shm|tcp). An all-local
+  // backend (self_rank == kAllRanks) drives every rank in this process —
+  // the determinism oracle. A multi-process backend (self_rank >= 0) puts
+  // this process in scoped mode: it still builds the full population (every
+  // rank derives identical state from the seed) but executes only the
+  // bodies its rank owns, with rendezvous pinning the shared run context
+  // (fl/rank_runner.cpp, DESIGN.md §14).
   comm::TransportOptions topts =
       comm::transport_options_from_env(config_.transport);
-  FCA_CHECK_MSG(topts.self_rank == comm::TransportOptions::kAllRanks,
-                "FederatedRun drives all ranks in one process; "
-                "multi-process transports (self_rank >= 0) are exercised "
-                "via the fabric probe (fca_cli probe)");
-  network_ = std::make_unique<comm::Network>(
-      num_clients() + 1, config_.cost, config_.faults,
-      comm::make_transport(topts, num_clients() + 1));
+  const int world = num_clients() + 1;
+  if (topts.self_rank == comm::TransportOptions::kAllRanks) {
+    network_ = std::make_unique<comm::Network>(
+        world, config_.cost, config_.faults,
+        comm::make_transport(topts, world));
+  } else {
+    FCA_CHECK_MSG(topts.self_rank >= 0 && topts.self_rank < world,
+                  "--rank " << topts.self_rank << " outside the fabric world "
+                            << "[0, " << world << ") (clients + 1)");
+    FCA_CHECK_MSG(!config_.lazy_init,
+                  "scoped multi-process runs require eager initialization "
+                  "(--lazy-init is all-local only)");
+    // Rendezvous: the root publishes the run context; joiners receive it
+    // and refuse a world whose context diverges from their own.
+    comm::Handshake expected = make_scoped_handshake(config_, num_clients());
+    comm::Handshake hs = expected;
+    std::unique_ptr<comm::Transport> transport =
+        comm::make_transport(topts, world, &hs);
+    if (topts.self_rank != 0) {
+      verify_scoped_handshake(hs, expected);
+    }
+    network_ = std::make_unique<comm::Network>(
+        world, config_.cost, config_.faults, std::move(transport));
+    scoped_install_hooks();
+  }
   server_ep_ = std::make_unique<comm::Endpoint>(*network_, 0);
   // Endpoints register lazily (see client_endpoint()); only the slots are
   // allocated up front.
@@ -156,6 +215,12 @@ std::vector<int> FederatedRun::live_clients(int round,
 
 FederatedRun::SurvivorGather FederatedRun::gather_survivors(
     const std::vector<int>& expected, int tag) {
+  if (scoped() && !is_root()) {
+    // The root performs the real gather; every joiner (strategy code is
+    // SPMD) consumes the mirrored outcome so survivor lists, quorum
+    // decisions and aggregation inputs agree on all ranks.
+    return scoped_consume_gather(expected);
+  }
   SurvivorGather g;
   g.survivors.reserve(expected.size());
   g.payloads.reserve(expected.size());
@@ -185,7 +250,29 @@ FederatedRun::SurvivorGather FederatedRun::gather_survivors(
     report_.aborted = true;
     network_->record_round_faults(0, 0, true);
   }
+  if (scoped()) scoped_publish_gather(g);
   return g;
+}
+
+FederatedRun::CollectedUploads FederatedRun::collect_uploads(
+    const std::vector<int>& clients, int tag, bool strict) {
+  CollectedUploads c;
+  if (scoped() && !is_root()) {
+    return scoped_consume_collect();
+  }
+  c.contributors.reserve(clients.size());
+  c.uploads.reserve(clients.size());
+  for (int k : clients) {
+    std::optional<comm::Bytes> up =
+        strict ? std::optional<comm::Bytes>(server_ep_->recv(k + 1, tag))
+               : server_ep_->try_recv(k + 1, tag);
+    if (up.has_value()) {
+      c.contributors.push_back(k);
+      c.uploads.push_back(std::move(*up));
+    }
+  }
+  if (scoped()) scoped_publish_collect(c);
+  return c;
 }
 
 float FederatedRun::mean_finite(const std::vector<double>& values,
@@ -282,7 +369,13 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       comm::Bytes payload = strategy.initialize_lazy(*this);
       store_->arm_bootstrap(this, &strategy, std::move(payload));
     } else {
+      ScopeArmGuard arm(executor_, scoped());
       strategy.initialize(*this);
+    }
+    if (scoped()) {
+      // Root-side mirror of every joiner-owned client: evaluation and
+      // checkpoints read the root's store, which must equal the oracle's.
+      scoped_sync_state();
     }
     bytes_before = network_->total_stats().payload_bytes;
     faults_before = network_->fault_stats().injected_total();
@@ -312,12 +405,17 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       {
         obs::TraceSpan round_span("fl", "round",
                                   static_cast<int64_t>(selected.size()));
+        ScopeArmGuard arm(executor_, scoped());
         train_loss = strategy.execute_round(*this, round, selected);
       }
       failed_attempts = 0;
       network_->end_round();
     } catch (const std::exception& e) {
       network_->end_round();
+      // A scoped rank cannot replay a round from a checkpoint: its peers
+      // have already moved on, and a rollback would need a cross-rank
+      // barrier this protocol does not have. Die; the peers degrade.
+      if (scoped()) throw;
       std::optional<ResumeState> recovered;
       if (hook != nullptr && ++failed_attempts < kMaxFailedAttempts) {
         recovered = hook->recover(*this, strategy);
@@ -336,7 +434,16 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       continue;
     }
 
-    if (round % config_.eval_every == 0 || round == config_.rounds) {
+    if (scoped()) {
+      // Round boundary sync: joiner-owned client state lands in the root's
+      // mirror store (eval + checkpoints), joiner-emitted trace events land
+      // in the root's tracer. Both before the eval block reads them.
+      scoped_sync_state();
+      scoped_sync_trace();
+    }
+
+    if (is_root() &&
+        (round % config_.eval_every == 0 || round == config_.rounds)) {
       RoundMetrics m;
       m.round = round;
       m.cumulative_local_epochs = round * config_.local_epochs;
@@ -349,7 +456,7 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
       m.std_accuracy = std_of(acc);
       m.client_accuracies = std::move(acc);
       m.mean_train_loss = train_loss;
-      m.wall_seconds = timer.seconds();
+      m.wall_seconds = deterministic_wall() ? 0.0 : timer.seconds();
       const uint64_t bytes_now = network_->total_stats().payload_bytes;
       m.round_bytes = bytes_now - bytes_before;
       bytes_before = bytes_now;
@@ -384,8 +491,12 @@ RunResult FederatedRun::execute(RoundStrategy& strategy, RoundHook* hook,
   }
 
   obs::Tracer::instance().set_round(0);
-  FCA_CHECK_MSG(network_->pending_messages() == 0,
-                "undelivered messages at end of run (protocol bug)");
+  if (!scoped()) {
+    // The zero-pending invariant is all-local: a scoped rank's transport
+    // counts sent-but-remotely-consumed frames as locally pending.
+    FCA_CHECK_MSG(network_->pending_messages() == 0,
+                  "undelivered messages at end of run (protocol bug)");
+  }
   result.total_traffic = network_->total_stats();
   result.total_faults = network_->fault_stats();
   if (!result.curve.empty()) {

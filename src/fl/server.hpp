@@ -73,6 +73,13 @@ struct FLConfig {
   /// that cohort's accuracy — comparable across runs of any population that
   /// share the prefix's data partition).
   int eval_clients = 0;
+  /// First round a scoped (multi-process) run will execute: 1 = fresh, else
+  /// the checkpoint cursor every rank computed from the shared checkpoint
+  /// directory before construction. The value rides the rendezvous
+  /// handshake so a joiner that disagrees (stale checkpoint view) is
+  /// rejected instead of silently training from the wrong round. All-local
+  /// runs ignore it — resume passes a cursor to execute() instead.
+  int resume_next_round = 1;
 };
 
 /// Message tags on the fabric.
@@ -292,6 +299,36 @@ class FederatedRun {
   /// The round deadline strategies pass to Endpoint::recv_with_deadline.
   double round_deadline() const { return config_.faults.round_deadline_s; }
 
+  // -- scoped (multi-process) execution: DESIGN.md §14 -----------------------
+  /// True when this process drives a single fabric rank of a multi-process
+  /// world (transport self_rank >= 0). Every rank builds the full
+  /// population and runs the identical driver/strategy code; scoped mode
+  /// only changes which client bodies execute here and how values travel.
+  bool scoped() const { return network_->scoped(); }
+  /// This process's fabric rank (kAllRanks when all-local).
+  int self_rank() const { return network_->self_rank(); }
+  /// Rank 0 hosts aggregation state, checkpoints and the metric curve.
+  bool is_root() const { return !scoped() || self_rank() == 0; }
+  /// Scoped ownership: joiner rank r owns exactly client r - 1.
+  bool owns_client(int k) const {
+    return !scoped() || self_rank() == k + 1;
+  }
+
+  /// Init-time fault-tolerant collect over `clients` on `tag` (the
+  /// initialization barrier's server half). All-local / root: a serial
+  /// receive loop — strict receives on `strict` (a lost upload is a
+  /// protocol bug), try_recv otherwise (a lost upload just drops out of
+  /// `contributors`). Scoped: the root additionally mirrors the outcome to
+  /// every live joiner over the control plane, and joiners consume the
+  /// mirror instead of receiving — so every rank derives the identical
+  /// contributor set and aggregate.
+  struct CollectedUploads {
+    std::vector<int> contributors;
+    std::vector<comm::Bytes> uploads;
+  };
+  CollectedUploads collect_uploads(const std::vector<int>& clients, int tag,
+                                   bool strict);
+
   // -- round-report accessors (valid once a round has started) ---------------
   /// Sampled cohort size of the round in flight (or just completed).
   int last_selected() const { return report_.selected; }
@@ -308,6 +345,30 @@ class FederatedRun {
     int survivors = 0;   // min surviving set across the round's gathers
     bool aborted = false;  // quorum abort already recorded this round
   };
+
+  // -- scoped-mode machinery (fl/rank_runner.cpp) ---------------------------
+  /// Installs the executor ScopeHooks (ownership filter + reconcile).
+  void scoped_install_hooks();
+  /// Executor reconcile: joiners ship their owned positions' values to the
+  /// root; the root fills every position from the owners. Doubles as the
+  /// per-sweep cross-rank barrier.
+  void scoped_reconcile(const std::vector<int>& clients,
+                        std::vector<double>& results);
+  /// Root half of a scoped gather: mirror the outcome to every live joiner.
+  void scoped_publish_gather(const SurvivorGather& g);
+  /// Joiner half: consume the root's mirror (fatal when the root is gone)
+  /// and replay the round-report bookkeeping.
+  SurvivorGather scoped_consume_gather(const std::vector<int>& expected);
+  /// Same mirror pair for the initialization collect.
+  void scoped_publish_collect(const CollectedUploads& c);
+  CollectedUploads scoped_consume_collect();
+  /// Ships every joiner-owned client's serialized state to the root (which
+  /// restores it into its mirror store) — after initialize() and after
+  /// every round, so root-side eval and checkpoints see oracle state.
+  void scoped_sync_state();
+  /// Ships each joiner's own-rank trace events to the root, which injects
+  /// them into its tracer so the end-of-run logical stream is the oracle's.
+  void scoped_sync_trace();
 
   std::unique_ptr<ClientStore> store_;
   FLConfig config_;

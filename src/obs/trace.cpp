@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -119,6 +120,26 @@ void Tracer::record(const char* cat, const char* name, int64_t value,
   EventBuffer& buf = local_buffer();
   std::lock_guard lk(buf.mu);
   buf.events.push_back(e);
+}
+
+void Tracer::inject(const TraceEvent& e, const std::string& cat,
+                    const std::string& name) {
+  // Leaked interning pool: TraceEvent carries const char* (emission sites
+  // pass literals), so wire-decoded strings need storage that outlives every
+  // drain and the exit hooks.
+  static std::mutex* pool_mu = new std::mutex();
+  static std::set<std::string>* pool = new std::set<std::string>();
+  TraceEvent copy = e;
+  {
+    std::lock_guard lk(*pool_mu);
+    copy.cat = pool->insert(cat).first->c_str();
+    copy.name = pool->insert(name).first->c_str();
+  }
+  copy.ts_us = 0.0;
+  copy.dur_us = 0.0;
+  EventBuffer& buf = local_buffer();
+  std::lock_guard lk(buf.mu);
+  buf.events.push_back(copy);
 }
 
 std::vector<TraceEvent> Tracer::drain() {

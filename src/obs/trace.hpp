@@ -111,6 +111,13 @@ class Tracer {
   /// Records one completed span against this thread's innermost context.
   void record(const char* cat, const char* name, int64_t value, double ts_us,
               double dur_us);
+  /// Appends an externally produced event verbatim — logical coordinates
+  /// included, bypassing this process's context and sequence counters. The
+  /// multi-process root merges joiner-shipped events this way; cat/name are
+  /// interned (events normally point at string literals), wall-clock fields
+  /// are zeroed (they are process-local and excluded from logical output).
+  void inject(const TraceEvent& e, const std::string& cat,
+              const std::string& name);
 
  private:
   Tracer() = default;

@@ -13,9 +13,11 @@
 #include <netinet/in.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <span>
 #include <thread>
 
 #include "comm/endpoint.hpp"
@@ -206,6 +208,104 @@ TEST(Handshake, BlobRoundTripsResumeContext) {
 TEST(Handshake, ParseRejectsGarbage) {
   EXPECT_THROW(Handshake::parse(make_payload(8, std::byte{0x42})), Error);
   EXPECT_THROW(Handshake::parse({}), Error);
+}
+
+/// A representative v2 blob: resume cursor, fault schedule, world shape,
+/// config digest and flags all populated, so every wire field is non-trivial.
+Bytes sample_handshake_blob() {
+  Handshake hs;
+  hs.seed = 0xA5A5'0001'BEEF'CAFEull;
+  hs.next_round = 7;
+  hs.faults = sample_fault_config();
+  hs.fault_stats.dropped_messages = 3;
+  hs.world_size = 5;
+  hs.population = 4;
+  hs.config_digest = 0x1234'5678'9ABC'DEF0ull;
+  hs.flags = Handshake::kFlagTracing;
+  return hs.serialize();
+}
+
+void expect_rejected(std::span<const std::byte> blob,
+                     const std::string& what) {
+  try {
+    (void)Handshake::parse(blob);
+    FAIL() << what << ": malformed blob was accepted";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrc::kHandshakeRejected) << what;
+    // Setup-time failure: not attributable to one peer, so the degradation
+    // machinery must not condemn anyone over it.
+    EXPECT_FALSE(e.peer_scoped()) << what;
+  }
+}
+
+TEST(Handshake, EveryTruncationRejectedTyped) {
+  // Cutting the blob at ANY byte boundary must surface as the one typed
+  // setup error — never a crash, never a default-initialized context.
+  const Bytes blob = sample_handshake_blob();
+  ASSERT_GT(blob.size(), 30u);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    expect_rejected(std::span(blob.data(), len),
+                    "truncated to " + std::to_string(len) + " bytes");
+  }
+  // The untruncated blob still parses — the loop above exercised real
+  // prefixes of a valid message, not garbage.
+  EXPECT_NO_THROW((void)Handshake::parse(blob));
+}
+
+TEST(Handshake, VersionSkewRejectedBothDirections) {
+  Bytes blob = sample_handshake_blob();
+  // Wire layout starts with magic(u32) then version(u32), little-endian.
+  for (uint32_t version : {0u, 1u, 3u, 0xFFFFFFFFu}) {
+    Bytes skewed = blob;
+    std::memcpy(skewed.data() + 4, &version, sizeof(version));
+    expect_rejected(skewed, "version " + std::to_string(version));
+  }
+  Bytes bad_magic = blob;
+  bad_magic[0] ^= std::byte{0xFF};
+  expect_rejected(bad_magic, "corrupted magic");
+}
+
+TEST(Handshake, CorruptedFaultConfigRejectedNotDefaulted) {
+  // Flip the embedded FaultConfig's own wire-version field: the outer
+  // framing is intact, so only the nested parse can catch it — and it must
+  // translate to kHandshakeRejected, not adopt a default (fault-free!)
+  // schedule that would silently desynchronize the world.
+  const Bytes blob = sample_handshake_blob();
+  const Bytes inner = serialize_fault_config(sample_fault_config());
+  const auto it = std::search(blob.begin(), blob.end(), inner.begin(),
+                              inner.end());
+  ASSERT_NE(it, blob.end()) << "fault config bytes not found in the blob";
+  Bytes corrupted = blob;
+  corrupted[static_cast<size_t>(it - blob.begin())] ^= std::byte{0x20};
+  expect_rejected(corrupted, "fault config version flip");
+
+  // Shrinking the nested length prefix truncates the FaultConfig mid-field.
+  const size_t len_at = static_cast<size_t>(it - blob.begin()) - 4;
+  Bytes shortened = blob;
+  uint32_t short_len = 5;
+  std::memcpy(shortened.data() + len_at, &short_len, sizeof(short_len));
+  expect_rejected(shortened, "fault config length shrunk");
+}
+
+TEST(Handshake, SingleByteFlipFuzzNeverCrashes) {
+  // Deterministic one-byte fuzz over the whole blob: every mutation either
+  // parses (flips inside value fields yield a different but well-formed
+  // context) or throws the typed rejection. Nothing may crash, hang, or
+  // throw an untyped error.
+  const Bytes blob = sample_handshake_blob();
+  for (size_t i = 0; i < blob.size(); ++i) {
+    for (const std::byte flip : {std::byte{0x01}, std::byte{0xFF}}) {
+      Bytes mutated = blob;
+      mutated[i] ^= flip;
+      try {
+        (void)Handshake::parse(mutated);
+      } catch (const TransportError& e) {
+        EXPECT_EQ(e.code(), TransportErrc::kHandshakeRejected)
+            << "byte " << i << " flip 0x" << std::hex
+            << std::to_integer<int>(flip);
+      }
+    }
+  }
 }
 
 TEST(Handshake, ReproducesExactFaultSchedule) {

@@ -17,10 +17,14 @@
 #include <netinet/in.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "comm/network.hpp"
+#include "comm/retry.hpp"
 #include "comm/transport/chaos.hpp"
 #include "comm/transport/error.hpp"
 #include "comm/transport/transport.hpp"
@@ -203,6 +207,151 @@ TEST(TransportFaults, ShmPeerKilledBeforeSendingIsTypedTimeout) {
   } catch (const TransportError& e) {
     EXPECT_EQ(e.code(), TransportErrc::kTimeout) << e.what();
   }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy edge cases (comm/retry.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyEdge, ZeroRetryPolicyExhaustsOnFirstAsk) {
+  // max_attempts == 1 means "the initial try is the whole budget": the very
+  // first next_backoff_s() must report exhaustion, and asking again must not
+  // resurrect the schedule.
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  EXPECT_NO_THROW(policy.validate());
+  RetrySchedule schedule(policy, "test.op", 0);
+  EXPECT_FALSE(schedule.next_backoff_s().has_value());
+  EXPECT_EQ(schedule.attempts(), 1);
+  EXPECT_FALSE(schedule.next_backoff_s().has_value());
+}
+
+TEST(RetryPolicyEdge, ValidateRejectsMeaninglessPolicies) {
+  const auto invalid = [](auto mutate) {
+    RetryPolicy p;
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.max_attempts = 0; }).validate(), Error);
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.max_attempts = -3; }).validate(), Error);
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.base_backoff_s = -0.1; }).validate(),
+      Error);
+  EXPECT_THROW(invalid([](RetryPolicy& p) {
+                 p.base_backoff_s = std::numeric_limits<double>::quiet_NaN();
+               }).validate(),
+               Error);
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.multiplier = 0.5; }).validate(), Error);
+  // A cap below the base would make the very first backoff exceed the cap.
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.max_backoff_s = p.base_backoff_s / 2; })
+          .validate(),
+      Error);
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.jitter_frac = 1.5; }).validate(), Error);
+  EXPECT_THROW(
+      invalid([](RetryPolicy& p) { p.jitter_frac = -0.25; }).validate(),
+      Error);
+}
+
+TEST(RetryPolicyEdge, BackoffScheduleIsDeterministicJitteredAndCapped) {
+  // The whole point of the counter-based jitter streams: two independently
+  // constructed policies with the same fields emit bit-identical schedules,
+  // every step stays inside the jitter envelope of the capped exponential,
+  // and distinct operation instances desynchronize.
+  RetryPolicy a;
+  a.seed = 42;
+  RetryPolicy b;
+  b.seed = 42;
+  bool other_op_differs = false;
+  for (int k = 1; k <= 12; ++k) {
+    const double step = a.backoff_s("tcp.dial/test", 7, k);
+    EXPECT_EQ(step, b.backoff_s("tcp.dial/test", 7, k)) << "attempt " << k;
+    double nominal = a.base_backoff_s;
+    for (int i = 1; i < k; ++i) nominal = std::min(nominal * a.multiplier,
+                                                   a.max_backoff_s);
+    EXPECT_GE(step, nominal * (1.0 - a.jitter_frac) - 1e-12) << "attempt " << k;
+    EXPECT_LE(step, nominal * (1.0 + a.jitter_frac) + 1e-12) << "attempt " << k;
+    if (step != a.backoff_s("tcp.dial/test", 8, k)) other_op_differs = true;
+  }
+  EXPECT_TRUE(other_op_differs)
+      << "op_index never reached the jitter stream — a shared retry storm "
+         "would stay synchronized";
+  // Attempt 0 is the initial try: no sleep, unconditionally.
+  EXPECT_EQ(a.backoff_s("tcp.dial/test", 7, 0), 0.0);
+}
+
+TEST(RetryPolicyEdge, DialDeadlineExpiringMidBackoffIsTypedTimeout) {
+  // Nobody ever listens, and the very first scheduled backoff (5 s) already
+  // overshoots the 0.4 s io timeout. The dial must fail as the *deadline*
+  // outcome (kTimeout) without actually sleeping the hopeless backoff —
+  // distinct from the attempt-budget outcome below.
+  const int port = reserve_loopback_port();
+  TransportOptions opts;
+  opts.kind = TransportKind::kTcp;
+  opts.self_rank = 1;
+  opts.connect_address = "127.0.0.1:" + std::to_string(port);
+  opts.io_timeout_s = 0.4;
+  opts.retry.base_backoff_s = 5.0;
+  opts.retry.max_backoff_s = 5.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto t = make_transport(opts, 2);
+    FAIL() << "dial to a dead port succeeded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrc::kTimeout) << e.what();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 3.0)
+      << "the dial slept a backoff that could never finish in time";
+}
+
+TEST(RetryPolicyEdge, DialAttemptBudgetExhaustionIsPeerUnreachable) {
+  // Same dead port, but now the deadline is generous and the attempt budget
+  // is the binding constraint: exhausting it is the "peer is just not
+  // there" outcome, not a timeout.
+  const int port = reserve_loopback_port();
+  TransportOptions opts;
+  opts.kind = TransportKind::kTcp;
+  opts.self_rank = 1;
+  opts.connect_address = "127.0.0.1:" + std::to_string(port);
+  opts.io_timeout_s = 30.0;
+  opts.retry.max_attempts = 3;
+  opts.retry.base_backoff_s = 0.01;
+  opts.retry.max_backoff_s = 0.01;
+  try {
+    auto t = make_transport(opts, 2);
+    FAIL() << "dial to a dead port succeeded";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.code(), TransportErrc::kPeerUnreachable) << e.what();
+    EXPECT_NE(std::string(e.what()).find("3 dial attempt"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RetryPolicyEdge, AllLocalRingWrapNeverCountsRetries) {
+  // Determinism-oracle hygiene for the retry_events() ledger: in an
+  // all-local world a full shm ring is drained by the same process, never
+  // waited on, so wrapping the smallest legal ring many times over must
+  // leave the retry counter at exactly zero. A nonzero count here would mean
+  // oracle runs sleep on wall-clock backoffs — timing-dependent results.
+  TransportOptions opts;
+  opts.kind = TransportKind::kShm;
+  opts.shm_ring_capacity = kMinShmRingCapacity;
+  auto t = make_transport(opts, 2);
+  const Bytes payload = make_payload(512, std::byte{0x5A});
+  constexpr int kMessages = 64;  // ~35 KiB of frames through a 4 KiB ring
+  for (int i = 0; i < kMessages; ++i) t->send(make_msg(0, 1, i, payload));
+  for (int i = 0; i < kMessages; ++i) {
+    const WireMessage m = t->recv(1, 0, i);
+    EXPECT_EQ(m.payload, payload) << "message " << i;
+  }
+  EXPECT_EQ(t->retry_events(), 0u);
 }
 
 // ---------------------------------------------------------------------------
